@@ -1,0 +1,33 @@
+// Reproduces Fig 6: imputation RMS of SMF and SMFL as the regularization
+// weight lambda varies from 0.001 to 10.
+//
+// Expected shape (paper): U-shaped curves with the sweet spot around
+// 0.05-0.1; large lambda over-smooths and degrades both methods; SMFL at or
+// below SMF across the sweep. (On the synthetic stand-ins the minimum sits
+// near 0.5-1; see EXPERIMENTS.md divergence D4.)
+
+#include "bench/bench_util.h"
+#include "src/exp/sweep.h"
+
+using namespace smfl;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  const std::vector<double> lambdas = {0.001, 0.005, 0.01, 0.05,
+                                       0.1,   0.5,   1.0,  10.0};
+  exp::SweepSpec spec;
+  for (double l : lambdas) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", l);
+    spec.value_labels.push_back(buf);
+  }
+  spec.apply = [&](size_t v, core::SmflOptions* options) {
+    options->lambda = lambdas[v];
+  };
+  spec.trial.trials = config.trials;
+  spec.rows_override = config.rows_override;
+  auto table = bench::ValueOrDie(exp::RunSmflSweep(spec));
+  table.Print("Fig 6: imputation RMS vs regularization weight lambda");
+  std::printf("%s", table.ToCsv().c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Fig 7: imputation RMS of SMF and SMFL as the number of spatial
+// nearest neighbors p varies from 1 to 10.
+//
+// Expected shape (paper): best around p = 3; larger p wires in
+// low-relevance tuples and degrades accuracy; p = 1 slightly under-uses
+// the neighborhood.
+
+#include "bench/bench_util.h"
+#include "src/exp/sweep.h"
+
+using namespace smfl;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  const std::vector<la::Index> ps = {1, 2, 3, 5, 7, 10};
+  exp::SweepSpec spec;
+  for (la::Index p : ps) spec.value_labels.push_back("p=" + std::to_string(p));
+  spec.apply = [&](size_t v, core::SmflOptions* options) {
+    options->num_neighbors = ps[v];
+  };
+  spec.trial.trials = config.trials;
+  spec.rows_override = config.rows_override;
+  auto table = bench::ValueOrDie(exp::RunSmflSweep(spec));
+  table.Print("Fig 7: imputation RMS vs number of spatial neighbors p");
+  std::printf("%s", table.ToCsv().c_str());
+  return 0;
+}

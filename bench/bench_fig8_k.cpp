@@ -1,0 +1,27 @@
+// Reproduces Fig 8: imputation RMS of SMF and SMFL as the number of latent
+// features / landmarks K varies.
+//
+// Expected shape (paper): small K limits the model and hurts; moderately
+// large K performs best; SMFL benefits more from larger K (finer landmark
+// resolution).
+
+#include "bench/bench_util.h"
+#include "src/exp/sweep.h"
+
+using namespace smfl;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  const std::vector<la::Index> ks = {2, 4, 6, 8, 12, 16, 20};
+  exp::SweepSpec spec;
+  for (la::Index k : ks) spec.value_labels.push_back("K=" + std::to_string(k));
+  spec.apply = [&](size_t v, core::SmflOptions* options) {
+    options->rank = ks[v];
+  };
+  spec.trial.trials = config.trials;
+  spec.rows_override = config.rows_override;
+  auto table = bench::ValueOrDie(exp::RunSmflSweep(spec));
+  table.Print("Fig 8: imputation RMS vs number of landmarks / rank K");
+  std::printf("%s", table.ToCsv().c_str());
+  return 0;
+}

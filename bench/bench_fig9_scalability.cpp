@@ -1,0 +1,81 @@
+// Reproduces Fig 9: wall-clock time of the imputation methods as the
+// number of tuples grows, on the Lake and Economic datasets. Built on
+// google-benchmark with manual timing around the full Impute() call.
+//
+// Expected shape (paper): kNNE / DLM / GAIN / CAMF scale worst; the MF
+// family and Iterative are fastest; SMFL slightly faster than SMF (frozen
+// landmark columns skip part of every V update).
+
+#include <benchmark/benchmark.h>
+
+#include "src/data/inject.h"
+#include "src/exp/experiment.h"
+#include "src/impute/registry.h"
+
+using namespace smfl;
+using la::Index;
+using la::Matrix;
+
+namespace {
+
+// Methods plotted in Fig 9 (IIM excluded: the paper reports it OOT).
+const char* kMethods[] = {"kNNE", "DLM",        "GAIN",      "CAMF",
+                          "MC",   "SoftImpute", "Iterative", "NMF",
+                          "SMF",  "SMFL"};
+
+struct PreparedCase {
+  Matrix input;
+  data::Mask observed;
+};
+
+PreparedCase PrepareCase(const std::string& dataset, Index rows) {
+  auto prepared = *exp::PrepareDataset(dataset, rows, /*seed=*/7);
+  std::vector<std::string> names;
+  for (Index j = 0; j < prepared.truth.cols(); ++j) {
+    names.push_back("c" + std::to_string(j));
+  }
+  auto table = *data::Table::Create(names, prepared.truth, 2);
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.1;
+  inject.seed = 11;
+  auto injection = *data::InjectMissing(table, inject);
+  return {data::ApplyMask(prepared.truth, injection.observed),
+          std::move(injection.observed)};
+}
+
+void BM_Impute(benchmark::State& state, const std::string& dataset,
+               const std::string& method) {
+  const Index rows = state.range(0);
+  PreparedCase c = PrepareCase(dataset, rows);
+  auto imputer_result = impute::MakeImputer(method);
+  auto imputer = std::move(imputer_result).value();
+  for (auto _ : state) {
+    auto imputed = imputer->Impute(c.input, c.observed, 2);
+    if (!imputed.ok()) {
+      state.SkipWithError(imputed.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(imputed);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* dataset : {"lake", "economic"}) {
+    for (const char* method : kMethods) {
+      auto* bench = benchmark::RegisterBenchmark(
+          (std::string("Fig9/") + dataset + "/" + method).c_str(),
+          [dataset = std::string(dataset),
+           method = std::string(method)](benchmark::State& state) {
+            BM_Impute(state, dataset, method);
+          });
+      bench->Arg(250)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Clustering-with-missing-values application (paper §IV-B4, Fig 4b).
+//
+// MF-based methods cluster incomplete data by factorizing the (masked)
+// matrix and grouping tuples on the learned coefficient rows U (or PCA
+// scores). Accuracy is measured against ground-truth labels under the
+// optimal label permutation (Kuhn–Munkres).
+
+#ifndef SMFL_APPS_CLUSTERING_APP_H_
+#define SMFL_APPS_CLUSTERING_APP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::apps {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+enum class ClusterMethod {
+  kPca,       // PCA scores + K-means
+  kNmf,       // masked NMF coefficients + K-means
+  kSmf,       // SMF coefficients + K-means
+  kSmfl,      // SMFL coefficients + K-means
+  kSpectral,  // spectral clustering of the spatial neighbor graph
+              // (extension beyond the paper's method set; uses ONLY the
+              // coordinates, so it calibrates how much of the clustering
+              // signal is purely geographic)
+};
+
+const char* ClusterMethodName(ClusterMethod method);
+
+struct ClusterAppOptions {
+  Index num_clusters = 5;
+  // Latent rank of the factorization (K); also the PCA dimension.
+  Index rank = 5;
+  uint64_t seed = 41;
+};
+
+// Clusters the partially observed matrix x (first `spatial_cols` columns
+// spatial) and returns predicted labels.
+Result<std::vector<Index>> ClusterIncomplete(ClusterMethod method,
+                                             const Matrix& x,
+                                             const Mask& observed,
+                                             Index spatial_cols,
+                                             const ClusterAppOptions& options);
+
+// End-to-end: cluster and score against truth labels.
+Result<double> ClusteringAccuracyOnIncomplete(
+    ClusterMethod method, const Matrix& x, const Mask& observed,
+    Index spatial_cols, const std::vector<Index>& truth,
+    const ClusterAppOptions& options);
+
+}  // namespace smfl::apps
+
+#endif  // SMFL_APPS_CLUSTERING_APP_H_

@@ -1,0 +1,104 @@
+#include "src/apps/field_raster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "src/spatial/knn.h"
+
+namespace smfl::apps {
+
+double FieldRaster::CellLat(Index r) const {
+  const double cell = (lat_hi - lat_lo) / static_cast<double>(grid.rows());
+  return lat_lo + (static_cast<double>(r) + 0.5) * cell;
+}
+
+double FieldRaster::CellLon(Index c) const {
+  const double cell = (lon_hi - lon_lo) / static_cast<double>(grid.cols());
+  return lon_lo + (static_cast<double>(c) + 0.5) * cell;
+}
+
+Result<FieldRaster> RasterizeField(const Matrix& si,
+                                   const std::vector<double>& values,
+                                   const RasterOptions& options) {
+  const Index n = si.rows();
+  if (n == 0 || si.cols() < 2) {
+    return Status::InvalidArgument("RasterizeField: need an N x 2 SI block");
+  }
+  if (static_cast<Index>(values.size()) != n) {
+    return Status::InvalidArgument("RasterizeField: value count mismatch");
+  }
+  if (options.grid_rows < 1 || options.grid_cols < 1) {
+    return Status::InvalidArgument("RasterizeField: bad grid size");
+  }
+  FieldRaster raster;
+  raster.lat_lo = raster.lat_hi = si(0, 0);
+  raster.lon_lo = raster.lon_hi = si(0, 1);
+  for (Index i = 1; i < n; ++i) {
+    raster.lat_lo = std::min(raster.lat_lo, si(i, 0));
+    raster.lat_hi = std::max(raster.lat_hi, si(i, 0));
+    raster.lon_lo = std::min(raster.lon_lo, si(i, 1));
+    raster.lon_hi = std::max(raster.lon_hi, si(i, 1));
+  }
+  if (raster.lat_hi - raster.lat_lo < 1e-12) raster.lat_hi = raster.lat_lo + 1;
+  if (raster.lon_hi - raster.lon_lo < 1e-12) raster.lon_hi = raster.lon_lo + 1;
+
+  raster.grid = Matrix(options.grid_rows, options.grid_cols);
+  Matrix counts(options.grid_rows, options.grid_cols);
+  const double cell_lat = (raster.lat_hi - raster.lat_lo) /
+                          static_cast<double>(options.grid_rows);
+  const double cell_lon = (raster.lon_hi - raster.lon_lo) /
+                          static_cast<double>(options.grid_cols);
+  for (Index i = 0; i < n; ++i) {
+    const Index r = std::clamp<Index>(
+        static_cast<Index>((si(i, 0) - raster.lat_lo) / cell_lat), 0,
+        options.grid_rows - 1);
+    const Index c = std::clamp<Index>(
+        static_cast<Index>((si(i, 1) - raster.lon_lo) / cell_lon), 0,
+        options.grid_cols - 1);
+    raster.grid(r, c) += values[static_cast<size_t>(i)];
+    counts(r, c) += 1.0;
+  }
+  for (Index r = 0; r < options.grid_rows; ++r) {
+    for (Index c = 0; c < options.grid_cols; ++c) {
+      if (counts(r, c) > 0.0) raster.grid(r, c) /= counts(r, c);
+    }
+  }
+
+  // Fill empty cells by inverse-distance weighting of the nearest
+  // observations.
+  const Index k = std::min<Index>(options.fill_neighbors, n);
+  for (Index r = 0; r < options.grid_rows; ++r) {
+    for (Index c = 0; c < options.grid_cols; ++c) {
+      if (counts(r, c) > 0.0) continue;
+      const std::vector<double> center = {raster.CellLat(r),
+                                          raster.CellLon(c)};
+      auto nn = spatial::BruteForceKnn(si, center, k);
+      double wsum = 0.0, vsum = 0.0;
+      for (const auto& neighbor : nn) {
+        const double w = 1.0 / (neighbor.distance + 1e-9);
+        wsum += w;
+        vsum += w * values[static_cast<size_t>(neighbor.index)];
+      }
+      raster.grid(r, c) = wsum > 0.0 ? vsum / wsum : 0.0;
+    }
+  }
+  return raster;
+}
+
+Status WriteRasterCsv(const FieldRaster& raster, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "lat,lon,value\n";
+  out.precision(10);
+  for (Index r = 0; r < raster.grid.rows(); ++r) {
+    for (Index c = 0; c < raster.grid.cols(); ++c) {
+      out << raster.CellLat(r) << "," << raster.CellLon(c) << ","
+          << raster.grid(r, c) << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace smfl::apps

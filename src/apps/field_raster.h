@@ -1,0 +1,48 @@
+// Rasterizes a scalar field over (lat, lon) observations into a grid — the
+// machinery behind Fig 1's fuel-consumption map. Each grid cell averages
+// the values of the observations falling in it; empty cells are filled by
+// inverse-distance interpolation from the k nearest observations so the
+// exported map is dense.
+
+#ifndef SMFL_APPS_FIELD_RASTER_H_
+#define SMFL_APPS_FIELD_RASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::apps {
+
+using la::Index;
+using la::Matrix;
+
+struct FieldRaster {
+  // cell (r, c) covers lat in [lat_lo + r*cell_lat, ...), lon likewise.
+  Matrix grid;
+  double lat_lo = 0, lat_hi = 1, lon_lo = 0, lon_hi = 1;
+
+  // Center coordinates of cell (r, c).
+  double CellLat(Index r) const;
+  double CellLon(Index c) const;
+};
+
+struct RasterOptions {
+  Index grid_rows = 24;
+  Index grid_cols = 24;
+  // Neighbors used to fill observation-free cells.
+  Index fill_neighbors = 3;
+};
+
+// `si` is N x 2 (lat, lon); `values[i]` the field value at row i.
+Result<FieldRaster> RasterizeField(const Matrix& si,
+                                   const std::vector<double>& values,
+                                   const RasterOptions& options = {});
+
+// Writes the raster as CSV: "lat,lon,value" per cell (plottable directly).
+Status WriteRasterCsv(const FieldRaster& raster, const std::string& path);
+
+}  // namespace smfl::apps
+
+#endif  // SMFL_APPS_FIELD_RASTER_H_

@@ -1,0 +1,107 @@
+#include "src/apps/route.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/spatial/metrics.h"
+
+namespace smfl::apps {
+
+Result<Route> SampleRoute(const Matrix& si, Index length, uint64_t seed) {
+  const Index n = si.rows();
+  if (n == 0 || si.cols() < 2) {
+    return Status::InvalidArgument("SampleRoute: need an N x 2 SI block");
+  }
+  if (length < 2 || length > n) {
+    return Status::InvalidArgument(
+        "SampleRoute: route length must be in [2, n]");
+  }
+  Rng rng(seed);
+  Route route;
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  Index current = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(n)));
+  route.waypoints.push_back(current);
+  visited[static_cast<size_t>(current)] = true;
+  for (Index step = 1; step < length; ++step) {
+    // Greedy nearest unvisited hop (linear scan keeps this dependency-free;
+    // routes are short relative to N).
+    double best = std::numeric_limits<double>::infinity();
+    Index next = -1;
+    for (Index i = 0; i < n; ++i) {
+      if (visited[static_cast<size_t>(i)]) continue;
+      const double d = spatial::HaversineKm(si(current, 0), si(current, 1),
+                                            si(i, 0), si(i, 1));
+      if (d < best) {
+        best = d;
+        next = i;
+      }
+    }
+    if (next < 0) break;
+    route.waypoints.push_back(next);
+    visited[static_cast<size_t>(next)] = true;
+    current = next;
+  }
+  return route;
+}
+
+Result<double> AccumulatedFuel(const Matrix& si,
+                               const std::vector<double>& fuel_rate,
+                               const Route& route) {
+  if (static_cast<Index>(fuel_rate.size()) != si.rows()) {
+    return Status::InvalidArgument("AccumulatedFuel: fuel vector size");
+  }
+  if (route.waypoints.size() < 2) {
+    return Status::InvalidArgument("AccumulatedFuel: route too short");
+  }
+  double total = 0.0;
+  for (size_t s = 1; s < route.waypoints.size(); ++s) {
+    const Index a = route.waypoints[s - 1];
+    const Index b = route.waypoints[s];
+    if (a < 0 || a >= si.rows() || b < 0 || b >= si.rows()) {
+      return Status::OutOfRange("AccumulatedFuel: waypoint out of range");
+    }
+    const double km =
+        spatial::HaversineKm(si(a, 0), si(a, 1), si(b, 0), si(b, 1));
+    const double rate = 0.5 * (fuel_rate[static_cast<size_t>(a)] +
+                               fuel_rate[static_cast<size_t>(b)]);
+    total += km * rate;
+  }
+  return total;
+}
+
+Result<RoutePlan> PlanRoute(const Matrix& si,
+                            const std::vector<double>& fuel_rate,
+                            const std::vector<Route>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("PlanRoute: no candidate routes");
+  }
+  RoutePlan plan;
+  plan.costs.reserve(candidates.size());
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    ASSIGN_OR_RETURN(double cost,
+                     AccumulatedFuel(si, fuel_rate, candidates[r]));
+    plan.costs.push_back(cost);
+    if (cost < plan.costs[plan.chosen]) plan.chosen = r;
+  }
+  return plan;
+}
+
+Result<double> MeanRouteFuelError(const Matrix& si,
+                                  const std::vector<double>& fuel_truth,
+                                  const std::vector<double>& fuel_imputed,
+                                  const std::vector<Route>& routes) {
+  if (routes.empty()) {
+    return Status::InvalidArgument("MeanRouteFuelError: no routes");
+  }
+  double acc = 0.0;
+  for (const Route& route : routes) {
+    ASSIGN_OR_RETURN(double truth, AccumulatedFuel(si, fuel_truth, route));
+    ASSIGN_OR_RETURN(double imputed, AccumulatedFuel(si, fuel_imputed, route));
+    acc += std::fabs(truth - imputed);
+  }
+  return acc / static_cast<double>(routes.size());
+}
+
+}  // namespace smfl::apps

@@ -1,0 +1,63 @@
+// Vehicle route planning application (paper §IV-B3, Fig 4a).
+//
+// A route is a sequence of observation rows; its accumulated fuel
+// consumption is Σ over consecutive pairs of (segment distance in km) ×
+// (average fuel consumption rate of the segment endpoints, per km).
+// An imputation method is scored by the absolute difference between the
+// accumulated consumption computed on its imputed fuel column and on the
+// ground truth.
+
+#ifndef SMFL_APPS_ROUTE_H_
+#define SMFL_APPS_ROUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::apps {
+
+using la::Index;
+using la::Matrix;
+
+struct Route {
+  // Row indices of consecutive waypoints.
+  std::vector<Index> waypoints;
+};
+
+// Samples a plausible route: starts at a random row and repeatedly hops to
+// the nearest not-yet-visited row (a greedy spatial walk), for `length`
+// waypoints. `si` is the N x 2 (lat, lon) block.
+Result<Route> SampleRoute(const Matrix& si, Index length, uint64_t seed);
+
+// Accumulated fuel use of `route` using `fuel_rate[i]` (consumption per km
+// at row i, in original units) and haversine segment lengths.
+Result<double> AccumulatedFuel(const Matrix& si,
+                               const std::vector<double>& fuel_rate,
+                               const Route& route);
+
+// Convenience: |AccumulatedFuel(imputed) − AccumulatedFuel(truth)| averaged
+// over `routes`.
+Result<double> MeanRouteFuelError(const Matrix& si,
+                                  const std::vector<double>& fuel_truth,
+                                  const std::vector<double>& fuel_imputed,
+                                  const std::vector<Route>& routes);
+
+struct RoutePlan {
+  // Index into the candidate list of the cheapest route.
+  size_t chosen = 0;
+  // Fuel cost of every candidate under the given rates.
+  std::vector<double> costs;
+};
+
+// The paper's application: given a fuel map (possibly imputed), pick the
+// cheapest of the candidate routes. Fails if `candidates` is empty or any
+// route is invalid.
+Result<RoutePlan> PlanRoute(const Matrix& si,
+                            const std::vector<double>& fuel_rate,
+                            const std::vector<Route>& candidates);
+
+}  // namespace smfl::apps
+
+#endif  // SMFL_APPS_ROUTE_H_

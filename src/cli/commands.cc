@@ -1,0 +1,350 @@
+#include "src/cli/commands.h"
+
+#include "src/core/fold_in.h"
+#include "src/core/model_io.h"
+#include "src/core/model_selection.h"
+
+#include "src/common/strings.h"
+#include "src/data/csv.h"
+#include "src/data/normalize.h"
+#include "src/data/quantile_normalize.h"
+#include "src/data/stats.h"
+#include "src/impute/mf_imputers.h"
+#include "src/impute/registry.h"
+#include "src/repair/detector.h"
+#include "src/repair/repairer.h"
+
+namespace smfl::cli {
+
+namespace {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+std::string MethodList(const std::vector<std::string>& names) {
+  return Join(names, ", ");
+}
+
+struct LoadedCsv {
+  data::Table table;
+  Mask observed;
+  Index spatial_cols = 0;
+};
+
+// Shared --in / --spatial handling.
+Result<LoadedCsv> LoadInput(const Flags& flags) {
+  const std::string in_path = flags.GetString("in", "");
+  if (in_path.empty()) {
+    return Status::InvalidArgument("--in=<file.csv> is required");
+  }
+  ASSIGN_OR_RETURN(int64_t spatial, flags.GetInt("spatial", 2));
+  if (spatial < 1) {
+    return Status::InvalidArgument("--spatial must be >= 1");
+  }
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = static_cast<Index>(spatial);
+  ASSIGN_OR_RETURN(data::CsvTable csv, data::ReadCsv(in_path, read_options));
+  if (csv.table.NumCols() <= read_options.spatial_cols) {
+    return Status::InvalidArgument(
+        "--spatial leaves no attribute columns in '" + in_path + "'");
+  }
+  return LoadedCsv{std::move(csv.table), std::move(csv.observed),
+                   read_options.spatial_cols};
+}
+
+// Applies the SMFL-family tuning flags to an imputer choice. Non-SMFL
+// methods ignore them (they are registry defaults).
+Result<std::unique_ptr<impute::Imputer>> MakeTunedImputer(
+    const Flags& flags) {
+  const std::string method = flags.GetString("method", "SMFL");
+  const std::string key = ToLower(method);
+  if (key == "smfl" || key == "smf") {
+    core::SmflOptions options;
+    ASSIGN_OR_RETURN(int64_t rank, flags.GetInt("rank", options.rank));
+    ASSIGN_OR_RETURN(double lambda,
+                     flags.GetDouble("lambda", options.lambda));
+    ASSIGN_OR_RETURN(int64_t neighbors,
+                     flags.GetInt("neighbors", options.num_neighbors));
+    options.rank = static_cast<Index>(rank);
+    options.lambda = lambda;
+    options.num_neighbors = static_cast<Index>(neighbors);
+    if (key == "smf") {
+      return std::unique_ptr<impute::Imputer>(
+          new impute::SmfImputer(options));
+    }
+    return std::unique_ptr<impute::Imputer>(
+        new impute::SmflImputer(options));
+  }
+  return impute::MakeImputer(method);
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return
+      "usage: smfl <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  impute  --in=data.csv --out=completed.csv [--method=SMFL]\n"
+      "          [--spatial=2] [--rank=10] [--lambda=0.5] [--neighbors=3]\n"
+      "          [--normalizer=minmax|quantile]\n"
+      "          fill the empty cells of a CSV\n"
+      "  repair  --in=data.csv --out=repaired.csv [--method=SMFL]\n"
+      "          [--spatial=2]\n"
+      "          detect suspicious cells statistically and repair them\n"
+      "  stats   --in=data.csv [--spatial=2]\n"
+      "          print column statistics and missing-data summary\n"
+      "  fit     --in=train.csv --model=model.txt [--spatial=2] [--rank=10]\n"
+      "          [--lambda=0.5] [--neighbors=3]\n"
+      "          train an SMFL model and save it\n"
+      "  apply   --in=fresh.csv --model=model.txt --out=completed.csv\n"
+      "          impute fresh rows against a saved model (fold-in)\n"
+      "  select  --in=data.csv [--spatial=2]\n"
+      "          grid-search lambda/K on a validation holdout and print\n"
+      "          the recommended flags\n"
+      "\n"
+      "imputation methods: " +
+      MethodList(impute::RegisteredImputers()) +
+      "\n"
+      "repair methods:     " +
+      MethodList(repair::RegisteredRepairers()) + "\n";
+}
+
+Status RunImputeCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("--out=<file.csv> is required");
+  }
+  const Index missing = input.observed.Complement().Count();
+  if (missing == 0) {
+    *output += "input has no missing cells; writing it back unchanged\n";
+    return data::WriteCsv(out_path, input.table);
+  }
+  ASSIGN_OR_RETURN(auto imputer, MakeTunedImputer(flags));
+
+  // Normalize from observed cells, impute, restore units. The quantile
+  // normalizer is the robust choice when columns carry outliers.
+  const std::string normalizer_name =
+      ToLower(flags.GetString("normalizer", "minmax"));
+  Matrix normalized;
+  Matrix restored;
+  if (normalizer_name == "quantile") {
+    ASSIGN_OR_RETURN(data::QuantileNormalizer normalizer,
+                     data::QuantileNormalizer::Fit(input.table.values(),
+                                                   input.observed));
+    normalized = data::ApplyMask(normalizer.Transform(input.table.values()),
+                                 input.observed);
+    ASSIGN_OR_RETURN(Matrix completed,
+                     imputer->Impute(normalized, input.observed,
+                                     input.spatial_cols));
+    restored = normalizer.InverseTransform(completed);
+  } else if (normalizer_name == "minmax") {
+    ASSIGN_OR_RETURN(
+        data::MinMaxNormalizer normalizer,
+        data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+    normalized = data::ApplyMask(normalizer.Transform(input.table.values()),
+                                 input.observed);
+    ASSIGN_OR_RETURN(Matrix completed,
+                     imputer->Impute(normalized, input.observed,
+                                     input.spatial_cols));
+    restored = normalizer.InverseTransform(completed);
+  } else {
+    return Status::InvalidArgument(
+        "--normalizer must be 'minmax' or 'quantile'");
+  }
+  // Observed cells keep their exact original values.
+  restored = data::CombineByMask(input.table.values(), restored,
+                                 input.observed);
+  ASSIGN_OR_RETURN(
+      data::Table out_table,
+      data::Table::Create(input.table.column_names(), std::move(restored),
+                          input.spatial_cols));
+  RETURN_NOT_OK(data::WriteCsv(out_path, out_table));
+  *output += StrFormat("imputed %lld cells with %s -> %s\n",
+                       static_cast<long long>(missing),
+                       imputer->name().c_str(), out_path.c_str());
+  return Status::OK();
+}
+
+Status RunRepairCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("--out=<file.csv> is required");
+  }
+  if (input.observed.Complement().Count() != 0) {
+    return Status::FailedPrecondition(
+        "repair expects a complete CSV (run `smfl impute` first)");
+  }
+  const std::string method = flags.GetString("method", "SMFL");
+  ASSIGN_OR_RETURN(auto repairer, repair::MakeRepairer(method));
+
+  ASSIGN_OR_RETURN(data::MinMaxNormalizer normalizer,
+                   data::MinMaxNormalizer::Fit(input.table.values()));
+  Matrix normalized = normalizer.Transform(input.table.values());
+  ASSIGN_OR_RETURN(repair::DetectionResult detection,
+                   repair::DetectErrors(normalized, input.spatial_cols));
+  if (detection.flagged.Count() == 0) {
+    *output += "no suspicious cells detected; writing input unchanged\n";
+    return data::WriteCsv(out_path, input.table);
+  }
+  ASSIGN_OR_RETURN(Matrix repaired,
+                   repairer->Repair(normalized, detection.flagged,
+                                    input.spatial_cols));
+  Matrix restored = normalizer.InverseTransform(repaired);
+  restored = data::CombineByMask(input.table.values(), restored,
+                                 detection.flagged.Complement());
+  ASSIGN_OR_RETURN(
+      data::Table out_table,
+      data::Table::Create(input.table.column_names(), std::move(restored),
+                          input.spatial_cols));
+  RETURN_NOT_OK(data::WriteCsv(out_path, out_table));
+  *output += StrFormat(
+      "flagged %lld suspicious cells (outlier %lld / cross-column %lld / "
+      "spatial %lld signals); repaired with %s -> %s\n",
+      static_cast<long long>(detection.flagged.Count()),
+      static_cast<long long>(detection.outlier_flags),
+      static_cast<long long>(detection.surprise_flags),
+      static_cast<long long>(detection.spatial_flags),
+      repairer->name().c_str(), out_path.c_str());
+  return Status::OK();
+}
+
+Status RunStatsCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  const Index total = input.table.NumRows() * input.table.NumCols();
+  *output += StrFormat(
+      "%lld rows x %lld columns (%lld spatial); %lld of %lld cells "
+      "observed\n\n",
+      static_cast<long long>(input.table.NumRows()),
+      static_cast<long long>(input.table.NumCols()),
+      static_cast<long long>(input.spatial_cols),
+      static_cast<long long>(input.observed.Count()),
+      static_cast<long long>(total));
+  ASSIGN_OR_RETURN(
+      auto stats,
+      data::ComputeAllColumnStats(input.table.values(), input.observed));
+  *output += data::FormatStatsTable(input.table.column_names(), stats);
+  return Status::OK();
+}
+
+Status RunFitCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model=<file> is required");
+  }
+  core::SmflOptions options;
+  ASSIGN_OR_RETURN(int64_t rank, flags.GetInt("rank", options.rank));
+  ASSIGN_OR_RETURN(double lambda, flags.GetDouble("lambda", options.lambda));
+  ASSIGN_OR_RETURN(int64_t neighbors,
+                   flags.GetInt("neighbors", options.num_neighbors));
+  options.rank = static_cast<Index>(rank);
+  options.lambda = lambda;
+  options.num_neighbors = static_cast<Index>(neighbors);
+
+  // NOTE: the saved model operates in normalized [0, 1] space; `apply`
+  // re-normalizes fresh data against ITS OWN observed ranges, which is
+  // appropriate when train and fresh data share units and spreads.
+  ASSIGN_OR_RETURN(
+      data::MinMaxNormalizer normalizer,
+      data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+  Matrix normalized = data::ApplyMask(
+      normalizer.Transform(input.table.values()), input.observed);
+  ASSIGN_OR_RETURN(core::SmflModel model,
+                   core::FitSmfl(normalized, input.observed,
+                                 input.spatial_cols, options));
+  RETURN_NOT_OK(core::SaveModel(model, model_path));
+  *output += StrFormat(
+      "fit SMFL (K=%lld, lambda=%g, p=%lld) on %lld rows in %d iterations; "
+      "model -> %s\n",
+      static_cast<long long>(options.rank), options.lambda,
+      static_cast<long long>(options.num_neighbors),
+      static_cast<long long>(input.table.NumRows()),
+      model.report.iterations, model_path.c_str());
+  return Status::OK();
+}
+
+Status RunApplyCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  const std::string model_path = flags.GetString("model", "");
+  const std::string out_path = flags.GetString("out", "");
+  if (model_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument(
+        "--model=<file> and --out=<file.csv> are required");
+  }
+  ASSIGN_OR_RETURN(core::SmflModel model, core::LoadModel(model_path));
+  if (model.v.cols() != input.table.NumCols()) {
+    return Status::InvalidArgument(StrFormat(
+        "model has %lld columns but '%s' has %lld",
+        static_cast<long long>(model.v.cols()),
+        flags.GetString("in", "").c_str(),
+        static_cast<long long>(input.table.NumCols())));
+  }
+  ASSIGN_OR_RETURN(
+      data::MinMaxNormalizer normalizer,
+      data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+  Matrix normalized = data::ApplyMask(
+      normalizer.Transform(input.table.values()), input.observed);
+  ASSIGN_OR_RETURN(Matrix folded,
+                   core::FoldIn(model, normalized, input.observed));
+  Matrix restored = normalizer.InverseTransform(folded);
+  restored = data::CombineByMask(input.table.values(), restored,
+                                 input.observed);
+  ASSIGN_OR_RETURN(
+      data::Table out_table,
+      data::Table::Create(input.table.column_names(), std::move(restored),
+                          input.spatial_cols));
+  RETURN_NOT_OK(data::WriteCsv(out_path, out_table));
+  *output += StrFormat("folded %lld rows against %s -> %s\n",
+                       static_cast<long long>(input.table.NumRows()),
+                       model_path.c_str(), out_path.c_str());
+  return Status::OK();
+}
+
+Status RunSelectCommand(const Flags& flags, std::string* output) {
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(
+      data::MinMaxNormalizer normalizer,
+      data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+  Matrix normalized = data::ApplyMask(
+      normalizer.Transform(input.table.values()), input.observed);
+  core::SelectionGrid grid;
+  auto selection = core::SelectSmflOptions(normalized, input.observed,
+                                           input.spatial_cols, grid);
+  if (!selection.ok()) return selection.status();
+  *output += StrFormat("%-28s %s\n", "candidate", "validation RMS");
+  for (const auto& c : selection->candidates) {
+    *output += StrFormat("lambda=%-6g K=%-4lld p=%-3lld %10.4f%s\n",
+                         c.lambda, static_cast<long long>(c.rank),
+                         static_cast<long long>(c.num_neighbors),
+                         c.validation_rms,
+                         c.validation_rms == selection->best_validation_rms
+                             ? "  <- best"
+                             : "");
+  }
+  *output += StrFormat(
+      "\nrecommended: --rank=%lld --lambda=%g --neighbors=%lld\n",
+      static_cast<long long>(selection->best.rank), selection->best.lambda,
+      static_cast<long long>(selection->best.num_neighbors));
+  return Status::OK();
+}
+
+Status Run(const Flags& flags, std::string* output) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument(UsageText());
+  }
+  const std::string& command = flags.positional().front();
+  if (command == "impute") return RunImputeCommand(flags, output);
+  if (command == "repair") return RunRepairCommand(flags, output);
+  if (command == "stats") return RunStatsCommand(flags, output);
+  if (command == "fit") return RunFitCommand(flags, output);
+  if (command == "apply") return RunApplyCommand(flags, output);
+  if (command == "select") return RunSelectCommand(flags, output);
+  return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                 UsageText());
+}
+
+}  // namespace smfl::cli

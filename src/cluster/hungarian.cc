@@ -1,0 +1,107 @@
+#include "src/cluster/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smfl::cluster {
+
+Result<std::vector<Index>> SolveAssignment(const Matrix& cost) {
+  if (cost.rows() != cost.cols()) {
+    return Status::InvalidArgument("SolveAssignment: cost must be square");
+  }
+  if (cost.HasNonFinite()) {
+    return Status::NumericError("SolveAssignment: non-finite costs");
+  }
+  const Index n = cost.rows();
+  if (n == 0) return std::vector<Index>{};
+
+  // Jonker–Volgenant-style shortest augmenting path formulation of the
+  // Hungarian algorithm with potentials; 1-indexed internals.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<Index> p(static_cast<size_t>(n) + 1, 0);   // col -> row
+  std::vector<Index> way(static_cast<size_t>(n) + 1, 0);
+
+  for (Index i = 1; i <= n; ++i) {
+    p[0] = i;
+    Index j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(n) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      const Index i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      Index j1 = 0;
+      for (Index j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (Index j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const Index j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<Index> assignment(static_cast<size_t>(n), -1);
+  for (Index j = 1; j <= n; ++j) {
+    assignment[static_cast<size_t>(p[static_cast<size_t>(j)] - 1)] = j - 1;
+  }
+  return assignment;
+}
+
+Result<double> ClusteringAccuracy(const std::vector<Index>& truth,
+                                  const std::vector<Index>& pred) {
+  if (truth.size() != pred.size()) {
+    return Status::InvalidArgument(
+        "ClusteringAccuracy: label vectors differ in length");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("ClusteringAccuracy: empty labels");
+  }
+  Index max_label = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || pred[i] < 0) {
+      return Status::InvalidArgument(
+          "ClusteringAccuracy: labels must be nonnegative");
+    }
+    max_label = std::max({max_label, truth[i], pred[i]});
+  }
+  const Index k = max_label + 1;
+  // Co-occurrence counts; assignment maximizing agreement = minimizing
+  // negated counts.
+  Matrix cost(k, k);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    cost(pred[i], truth[i]) -= 1.0;
+  }
+  ASSIGN_OR_RETURN(std::vector<Index> sigma, SolveAssignment(cost));
+  Index agree = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (sigma[static_cast<size_t>(pred[i])] == truth[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(truth.size());
+}
+
+}  // namespace smfl::cluster

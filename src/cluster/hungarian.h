@@ -1,0 +1,32 @@
+// Kuhn–Munkres (Hungarian) assignment and clustering accuracy.
+//
+// The paper evaluates clustering (Fig 4b) with
+//   Accuracy = max_σ (1/n) Σ δ(truth[i], σ(pred[i]))
+// where σ is the label permutation maximizing agreement, found by
+// Kuhn–Munkres over the label co-occurrence matrix.
+
+#ifndef SMFL_CLUSTER_HUNGARIAN_H_
+#define SMFL_CLUSTER_HUNGARIAN_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::cluster {
+
+using la::Index;
+using la::Matrix;
+
+// Minimum-cost perfect assignment on a square cost matrix.
+// Returns assignment[row] = column. O(n^3).
+Result<std::vector<Index>> SolveAssignment(const Matrix& cost);
+
+// Clustering accuracy with optimal label matching. Label values may be any
+// nonnegative integers; the two labelings may use different label sets.
+Result<double> ClusteringAccuracy(const std::vector<Index>& truth,
+                                  const std::vector<Index>& pred);
+
+}  // namespace smfl::cluster
+
+#endif  // SMFL_CLUSTER_HUNGARIAN_H_

@@ -1,0 +1,154 @@
+#include "src/cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+
+namespace smfl::cluster {
+
+namespace {
+
+Index NearestCenter(const Matrix& points, Index row, const Matrix& centers,
+                    double* out_d2) {
+  double best = std::numeric_limits<double>::infinity();
+  Index best_c = 0;
+  for (Index c = 0; c < centers.rows(); ++c) {
+    const double d2 = la::SquaredDistance(points.Row(row), centers.Row(c));
+    if (d2 < best) {
+      best = d2;
+      best_c = c;
+    }
+  }
+  if (out_d2 != nullptr) *out_d2 = best;
+  return best_c;
+}
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance to the nearest already-chosen center.
+Matrix PlusPlusInit(const Matrix& points, Index k, Rng& rng) {
+  const Index n = points.rows();
+  Matrix centers(k, points.cols());
+  std::vector<double> d2(static_cast<size_t>(n),
+                         std::numeric_limits<double>::infinity());
+  Index first = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(n)));
+  for (Index j = 0; j < points.cols(); ++j) {
+    centers(0, j) = points(first, j);
+  }
+  for (Index c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const double d = la::SquaredDistance(points.Row(i), centers.Row(c - 1));
+      d2[static_cast<size_t>(i)] = std::min(d2[static_cast<size_t>(i)], d);
+      total += d2[static_cast<size_t>(i)];
+    }
+    Index pick;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers.
+      pick = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(n)));
+    } else {
+      double r = rng.Uniform() * total;
+      pick = n - 1;
+      for (Index i = 0; i < n; ++i) {
+        r -= d2[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    for (Index j = 0; j < points.cols(); ++j) {
+      centers(c, j) = points(pick, j);
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Matrix& points,
+                            const KMeansOptions& options) {
+  const Index n = points.rows();
+  if (n == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("KMeans: empty input");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("KMeans: k must be >= 1");
+  }
+  if (options.k > n) {
+    return Status::InvalidArgument(
+        "KMeans: k exceeds the number of points (k=" +
+        std::to_string(options.k) + ", n=" + std::to_string(n) + ")");
+  }
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centers = PlusPlusInit(points, options.k, rng);
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      double d2 = 0.0;
+      const Index c = NearestCenter(points, i, result.centers, &d2);
+      inertia += d2;
+      if (result.assignments[static_cast<size_t>(i)] != c) {
+        result.assignments[static_cast<size_t>(i)] = c;
+        changed = true;
+      }
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    Matrix new_centers(options.k, points.cols());
+    std::vector<Index> counts(static_cast<size_t>(options.k), 0);
+    for (Index i = 0; i < n; ++i) {
+      const Index c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      auto row = points.Row(i);
+      for (Index j = 0; j < points.cols(); ++j) new_centers(c, j) += row[j];
+    }
+    for (Index c = 0; c < options.k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Empty cluster: re-seed at the point farthest from its center.
+        double worst = -1.0;
+        Index worst_i = 0;
+        for (Index i = 0; i < n; ++i) {
+          const Index a = result.assignments[static_cast<size_t>(i)];
+          const double d2 =
+              la::SquaredDistance(points.Row(i), result.centers.Row(a));
+          if (d2 > worst) {
+            worst = d2;
+            worst_i = i;
+          }
+        }
+        for (Index j = 0; j < points.cols(); ++j) {
+          new_centers(c, j) = points(worst_i, j);
+        }
+      } else {
+        const double inv = 1.0 / static_cast<double>(
+                                     counts[static_cast<size_t>(c)]);
+        for (Index j = 0; j < points.cols(); ++j) new_centers(c, j) *= inv;
+      }
+    }
+    const double movement = la::MaxAbsDiff(new_centers, result.centers);
+    result.centers = std::move(new_centers);
+    if (!changed || movement < options.tolerance) break;
+  }
+  return result;
+}
+
+std::vector<Index> AssignToCenters(const Matrix& points,
+                                   const Matrix& centers) {
+  SMFL_CHECK_EQ(points.cols(), centers.cols());
+  std::vector<Index> out(static_cast<size_t>(points.rows()));
+  for (Index i = 0; i < points.rows(); ++i) {
+    out[static_cast<size_t>(i)] = NearestCenter(points, i, centers, nullptr);
+  }
+  return out;
+}
+
+}  // namespace smfl::cluster

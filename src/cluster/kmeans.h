@@ -1,0 +1,51 @@
+// K-means clustering with k-means++ seeding.
+//
+// SMFL uses K-means over the spatial information SI to place the landmarks:
+// the K cluster centers become the frozen first-L columns of V (§III-A).
+// The clustering application (Fig 4b) also uses K-means on learned U rows.
+
+#ifndef SMFL_CLUSTER_KMEANS_H_
+#define SMFL_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::cluster {
+
+using la::Index;
+using la::Matrix;
+
+struct KMeansOptions {
+  Index k = 5;
+  // Paper default t2 = 300 with early stop.
+  int max_iterations = 300;
+  // Stop when no assignment changes or center movement falls below this.
+  double tolerance = 1e-9;
+  uint64_t seed = 5;
+};
+
+struct KMeansResult {
+  // K x dim cluster centers (the landmark matrix C when run on SI).
+  Matrix centers;
+  // Cluster id per input row.
+  std::vector<Index> assignments;
+  // Sum of squared distances to assigned centers (inertia).
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+// Lloyd's algorithm with k-means++ init. Handles k > number of distinct
+// points by duplicating centers on existing points (empty clusters are
+// re-seeded at the farthest point). Fails on empty input or k < 1.
+Result<KMeansResult> KMeans(const Matrix& points, const KMeansOptions& options);
+
+// Assigns each row of `points` to its nearest center (ties to lowest id).
+std::vector<Index> AssignToCenters(const Matrix& points,
+                                   const Matrix& centers);
+
+}  // namespace smfl::cluster
+
+#endif  // SMFL_CLUSTER_KMEANS_H_

@@ -1,0 +1,47 @@
+#include "src/cluster/spectral.h"
+
+#include <cmath>
+
+#include "src/cluster/kmeans.h"
+#include "src/la/eigen.h"
+
+namespace smfl::cluster {
+
+Result<SpectralResult> SpectralClustering(const spatial::NeighborGraph& graph,
+                                          const SpectralOptions& options) {
+  const Index n = graph.num_vertices();
+  if (n == 0) {
+    return Status::InvalidArgument("SpectralClustering: empty graph");
+  }
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument("SpectralClustering: bad cluster count");
+  }
+  ASSIGN_OR_RETURN(la::EigenDecomposition eigen,
+                   la::SymmetricEigen(graph.DenseL()));
+  // Embedding: the k eigenvectors of smallest eigenvalue, rows normalized
+  // (Ng–Jordan–Weiss style).
+  Matrix embedding = eigen.vectors.Block(0, 0, n, options.k);
+  for (Index i = 0; i < n; ++i) {
+    auto row = embedding.Row(i);
+    double norm = 0.0;
+    for (double v : row) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& v : row) v /= norm;
+    }
+  }
+  KMeansOptions km;
+  km.k = options.k;
+  km.seed = options.seed;
+  ASSIGN_OR_RETURN(KMeansResult kmeans, KMeans(embedding, km));
+
+  SpectralResult result;
+  result.assignments = std::move(kmeans.assignments);
+  result.eigenvalues = la::Vector(options.k);
+  for (Index i = 0; i < options.k; ++i) {
+    result.eigenvalues[i] = eigen.values[i];
+  }
+  return result;
+}
+
+}  // namespace smfl::cluster

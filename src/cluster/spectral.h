@@ -1,0 +1,41 @@
+// Spectral clustering on the spatial neighbor graph.
+//
+// An extension beyond the paper's method set: embeds vertices with the
+// bottom eigenvectors of the graph Laplacian (normalized rows) and runs
+// K-means on the embedding. Used as an additional clustering baseline and
+// by tests as an independent check of the Laplacian's spectrum.
+
+#ifndef SMFL_CLUSTER_SPECTRAL_H_
+#define SMFL_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/graph.h"
+
+namespace smfl::cluster {
+
+using la::Index;
+using la::Matrix;
+
+struct SpectralOptions {
+  Index k = 5;  // number of clusters (and eigenvectors used)
+  uint64_t seed = 71;
+};
+
+struct SpectralResult {
+  std::vector<Index> assignments;
+  // The k smallest Laplacian eigenvalues (eigenvalue 0 with multiplicity c
+  // means c connected components).
+  la::Vector eigenvalues;
+};
+
+// Clusters the vertices of `graph`. O(n^3) from the dense eigensolver, so
+// intended for graphs up to a few thousand vertices.
+Result<SpectralResult> SpectralClustering(const spatial::NeighborGraph& graph,
+                                          const SpectralOptions& options);
+
+}  // namespace smfl::cluster
+
+#endif  // SMFL_CLUSTER_SPECTRAL_H_

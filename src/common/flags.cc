@@ -1,0 +1,95 @@
+#include "src/common/flags.h"
+
+#include "src/common/strings.h"
+
+namespace smfl {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      // A bare "--": treat the rest as positional (POSIX convention).
+      for (int j = i + 1; j < argc; ++j) {
+        flags.positional_.emplace_back(argv[j]);
+      }
+      break;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      std::string name(arg.substr(0, eq));
+      if (name.empty()) {
+        return Status::DataError("malformed flag '--" + std::string(arg) +
+                                 "'");
+      }
+      flags.values_[name] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    std::string name(arg);
+    // "--name value" when the next token is not a flag; else boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[name] = argv[++i];
+    } else {
+      flags.values_[name] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    Status st = parsed.status();
+    return st.WithContext("flag --" + name);
+  }
+  return parsed;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    Status st = parsed.status();
+    return st.WithContext("flag --" + name);
+  }
+  return parsed;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::DataError("flag --" + name + ": expected a boolean, got '" +
+                           it->second + "'");
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace smfl

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unknown flags are collected so callers can reject or ignore them.
+
+#ifndef SMFL_COMMON_FLAGS_H_
+#define SMFL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smfl {
+
+class Flags {
+ public:
+  // Parses argv; returns DataError on malformed input (e.g. "--=3").
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  // True if the flag was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  // Typed accessors returning `fallback` when the flag is absent, and
+  // an error when present but unparsable.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  // --name / --name=true|false / --name=1|0.
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names seen on the command line.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace smfl
+
+#endif  // SMFL_COMMON_FLAGS_H_

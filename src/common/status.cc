@@ -1,0 +1,62 @@
+#include "src/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smfl {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kDataError:
+      return "Data error";
+    case StatusCode::kNumericError:
+      return "Numeric error";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(state_->code);
+  s += ": ";
+  s += state_->message;
+  return s;
+}
+
+Status& Status::WithContext(const std::string& context) {
+  if (state_ != nullptr) {
+    state_->message = context + ": " + state_->message;
+  }
+  return *this;
+}
+
+namespace internal {
+
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace smfl

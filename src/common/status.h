@@ -1,0 +1,204 @@
+// Status and Result<T>: error handling for the smfl library.
+//
+// The library does not throw exceptions (Google style / Arrow convention).
+// Fallible operations return Status, or Result<T> when they also produce a
+// value. Use the RETURN_NOT_OK / ASSIGN_OR_RETURN macros to propagate.
+
+#ifndef SMFL_COMMON_STATUS_H_
+#define SMFL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace smfl {
+
+// Broad error taxonomy. Mirrors the failure classes the library can hit:
+// bad user arguments, malformed input data, numeric breakdown, missing
+// files, exhausted iteration budgets, and internal invariant violations.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kDataError = 6,      // malformed input data (e.g. bad CSV cell)
+  kNumericError = 7,   // NaN/Inf/divergence in a numeric routine
+  kResourceExhausted = 8,
+  kUnimplemented = 9,
+  kInternal = 10,
+  kIoError = 11,
+};
+
+// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, movable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataError(std::string msg) {
+    return Status(StatusCode::kDataError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  // Prepends context to the message, keeping the code. No-op on OK.
+  Status& WithContext(const std::string& context);
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // nullptr == OK
+};
+
+// Result<T>: either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    // A Result built from OK-status would have neither value nor error;
+    // degrade it to an Internal error instead of UB.
+    if (std::get<Status>(v_).ok()) {
+      v_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  // Precondition: ok(). Accessing the value of an errored Result aborts.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<T, Status> v_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(v_));
+}
+
+}  // namespace smfl
+
+// Propagates a non-OK Status from the current function.
+#define RETURN_NOT_OK(expr)                    \
+  do {                                         \
+    ::smfl::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define SMFL_CONCAT_IMPL(a, b) a##b
+#define SMFL_CONCAT(a, b) SMFL_CONCAT_IMPL(a, b)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>); on error
+// returns the status, otherwise move-assigns the value into lhs.
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(SMFL_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)     \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // SMFL_COMMON_STATUS_H_

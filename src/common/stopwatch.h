@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the experiment harness and Fig 9 bench.
+
+#ifndef SMFL_COMMON_STOPWATCH_H_
+#define SMFL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace smfl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smfl
+
+#endif  // SMFL_COMMON_STOPWATCH_H_

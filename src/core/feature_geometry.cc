@@ -1,0 +1,64 @@
+#include "src/core/feature_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/la/ops.h"
+
+namespace smfl::core {
+
+Result<FeatureGeometryStats> ComputeFeatureGeometry(
+    const Matrix& observations, const Matrix& features) {
+  if (observations.rows() == 0 || features.rows() == 0) {
+    return Status::InvalidArgument("ComputeFeatureGeometry: empty input");
+  }
+  if (observations.cols() != features.cols()) {
+    return Status::InvalidArgument(
+        "ComputeFeatureGeometry: dimension mismatch");
+  }
+  const Index l = observations.cols();
+  std::vector<double> lo(static_cast<size_t>(l),
+                         std::numeric_limits<double>::infinity());
+  std::vector<double> hi(static_cast<size_t>(l),
+                         -std::numeric_limits<double>::infinity());
+  for (Index i = 0; i < observations.rows(); ++i) {
+    for (Index j = 0; j < l; ++j) {
+      lo[static_cast<size_t>(j)] =
+          std::min(lo[static_cast<size_t>(j)], observations(i, j));
+      hi[static_cast<size_t>(j)] =
+          std::max(hi[static_cast<size_t>(j)], observations(i, j));
+    }
+  }
+
+  FeatureGeometryStats stats;
+  Index inside = 0;
+  double sum_nearest = 0.0, max_nearest = 0.0;
+  for (Index f = 0; f < features.rows(); ++f) {
+    bool in_box = true;
+    for (Index j = 0; j < l; ++j) {
+      const double v = features(f, j);
+      if (v < lo[static_cast<size_t>(j)] || v > hi[static_cast<size_t>(j)]) {
+        in_box = false;
+        break;
+      }
+    }
+    if (in_box) ++inside;
+    double nearest = std::numeric_limits<double>::infinity();
+    for (Index i = 0; i < observations.rows(); ++i) {
+      nearest = std::min(nearest, la::SquaredDistance(observations.Row(i),
+                                                      features.Row(f)));
+    }
+    nearest = std::sqrt(nearest);
+    sum_nearest += nearest;
+    max_nearest = std::max(max_nearest, nearest);
+  }
+  stats.fraction_in_bounding_box =
+      static_cast<double>(inside) / static_cast<double>(features.rows());
+  stats.mean_distance_to_nearest_observation =
+      sum_nearest / static_cast<double>(features.rows());
+  stats.max_distance_to_nearest_observation = max_nearest;
+  return stats;
+}
+
+}  // namespace smfl::core

@@ -1,0 +1,37 @@
+// Geometry diagnostics for learned feature locations (Figs 1 and 5).
+//
+// The paper's visual argument is that NMF/SMF place the spatial columns of V
+// far from the data (purple/green points in the ocean) while SMFL's
+// landmarks sit on the data. These metrics quantify that claim so the
+// bench can report it as numbers instead of a scatter plot.
+
+#ifndef SMFL_CORE_FEATURE_GEOMETRY_H_
+#define SMFL_CORE_FEATURE_GEOMETRY_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::core {
+
+using la::Index;
+using la::Matrix;
+
+struct FeatureGeometryStats {
+  // Fraction of feature locations inside the observations' bounding box
+  // (the dashed box of Fig 5).
+  double fraction_in_bounding_box = 0.0;
+  // Mean distance from each feature location to its nearest observation,
+  // in SI units.
+  double mean_distance_to_nearest_observation = 0.0;
+  // Max such distance (the "point in the ocean").
+  double max_distance_to_nearest_observation = 0.0;
+};
+
+// `observations`: N x L spatial info of the data; `features`: K x L learned
+// feature locations (first L columns of V).
+Result<FeatureGeometryStats> ComputeFeatureGeometry(const Matrix& observations,
+                                                    const Matrix& features);
+
+}  // namespace smfl::core
+
+#endif  // SMFL_CORE_FEATURE_GEOMETRY_H_

@@ -1,0 +1,144 @@
+#include "src/core/fold_in.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/la/ops.h"
+#include "src/mf/factorization.h"
+
+namespace smfl::core {
+
+Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
+                             const std::vector<bool>& observed_row,
+                             const FoldInOptions& options) {
+  const Index m = model.v.cols();
+  const Index k = model.v.rows();
+  if (k == 0 || m == 0) {
+    return Status::FailedPrecondition("FoldInRow: empty model");
+  }
+  if (row.size() != m ||
+      static_cast<Index>(observed_row.size()) != m) {
+    return Status::InvalidArgument("FoldInRow: row width mismatch");
+  }
+  std::vector<Index> obs;
+  for (Index j = 0; j < m; ++j) {
+    if (observed_row[static_cast<size_t>(j)]) {
+      if (row[j] < 0.0) {
+        return Status::InvalidArgument(
+            "FoldInRow: observed entries must be nonnegative");
+      }
+      if (!std::isfinite(row[j])) {
+        return Status::NumericError("FoldInRow: non-finite observed entry");
+      }
+      obs.push_back(j);
+    }
+  }
+  if (obs.empty()) {
+    return Status::InvalidArgument("FoldInRow: no observed entries");
+  }
+
+  // Initialize u: landmark kernel over observed coordinates when
+  // available, uniform otherwise (mirrors the training initialization).
+  la::Vector u(k, 1.0 / static_cast<double>(k));
+  const Index l = std::min(model.spatial_cols, model.landmarks.cols());
+  if (model.landmarks.size() > 0 && l > 0) {
+    std::vector<Index> obs_si;
+    for (Index j = 0; j < l; ++j) {
+      if (observed_row[static_cast<size_t>(j)]) obs_si.push_back(j);
+    }
+    if (!obs_si.empty()) {
+      // Kernel width: mean nearest-landmark distance proxy from the
+      // landmark spread itself.
+      double sigma2 = 0.0;
+      for (Index c = 0; c < k; ++c) {
+        double best = std::numeric_limits<double>::infinity();
+        for (Index c2 = 0; c2 < k; ++c2) {
+          if (c2 == c) continue;
+          best = std::min(best,
+                          la::SquaredDistance(model.landmarks.Row(c),
+                                              model.landmarks.Row(c2)));
+        }
+        if (std::isfinite(best)) sigma2 += best;
+      }
+      sigma2 = std::max(sigma2 / static_cast<double>(k), 1e-8);
+      double sum = 0.0;
+      for (Index c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (Index j : obs_si) {
+          const double diff = row[j] - model.landmarks(c, j);
+          d2 += diff * diff;
+        }
+        d2 *= static_cast<double>(l) / static_cast<double>(obs_si.size());
+        u[c] = std::exp(-d2 / (2.0 * sigma2)) + 1e-4;
+        sum += u[c];
+      }
+      for (Index c = 0; c < k; ++c) u[c] /= sum;
+    }
+  }
+
+  // Multiplicative updates restricted to the observed columns:
+  //   u_c <- u_c * (Σ_j x_j v_cj) / (Σ_j (uV)_j v_cj)
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Current reconstruction on observed columns.
+    double err = 0.0;
+    la::Vector recon(static_cast<Index>(obs.size()));
+    for (size_t oj = 0; oj < obs.size(); ++oj) {
+      double acc = 0.0;
+      for (Index c = 0; c < k; ++c) acc += u[c] * model.v(c, obs[oj]);
+      recon[static_cast<Index>(oj)] = acc;
+      const double d = row[obs[oj]] - acc;
+      err += d * d;
+    }
+    if (prev_err - err < options.tolerance * std::max(prev_err, 1e-300)) {
+      break;
+    }
+    prev_err = err;
+    for (Index c = 0; c < k; ++c) {
+      double num = 0.0, den = 0.0;
+      for (size_t oj = 0; oj < obs.size(); ++oj) {
+        num += row[obs[oj]] * model.v(c, obs[oj]);
+        den += recon[static_cast<Index>(oj)] * model.v(c, obs[oj]);
+      }
+      u[c] *= num / std::max(den, mf::kDivEps);
+    }
+  }
+
+  la::Vector completed(m);
+  for (Index j = 0; j < m; ++j) {
+    if (observed_row[static_cast<size_t>(j)]) {
+      completed[j] = row[j];
+    } else {
+      double acc = 0.0;
+      for (Index c = 0; c < k; ++c) acc += u[c] * model.v(c, j);
+      completed[j] = acc;
+    }
+  }
+  return completed;
+}
+
+Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
+                      const Mask& observed, const FoldInOptions& options) {
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("FoldIn: mask shape mismatch");
+  }
+  if (x.cols() != model.v.cols()) {
+    return Status::InvalidArgument("FoldIn: column count mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  std::vector<bool> observed_row(static_cast<size_t>(x.cols()));
+  for (Index i = 0; i < x.rows(); ++i) {
+    la::Vector row(x.cols());
+    for (Index j = 0; j < x.cols(); ++j) {
+      row[j] = x(i, j);
+      observed_row[static_cast<size_t>(j)] = observed.Contains(i, j);
+    }
+    ASSIGN_OR_RETURN(la::Vector completed,
+                     FoldInRow(model, row, observed_row, options));
+    out.SetRow(i, completed);
+  }
+  return out;
+}
+
+}  // namespace smfl::core

@@ -1,0 +1,44 @@
+// Fold-in: impute NEW tuples against an already fitted SMFL model without
+// refitting.
+//
+// Serving scenario: a model was fit on the historical table (and possibly
+// reloaded via model_io); fresh sensor rows arrive with holes. Fold-in
+// solves for each new row's coefficient vector u ≥ 0 against the frozen
+// feature matrix V over the row's observed cells — the single-row analogue
+// of the U update (Formula 13 without the Laplacian term, since a lone row
+// has no graph edges) — then reconstructs the missing cells as u·V.
+// Initialization reuses the landmark kernel when the row's coordinates are
+// observed, so fold-in inherits SMFL's geographic anchoring.
+
+#ifndef SMFL_CORE_FOLD_IN_H_
+#define SMFL_CORE_FOLD_IN_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/smfl.h"
+
+namespace smfl::core {
+
+struct FoldInOptions {
+  // Multiplicative updates on the row's coefficient vector.
+  int max_iterations = 200;
+  double tolerance = 1e-8;
+};
+
+// Imputes one new row. `row` has the model's column count; only entries
+// with observed_row[j] true are read (the rest may hold anything). Returns
+// the completed row: observed cells copied, missing cells reconstructed.
+Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
+                             const std::vector<bool>& observed_row,
+                             const FoldInOptions& options = {});
+
+// Batch version over the rows of `x` with a Mask; returns the completed
+// matrix (observed entries preserved).
+Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
+                      const Mask& observed,
+                      const FoldInOptions& options = {});
+
+}  // namespace smfl::core
+
+#endif  // SMFL_CORE_FOLD_IN_H_

@@ -1,0 +1,45 @@
+#include "src/core/landmarks.h"
+
+#include "src/cluster/kmeans.h"
+
+namespace smfl::core {
+
+Result<Matrix> GenerateLandmarks(const Matrix& si, Index rank,
+                                 const LandmarkOptions& options) {
+  if (si.rows() == 0 || si.cols() == 0) {
+    return Status::InvalidArgument("GenerateLandmarks: empty SI");
+  }
+  if (rank <= 0) {
+    return Status::InvalidArgument("GenerateLandmarks: rank must be positive");
+  }
+  if (rank > si.rows()) {
+    return Status::InvalidArgument(
+        "GenerateLandmarks: rank exceeds the number of observations");
+  }
+  cluster::KMeansOptions km;
+  km.k = rank;
+  km.max_iterations = options.kmeans_max_iterations;
+  km.seed = options.seed;
+  ASSIGN_OR_RETURN(cluster::KMeansResult result, cluster::KMeans(si, km));
+  return std::move(result.centers);
+}
+
+void InjectLandmarks(Matrix& v, const Matrix& landmarks) {
+  SMFL_CHECK_EQ(v.rows(), landmarks.rows());
+  SMFL_CHECK_GE(v.cols(), landmarks.cols());
+  v.SetBlock(0, 0, landmarks);
+}
+
+bool LandmarksIntact(const Matrix& v, const Matrix& landmarks) {
+  if (v.rows() != landmarks.rows() || v.cols() < landmarks.cols()) {
+    return false;
+  }
+  for (Index i = 0; i < landmarks.rows(); ++i) {
+    for (Index j = 0; j < landmarks.cols(); ++j) {
+      if (v(i, j) != landmarks(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace smfl::core

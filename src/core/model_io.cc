@@ -1,0 +1,137 @@
+#include "src/core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace smfl::core {
+
+namespace {
+
+constexpr const char* kMagic = "smfl-model";
+constexpr int kVersion = 1;
+
+void WriteMatrix(std::ostringstream& os, const char* name, const Matrix& m) {
+  os << name << " " << m.rows() << " " << m.cols() << "\n";
+  os.precision(17);
+  for (Index i = 0; i < m.rows(); ++i) {
+    for (Index j = 0; j < m.cols(); ++j) {
+      os << m(i, j) << (j + 1 < m.cols() ? " " : "");
+    }
+    os << "\n";
+  }
+}
+
+// Reads "name rows cols" then rows*cols doubles.
+Result<Matrix> ReadMatrix(std::istringstream& is, const std::string& name) {
+  std::string tag;
+  long long rows = -1, cols = -1;
+  if (!(is >> tag >> rows >> cols) || tag != name) {
+    return Status::DataError("model file: expected matrix block '" + name +
+                             "'");
+  }
+  if (rows < 0 || cols < 0) {
+    return Status::DataError("model file: negative dimensions for '" + name +
+                             "'");
+  }
+  Matrix m(static_cast<Index>(rows), static_cast<Index>(cols));
+  for (Index i = 0; i < m.size(); ++i) {
+    if (!(is >> m.data()[i])) {
+      return Status::DataError("model file: truncated matrix '" + name + "'");
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string SerializeModel(const SmflModel& model) {
+  std::ostringstream os;
+  os << kMagic << " " << kVersion << "\n";
+  os << "spatial_cols " << model.spatial_cols << "\n";
+  os << "iterations " << model.report.iterations << " converged "
+     << (model.report.converged ? 1 : 0) << "\n";
+  WriteMatrix(os, "U", model.u);
+  WriteMatrix(os, "V", model.v);
+  WriteMatrix(os, "C", model.landmarks);
+  os << "trace " << model.report.objective_trace.size() << "\n";
+  os.precision(17);
+  for (double v : model.report.objective_trace) os << v << "\n";
+  return os.str();
+}
+
+Status SaveModel(const SmflModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeModel(model);
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<SmflModel> DeserializeModel(const std::string& content) {
+  std::istringstream is(content);
+  std::string magic;
+  int version = -1;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    return Status::DataError("not an smfl model file");
+  }
+  if (version != kVersion) {
+    return Status::DataError("unsupported model version " +
+                             std::to_string(version));
+  }
+  SmflModel model;
+  std::string tag;
+  long long spatial_cols = -1;
+  if (!(is >> tag >> spatial_cols) || tag != "spatial_cols" ||
+      spatial_cols < 0) {
+    return Status::DataError("model file: bad spatial_cols");
+  }
+  model.spatial_cols = static_cast<Index>(spatial_cols);
+  int converged = 0;
+  std::string converged_tag;
+  if (!(is >> tag >> model.report.iterations >> converged_tag >> converged) ||
+      tag != "iterations" || converged_tag != "converged") {
+    return Status::DataError("model file: bad iterations header");
+  }
+  model.report.converged = converged != 0;
+  ASSIGN_OR_RETURN(model.u, ReadMatrix(is, "U"));
+  ASSIGN_OR_RETURN(model.v, ReadMatrix(is, "V"));
+  ASSIGN_OR_RETURN(model.landmarks, ReadMatrix(is, "C"));
+  long long trace_size = -1;
+  if (!(is >> tag >> trace_size) || tag != "trace" || trace_size < 0) {
+    return Status::DataError("model file: bad trace header");
+  }
+  model.report.objective_trace.resize(static_cast<size_t>(trace_size));
+  for (double& v : model.report.objective_trace) {
+    if (!(is >> v)) return Status::DataError("model file: truncated trace");
+  }
+  // Consistency checks.
+  if (model.u.cols() != model.v.rows()) {
+    return Status::DataError("model file: U/V rank mismatch");
+  }
+  if (model.landmarks.size() > 0 &&
+      (model.landmarks.rows() != model.v.rows() ||
+       model.landmarks.cols() > model.v.cols())) {
+    return Status::DataError("model file: landmark shape mismatch");
+  }
+  if (model.spatial_cols > model.v.cols()) {
+    return Status::DataError("model file: spatial_cols exceeds columns");
+  }
+  return model;
+}
+
+Result<SmflModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto model = DeserializeModel(buf.str());
+  if (!model.ok()) {
+    Status st = model.status();
+    return st.WithContext("while loading '" + path + "'");
+  }
+  return model;
+}
+
+}  // namespace smfl::core

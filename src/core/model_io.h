@@ -1,0 +1,34 @@
+// SmflModel persistence.
+//
+// A fitted model is small (U: N×K, V: K×M, C: K×L) and users routinely
+// want to fit once and impute/serve later. The format is a versioned,
+// self-describing text file — diff-able, endian-proof, and stable across
+// platforms (doubles are written with round-trip precision).
+
+#ifndef SMFL_CORE_MODEL_IO_H_
+#define SMFL_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/smfl.h"
+
+namespace smfl::core {
+
+// Serializes the model (factors, landmarks, spatial column count, and the
+// objective trace) to `path`. Overwrites.
+Status SaveModel(const SmflModel& model, const std::string& path);
+
+// Serializes into a string (the format SaveModel writes).
+std::string SerializeModel(const SmflModel& model);
+
+// Loads a model written by SaveModel. Fails with DataError on malformed or
+// version-incompatible input.
+Result<SmflModel> LoadModel(const std::string& path);
+
+// Parses the SaveModel format from memory.
+Result<SmflModel> DeserializeModel(const std::string& content);
+
+}  // namespace smfl::core
+
+#endif  // SMFL_CORE_MODEL_IO_H_

@@ -1,0 +1,106 @@
+#include "src/core/model_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/data/normalize.h"
+
+namespace smfl::core {
+
+namespace {
+
+// Local RMS over a mask (src/exp provides the general metric, but core
+// cannot depend on the experiment harness).
+Result<double> RmsOver(const Matrix& estimate, const Matrix& truth,
+                       const Mask& mask) {
+  double acc = 0.0;
+  Index count = 0;
+  for (Index i = 0; i < truth.rows(); ++i) {
+    for (Index j = 0; j < truth.cols(); ++j) {
+      if (!mask.Contains(i, j)) continue;
+      const double d = estimate(i, j) - truth(i, j);
+      acc += d * d;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("RmsOver: empty mask");
+  }
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+}  // namespace
+
+Result<SelectionResult> SelectSmflOptions(const Matrix& x,
+                                          const Mask& observed,
+                                          Index spatial_cols,
+                                          const SelectionGrid& grid) {
+  if (grid.lambdas.empty() || grid.ranks.empty() ||
+      grid.neighbor_counts.empty()) {
+    return Status::InvalidArgument("SelectSmflOptions: empty grid");
+  }
+  if (!(grid.validation_fraction > 0.0 && grid.validation_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "SelectSmflOptions: validation_fraction must be in (0, 1)");
+  }
+
+  // Hide a fraction of the observed NON-spatial cells for validation.
+  // Spatial cells stay visible: they define the graph and landmarks, and
+  // hiding them would change the problem being tuned.
+  Rng rng(grid.seed);
+  Mask train = observed;
+  Mask validation(x.rows(), x.cols());
+  for (Index i = 0; i < x.rows(); ++i) {
+    Index hidden_in_row = 0, observed_attrs = 0;
+    for (Index j = spatial_cols; j < x.cols(); ++j) {
+      observed_attrs += observed.Contains(i, j);
+    }
+    for (Index j = spatial_cols; j < x.cols(); ++j) {
+      if (!observed.Contains(i, j)) continue;
+      // Never hide a row's last observed attribute.
+      if (hidden_in_row + 1 >= observed_attrs) break;
+      if (rng.Bernoulli(grid.validation_fraction)) {
+        train.Set(i, j, false);
+        validation.Set(i, j);
+        ++hidden_in_row;
+      }
+    }
+  }
+  if (validation.Count() == 0) {
+    return Status::FailedPrecondition(
+        "SelectSmflOptions: validation split is empty (too little observed "
+        "data)");
+  }
+  const Matrix train_input = data::ApplyMask(x, train);
+
+  SelectionResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (Index p : grid.neighbor_counts) {
+    for (double lambda : grid.lambdas) {
+      for (Index rank : grid.ranks) {
+        SmflOptions options = grid.base;
+        options.num_neighbors = p;
+        options.lambda = lambda;
+        options.rank = rank;
+        auto model = FitSmfl(train_input, train, spatial_cols, options);
+        if (!model.ok()) continue;  // infeasible candidate (e.g. rank > N)
+        Matrix reconstruction = model->Reconstruct();
+        ASSIGN_OR_RETURN(double rms, RmsOver(reconstruction, x, validation));
+        result.candidates.push_back({lambda, rank, p, rms});
+        if (rms < best) {
+          best = rms;
+          result.best = options;
+          result.best_validation_rms = rms;
+        }
+      }
+    }
+  }
+  if (result.candidates.empty()) {
+    return Status::NumericError(
+        "SelectSmflOptions: every grid candidate failed to fit");
+  }
+  return result;
+}
+
+}  // namespace smfl::core

@@ -1,0 +1,55 @@
+// Hyper-parameter selection for SMF/SMFL by validation holdout.
+//
+// The paper's sensitivity study (Figs 6–8) shows λ, p, and K matter; a
+// downstream user needs a principled way to pick them for a new dataset.
+// SelectSmflOptions hides a fraction of the observed cells, scores each
+// candidate configuration by validation RMS on the hidden cells, and
+// returns the best configuration (ties: earliest candidate). The neighbor
+// graph is rebuilt per (p) but shared across (λ, K) candidates.
+
+#ifndef SMFL_CORE_MODEL_SELECTION_H_
+#define SMFL_CORE_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/smfl.h"
+
+namespace smfl::core {
+
+struct SelectionGrid {
+  std::vector<double> lambdas = {0.05, 0.1, 0.5, 1.0};
+  std::vector<Index> ranks = {6, 10, 16};
+  std::vector<Index> neighbor_counts = {3};
+  // Fraction of observed cells hidden for validation, in (0, 1).
+  double validation_fraction = 0.15;
+  // Template for all non-swept options (iterations, seeds, updater, ...).
+  SmflOptions base;
+  uint64_t seed = 97;
+};
+
+struct SelectionResult {
+  SmflOptions best;
+  double best_validation_rms = 0.0;
+  // One entry per evaluated candidate, in evaluation order.
+  struct Candidate {
+    double lambda;
+    Index rank;
+    Index num_neighbors;
+    double validation_rms;
+  };
+  std::vector<Candidate> candidates;
+};
+
+// Evaluates the grid on (x, observed) and returns the winning options.
+// The returned options are ready to pass to FitSmfl on the FULL observed
+// set. Fails if the grid is empty or the validation split would leave a
+// row with no observed data.
+Result<SelectionResult> SelectSmflOptions(const Matrix& x,
+                                          const Mask& observed,
+                                          Index spatial_cols,
+                                          const SelectionGrid& grid);
+
+}  // namespace smfl::core
+
+#endif  // SMFL_CORE_MODEL_SELECTION_H_

@@ -1,0 +1,441 @@
+#include "src/core/smfl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/core/landmarks.h"
+#include "src/data/normalize.h"
+#include "src/la/ops.h"
+#include "src/mf/nmf.h"
+
+namespace smfl::core {
+
+using mf::kDivEps;
+
+Matrix SmflModel::Reconstruct() const { return la::MatMul(u, v); }
+
+double SmflObjective(const Matrix& x, const Mask& observed,
+                     const NeighborGraph& graph, double lambda,
+                     const Matrix& u, const Matrix& v) {
+  return mf::MaskedReconstructionError(x, observed, u, v) +
+         lambda * graph.LaplacianQuadraticForm(u);
+}
+
+namespace {
+
+// Validates shared inputs for the Fit entry points.
+Status ValidateInputs(const Matrix& x, const Mask& observed,
+                      Index spatial_cols, const SmflOptions& options) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("FitSmfl: empty matrix");
+  }
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("FitSmfl: mask shape mismatch");
+  }
+  if (spatial_cols < 1 || spatial_cols > x.cols()) {
+    return Status::InvalidArgument(
+        "FitSmfl: spatial_cols must be in [1, cols]");
+  }
+  if (options.rank <= 0) {
+    return Status::InvalidArgument("FitSmfl: rank must be positive");
+  }
+  if (options.rank > x.rows()) {
+    return Status::InvalidArgument("FitSmfl: rank exceeds the row count");
+  }
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("FitSmfl: lambda must be nonnegative");
+  }
+  if (options.update == UpdateMethod::kGradientDescent &&
+      !(options.learning_rate > 0.0)) {
+    return Status::InvalidArgument(
+        "FitSmfl: gradient descent needs learning_rate > 0");
+  }
+  if (x.HasNonFinite()) {
+    return Status::NumericError("FitSmfl: input contains NaN/Inf");
+  }
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j) && x(i, j) < 0.0) {
+        return Status::InvalidArgument(
+            "FitSmfl: observed entries must be nonnegative "
+            "(min-max normalize first)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Uᵀ R_Ω(X) restricted to columns [col_begin, M): the only V columns SMFL
+// updates. Returns a K x (M - col_begin) matrix.
+Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
+  const Index k = a.cols(), m = b.cols() - col_begin;
+  Matrix c(k, m);
+  for (Index p = 0; p < a.rows(); ++p) {
+    auto arow = a.Row(p);
+    auto brow = b.Row(p);
+    for (Index i = 0; i < k; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      auto crow = c.Row(i);
+      for (Index j = 0; j < m; ++j) crow[j] += av * brow[col_begin + j];
+    }
+  }
+  return c;
+}
+
+// One multiplicative U update (Formula 13):
+// U ← U ⊙ (R_Ω(X)Vᵀ + λ D U) / (R_Ω(UV)Vᵀ + λ W U)
+void UpdateUMultiplicative(const Matrix& x_observed, const Mask& observed,
+                           const NeighborGraph& graph, double lambda,
+                           Matrix& u, const Matrix& v) {
+  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix num = la::MatMulABt(x_observed, v);
+  Matrix den = la::MatMulABt(uv_masked, v);
+  if (lambda > 0.0) {
+    Matrix du = graph.MultiplyD(u);
+    Matrix wu = graph.MultiplyW(u);
+    du *= lambda;
+    wu *= lambda;
+    num += du;
+    den += wu;
+  }
+  u = la::Hadamard(u, la::SafeDivide(num, den, kDivEps));
+}
+
+// One multiplicative V update (Formula 14) over columns [col_begin, M);
+// col_begin = L for SMFL (landmark columns frozen), 0 for SMF.
+void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
+                           const Matrix& u, Matrix& v, Index col_begin) {
+  if (col_begin >= v.cols()) return;
+  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
+  Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
+  for (Index i = 0; i < v.rows(); ++i) {
+    auto vrow = v.Row(i);
+    auto nrow = num.Row(i);
+    auto drow = den.Row(i);
+    for (Index j = col_begin; j < v.cols(); ++j) {
+      vrow[j] *= nrow[j - col_begin] /
+                 std::max(drow[j - col_begin], kDivEps);
+    }
+  }
+}
+
+// Projected gradient step for U (§III-B1):
+// U ← max(0, U + 2θ (R_Ω(X)Vᵀ − R_Ω(UV)Vᵀ − λ L U)).
+void UpdateUGradient(const Matrix& x_observed, const Mask& observed,
+                     const NeighborGraph& graph, double lambda, double theta,
+                     Matrix& u, const Matrix& v) {
+  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix grad = la::MatMulABt(x_observed - uv_masked, v);
+  if (lambda > 0.0) {
+    // L U = W U − D U.
+    Matrix lu = graph.MultiplyW(u);
+    lu -= graph.MultiplyD(u);
+    lu *= lambda;
+    grad -= lu;
+  }
+  grad *= 2.0 * theta;
+  u += grad;
+  la::ClampMin(u, 0.0);
+}
+
+// Projected gradient step for the free columns of V.
+void UpdateVGradient(const Matrix& x_observed, const Mask& observed,
+                     const Matrix& u, double delta, Matrix& v,
+                     Index col_begin) {
+  if (col_begin >= v.cols()) return;
+  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
+  Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
+  for (Index i = 0; i < v.rows(); ++i) {
+    auto vrow = v.Row(i);
+    for (Index j = col_begin; j < v.cols(); ++j) {
+      const double g =
+          2.0 * delta * (num(i, j - col_begin) - den(i, j - col_begin));
+      vrow[j] = std::max(0.0, vrow[j] + g);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+// Single fit at a fixed seed; FitSmflWithGraph wraps it with restarts.
+Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
+                                   Index spatial_cols,
+                                   const NeighborGraph& graph,
+                                   const SmflOptions& options);
+}  // namespace
+
+Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
+                                   Index spatial_cols,
+                                   const NeighborGraph& graph,
+                                   const SmflOptions& options) {
+  RETURN_NOT_OK(ValidateInputs(x, observed, spatial_cols, options));
+  if (options.num_restarts < 1) {
+    return Status::InvalidArgument("FitSmfl: num_restarts must be >= 1");
+  }
+  if (options.num_restarts == 1) {
+    return FitOnceWithGraph(x, observed, spatial_cols, graph, options);
+  }
+  Result<SmflModel> best = Status::Internal("no restart succeeded");
+  Status last_error = Status::OK();
+  for (int r = 0; r < options.num_restarts; ++r) {
+    SmflOptions restart = options;
+    restart.num_restarts = 1;
+    restart.seed = options.seed + static_cast<uint64_t>(r) * 0x9e3779b9ULL;
+    auto model =
+        FitOnceWithGraph(x, observed, spatial_cols, graph, restart);
+    if (!model.ok()) {
+      last_error = model.status();
+      continue;
+    }
+    if (!best.ok() || model->report.final_objective() <
+                          best->report.final_objective()) {
+      best = std::move(model);
+    }
+  }
+  if (!best.ok() && !last_error.ok()) return last_error;
+  return best;
+}
+
+namespace {
+
+Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
+                                   Index spatial_cols,
+                                   const NeighborGraph& graph,
+                                   const SmflOptions& options) {
+  if (graph.num_vertices() != x.rows()) {
+    return Status::InvalidArgument("FitSmfl: graph size mismatch");
+  }
+  const Index n = x.rows(), m = x.cols(), k = options.rank;
+
+  SmflModel model;
+  model.spatial_cols = spatial_cols;
+  Rng rng(options.seed);
+  model.u = Matrix(n, k);
+  model.v = Matrix(k, m);
+  for (Index i = 0; i < model.u.size(); ++i) {
+    model.u.data()[i] = rng.Uniform(0.01, 1.0);
+  }
+  for (Index i = 0; i < model.v.size(); ++i) {
+    model.v.data()[i] = rng.Uniform(0.01, 1.0);
+  }
+
+  Index v_update_begin = 0;
+  if (options.use_landmarks) {
+    // Landmarks from K-means over the (mean-filled) SI block.
+    Matrix si_filled;
+    {
+      Matrix si = x.Block(0, 0, n, spatial_cols);
+      Mask si_mask(n, spatial_cols);
+      for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < spatial_cols; ++j) {
+          si_mask.Set(i, j, observed.Contains(i, j));
+        }
+      }
+      si_filled = data::FillWithColumnMeans(si, si_mask);
+    }
+    LandmarkOptions lm;
+    lm.kmeans_max_iterations = options.kmeans_max_iterations;
+    lm.seed = options.seed;
+    ASSIGN_OR_RETURN(model.landmarks, GenerateLandmarks(si_filled, k, lm));
+    InjectLandmarks(model.v, model.landmarks);
+    v_update_begin = spatial_cols;
+
+    // Cluster-consistent initialization: with the first L columns of V
+    // frozen at the centers C, a random U starts far from satisfying
+    // U C ≈ SI and the multiplicative updates settle in poor local optima.
+    // Instead, U rows start as Gaussian-kernel weights over the landmark
+    // distances (≈ soft cluster memberships, so U C ≈ SI immediately) and
+    // each free feature row of V starts at its cluster's observed column
+    // means (the "features of each cluster" reading of §III-A).
+    // Rows whose SI is not fully observed have no trustworthy location;
+    // they get uniform weights instead of a kernel anchored at the
+    // mean-filled (map-center) coordinates.
+    std::vector<bool> si_complete(static_cast<size_t>(n), true);
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < spatial_cols; ++j) {
+        if (!observed.Contains(i, j)) si_complete[static_cast<size_t>(i)] = false;
+      }
+    }
+    double sigma2 = 0.0;
+    std::vector<Index> nearest(static_cast<size_t>(n), 0);
+    for (Index i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (Index c = 0; c < k; ++c) {
+        const double d2 = la::SquaredDistance(si_filled.Row(i),
+                                              model.landmarks.Row(c));
+        if (d2 < best) {
+          best = d2;
+          nearest[static_cast<size_t>(i)] = c;
+        }
+      }
+      sigma2 += best;
+    }
+    sigma2 = std::max(sigma2 / static_cast<double>(n), 1e-8);
+    for (Index i = 0; i < n; ++i) {
+      // Kernel over the observed SI coordinates only; a fully unobserved
+      // location degrades to uniform weights.
+      std::vector<Index> obs_cols;
+      for (Index j = 0; j < spatial_cols; ++j) {
+        if (observed.Contains(i, j)) obs_cols.push_back(j);
+      }
+      if (obs_cols.empty()) {
+        for (Index c = 0; c < k; ++c) {
+          model.u(i, c) = 1.0 / static_cast<double>(k);
+        }
+        continue;
+      }
+      double sum = 0.0;
+      for (Index c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (Index j : obs_cols) {
+          const double diff = si_filled(i, j) - model.landmarks(c, j);
+          d2 += diff * diff;
+        }
+        // Rescale the partial distance to the full dimensionality so the
+        // kernel width stays comparable across rows.
+        d2 *= static_cast<double>(spatial_cols) /
+              static_cast<double>(obs_cols.size());
+        const double w = std::exp(-d2 / (2.0 * sigma2)) + 1e-4;
+        model.u(i, c) = w;
+        sum += w;
+      }
+      for (Index c = 0; c < k; ++c) model.u(i, c) /= sum;
+    }
+    for (Index c = 0; c < k; ++c) {
+      for (Index j = spatial_cols; j < m; ++j) {
+        double sum = 0.0;
+        Index count = 0;
+        for (Index i = 0; i < n; ++i) {
+          if (nearest[static_cast<size_t>(i)] != c) continue;
+          if (!observed.Contains(i, j)) continue;
+          sum += x(i, j);
+          ++count;
+        }
+        model.v(c, j) = count > 0 ? std::max(sum / count, 1e-4)
+                                  : rng.Uniform(0.01, 1.0);
+      }
+    }
+  }
+
+  const Matrix x_observed = data::ApplyMask(x, observed);
+  FitReport& report = model.report;
+  report.objective_trace.push_back(SmflObjective(
+      x, observed, graph, options.lambda, model.u, model.v));
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    switch (options.update) {
+      case UpdateMethod::kMultiplicative:
+        UpdateUMultiplicative(x_observed, observed, graph, options.lambda,
+                              model.u, model.v);
+        UpdateVMultiplicative(x_observed, observed, model.u, model.v,
+                              v_update_begin);
+        break;
+      case UpdateMethod::kGradientDescent:
+        UpdateUGradient(x_observed, observed, graph, options.lambda,
+                        options.learning_rate, model.u, model.v);
+        UpdateVGradient(x_observed, observed, model.u, options.learning_rate,
+                        model.v, v_update_begin);
+        break;
+    }
+    report.objective_trace.push_back(SmflObjective(
+        x, observed, graph, options.lambda, model.u, model.v));
+    if (mf::RelativeImprovementBelow(report.objective_trace,
+                                     options.tolerance)) {
+      report.converged = true;
+      break;
+    }
+  }
+  if (model.u.HasNonFinite() || model.v.HasNonFinite()) {
+    return Status::NumericError("FitSmfl: factorization diverged");
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<SmflModel> FitSmfl(const Matrix& x, const Mask& observed,
+                          Index spatial_cols, const SmflOptions& options) {
+  RETURN_NOT_OK(ValidateInputs(x, observed, spatial_cols, options));
+  // Graph over SI (§II-C). Rows with unobserved SI cells are isolated in
+  // the graph rather than wired to mean-filled map-center neighbors: a
+  // fabricated location would impose smoothness toward arbitrary rows
+  // (see DESIGN.md §4 for this deviation from the paper's mean-fill).
+  Matrix si = x.Block(0, 0, x.rows(), spatial_cols);
+  std::vector<bool> si_complete(static_cast<size_t>(x.rows()), true);
+  Index complete_count = 0;
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < spatial_cols; ++j) {
+      if (!observed.Contains(i, j)) {
+        si_complete[static_cast<size_t>(i)] = false;
+        break;
+      }
+    }
+    complete_count += si_complete[static_cast<size_t>(i)];
+  }
+  const Index p = std::min(options.num_neighbors,
+                           std::max<Index>(1, complete_count - 1));
+  ASSIGN_OR_RETURN(NeighborGraph graph,
+                   NeighborGraph::Build(si, p, si_complete));
+  if (options.graph_weighting == GraphWeighting::kHeatKernel) {
+    RETURN_NOT_OK(graph.ApplyHeatKernelWeights(si));
+  }
+  // Rows with PARTIALLY observed SI still carry locality in their observed
+  // coordinates: attach each to its p nearest complete rows under the
+  // partial distance, so the smoothness term keeps acting on them.
+  if (complete_count > 0 && complete_count < x.rows()) {
+    std::vector<Index> complete_rows;
+    complete_rows.reserve(static_cast<size_t>(complete_count));
+    for (Index i = 0; i < x.rows(); ++i) {
+      if (si_complete[static_cast<size_t>(i)]) complete_rows.push_back(i);
+    }
+    for (Index i = 0; i < x.rows(); ++i) {
+      if (si_complete[static_cast<size_t>(i)]) continue;
+      std::vector<Index> obs_cols;
+      for (Index j = 0; j < spatial_cols; ++j) {
+        if (observed.Contains(i, j)) obs_cols.push_back(j);
+      }
+      if (obs_cols.empty()) continue;  // fully unknown location: isolated
+      // p nearest complete rows under the observed-coordinate distance.
+      std::vector<std::pair<double, Index>> best;
+      for (Index r : complete_rows) {
+        double d2 = 0.0;
+        for (Index j : obs_cols) {
+          const double diff = si(i, j) - si(r, j);
+          d2 += diff * diff;
+        }
+        best.emplace_back(d2, r);
+      }
+      const size_t keep = std::min<size_t>(static_cast<size_t>(p),
+                                           best.size());
+      std::partial_sort(best.begin(), best.begin() + keep, best.end());
+      for (size_t b = 0; b < keep; ++b) {
+        graph.AddSymmetricEdge(i, best[b].second);
+      }
+    }
+  }
+  return FitSmflWithGraph(x, observed, spatial_cols, graph, options);
+}
+
+Result<Matrix> SmflImpute(const Matrix& x, const Mask& observed,
+                          Index spatial_cols, const SmflOptions& options) {
+  ASSIGN_OR_RETURN(SmflModel model,
+                   FitSmfl(x, observed, spatial_cols, options));
+  return data::CombineByMask(x, model.Reconstruct(), observed);
+}
+
+Result<Matrix> SmflRepair(const Matrix& dirty, const Mask& dirty_cells,
+                          Index spatial_cols, const SmflOptions& options) {
+  // Clean cells are the "observed" set; dirty cells are refit and replaced.
+  Mask clean = dirty_cells.Complement();
+  ASSIGN_OR_RETURN(SmflModel model,
+                   FitSmfl(dirty, clean, spatial_cols, options));
+  return data::CombineByMask(dirty, model.Reconstruct(), clean);
+}
+
+}  // namespace smfl::core

@@ -1,0 +1,133 @@
+// SMF and SMFL — the paper's contribution (Problems 1 and 2).
+//
+// Objective (Formula 10):
+//   min_{U>=0, V>=0} ||R_Ω(X − U V)||_F² + λ Tr(Uᵀ L U)
+//   subject to v_ij = c_ij for (i,j) ∈ Φ          (SMFL only)
+//
+// where L is the graph Laplacian of the symmetric p-NN graph over the
+// spatial information SI (the first `spatial_cols` columns of X), and C is
+// the K-means center matrix over SI (the landmarks).
+//
+// Two updaters are provided:
+//  * kMultiplicative — Formulas 13/14; provably non-increasing objective
+//    (Propositions 5/7), no learning rate. The default.
+//  * kGradientDescent — projected gradient descent (§III-B1); needs a
+//    learning rate, used in Fig 5's SMF-GD ablation.
+//
+// SMFL freezes the first L columns of V to the landmark matrix and skips
+// their updates entirely — the source of its efficiency edge over SMF
+// (Fig 9) and of the geographic interpretability of V (Figs 1/5).
+
+#ifndef SMFL_CORE_SMFL_H_
+#define SMFL_CORE_SMFL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/mf/factorization.h"
+#include "src/spatial/graph.h"
+
+namespace smfl::core {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+using mf::FitReport;
+using spatial::NeighborGraph;
+
+enum class UpdateMethod {
+  kMultiplicative,
+  kGradientDescent,
+};
+
+enum class GraphWeighting {
+  // Binary p-NN adjacency — the paper's Formula 3. The default.
+  kBinary,
+  // Heat-kernel weights exp(-d^2 / (2 sigma^2)) on the same topology —
+  // the GNMF-style similarity of the paper's related work ([9]).
+  kHeatKernel,
+};
+
+struct SmflOptions {
+  // Latent rank K (also the number of landmarks / K-means clusters).
+  // The paper's Fig 8: a moderately large K performs best.
+  Index rank = 10;
+  // Spatial regularization weight λ. The paper reports a sweet spot of
+  // 0.05–0.1 on its real datasets; on the synthetic stand-ins in this
+  // repository the minimum of the same U-shaped curve (see
+  // bench_fig6_lambda) sits near 0.5, so that is the default.
+  double lambda = 0.5;
+  // p-nearest-neighbor count for the similarity graph (paper best: 3).
+  Index num_neighbors = 3;
+  // Edge weighting of the similarity graph (bench_ablation_weighting).
+  GraphWeighting graph_weighting = GraphWeighting::kBinary;
+  // Landmarks on = SMFL, off = SMF.
+  bool use_landmarks = true;
+  UpdateMethod update = UpdateMethod::kMultiplicative;
+  // Only used by kGradientDescent.
+  double learning_rate = 1e-3;
+  // Matrix-update iteration budget (paper default t1 = 500, early stop).
+  int max_iterations = 500;
+  // Early-stop threshold on relative objective improvement.
+  double tolerance = 1e-6;
+  // K-means budget for landmark generation (paper default t2 = 300).
+  int kmeans_max_iterations = 300;
+  // Independent fits from different seeds; the model with the lowest final
+  // objective wins. Mostly pays for SMF, whose random initialization can
+  // land in poor local optima (SMFL's cluster-consistent initialization is
+  // deterministic given the landmarks, so restarts only vary V's noise).
+  int num_restarts = 1;
+  uint64_t seed = 23;
+};
+
+struct SmflModel {
+  Matrix u;          // N x K coefficient matrix
+  Matrix v;          // K x M feature matrix
+  Matrix landmarks;  // K x L center matrix C (empty when use_landmarks off)
+  Index spatial_cols = 0;
+  FitReport report;
+
+  // X* = U V.
+  Matrix Reconstruct() const;
+
+  // The learned feature locations: first L columns of V (rows of which are
+  // the Fig 5 points).
+  Matrix FeatureLocations() const {
+    return v.Block(0, 0, v.rows(), spatial_cols);
+  }
+};
+
+// Full objective O(U, V) of Formula 10.
+double SmflObjective(const Matrix& x, const Mask& observed,
+                     const NeighborGraph& graph, double lambda,
+                     const Matrix& u, const Matrix& v);
+
+// Fits SMF/SMFL on x, whose first `spatial_cols` columns are spatial
+// information. Builds the p-NN graph internally (missing SI cells are
+// mean-filled for graph construction only, §II-C). Input must be
+// nonnegative over observed entries — min-max normalize first.
+Result<SmflModel> FitSmfl(const Matrix& x, const Mask& observed,
+                          Index spatial_cols, const SmflOptions& options);
+
+// Same, but with a caller-provided neighbor graph (lets parameter sweeps
+// over λ / K reuse one graph).
+Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
+                                   Index spatial_cols,
+                                   const NeighborGraph& graph,
+                                   const SmflOptions& options);
+
+// End-to-end imputation (Algorithm 1): fit, then recover by Formula 8
+// (observed entries kept, unobserved from U V).
+Result<Matrix> SmflImpute(const Matrix& x, const Mask& observed,
+                          Index spatial_cols, const SmflOptions& options);
+
+// End-to-end repair: dirty cells (from an error detector) play the role of
+// Ψ; they are excluded from fitting and replaced by the reconstruction.
+Result<Matrix> SmflRepair(const Matrix& dirty, const Mask& dirty_cells,
+                          Index spatial_cols, const SmflOptions& options);
+
+}  // namespace smfl::core
+
+#endif  // SMFL_CORE_SMFL_H_

@@ -1,0 +1,122 @@
+#include "src/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace smfl::data {
+
+namespace {
+
+Result<CsvTable> ParseLines(const std::vector<std::string>& lines,
+                            const CsvReadOptions& options) {
+  size_t first_data = 0;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    if (lines.empty()) return Status::DataError("CSV has no header row");
+    for (auto& f : Split(lines[0], options.delimiter)) {
+      names.emplace_back(Trim(f));
+    }
+    first_data = 1;
+  }
+  const size_t n_rows = lines.size() - first_data;
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(n_rows);
+  size_t n_cols = names.size();
+  for (size_t r = first_data; r < lines.size(); ++r) {
+    auto fields = Split(lines[r], options.delimiter);
+    if (n_cols == 0) n_cols = fields.size();
+    if (fields.size() != n_cols) {
+      return Status::DataError(StrFormat(
+          "CSV row %zu has %zu fields, expected %zu", r, fields.size(),
+          n_cols));
+    }
+    cells.push_back(std::move(fields));
+  }
+  if (!options.has_header) {
+    for (size_t j = 0; j < n_cols; ++j) {
+      names.push_back(StrFormat("col%zu", j));
+    }
+  }
+  Matrix values(static_cast<Index>(n_rows), static_cast<Index>(n_cols));
+  Mask observed(static_cast<Index>(n_rows), static_cast<Index>(n_cols));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = 0; j < n_cols; ++j) {
+      std::string_view cell = Trim(cells[i][j]);
+      if (cell.empty()) continue;  // unobserved
+      auto parsed = ParseDouble(cell);
+      if (!parsed.ok()) {
+        Status st = parsed.status();
+        return st.WithContext(StrFormat("CSV cell (%zu, %zu)", i, j));
+      }
+      values(static_cast<Index>(i), static_cast<Index>(j)) = *parsed;
+      observed.Set(static_cast<Index>(i), static_cast<Index>(j));
+    }
+  }
+  ASSIGN_OR_RETURN(
+      Table table,
+      Table::Create(std::move(names), std::move(values), options.spatial_cols));
+  return CsvTable{std::move(table), std::move(observed)};
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& content,
+                          const CsvReadOptions& options) {
+  std::vector<std::string> lines;
+  std::istringstream is(content);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+  return ParseLines(lines, options);
+}
+
+Result<CsvTable> ReadCsv(const std::string& path,
+                         const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = ParseCsv(buf.str(), options);
+  if (!result.ok()) {
+    Status st = result.status();
+    return st.WithContext("while reading '" + path + "'");
+  }
+  return result;
+}
+
+Status WriteCsv(const std::string& path, const Table& table,
+                const Mask& observed, char delimiter) {
+  if (observed.rows() != table.NumRows() ||
+      observed.cols() != table.NumCols()) {
+    return Status::InvalidArgument("WriteCsv: mask shape mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const auto& names = table.column_names();
+  for (size_t j = 0; j < names.size(); ++j) {
+    if (j > 0) out << delimiter;
+    out << names[j];
+  }
+  out << "\n";
+  out.precision(12);
+  for (Index i = 0; i < table.NumRows(); ++i) {
+    for (Index j = 0; j < table.NumCols(); ++j) {
+      if (j > 0) out << delimiter;
+      if (observed.Contains(i, j)) out << table.values()(i, j);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status WriteCsv(const std::string& path, const Table& table, char delimiter) {
+  return WriteCsv(path, table,
+                  Mask::AllSet(table.NumRows(), table.NumCols()), delimiter);
+}
+
+}  // namespace smfl::data

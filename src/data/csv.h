@@ -1,0 +1,47 @@
+// CSV I/O for Tables. Empty cells are legal and come back as unobserved
+// entries (value 0 in the matrix, false in the returned observation mask).
+
+#ifndef SMFL_DATA_CSV_H_
+#define SMFL_DATA_CSV_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/data/table.h"
+
+namespace smfl::data {
+
+struct CsvTable {
+  Table table;
+  // Observation mask Ω: true where the cell held a value.
+  Mask observed;
+};
+
+struct CsvReadOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  // How many leading columns are spatial information (the paper's L).
+  Index spatial_cols = 2;
+};
+
+// Reads a numeric CSV file. Fails with DataError on ragged rows or
+// non-numeric non-empty cells, IoError if the file cannot be opened.
+Result<CsvTable> ReadCsv(const std::string& path,
+                         const CsvReadOptions& options = {});
+
+// Parses CSV from an in-memory string (same semantics as ReadCsv).
+Result<CsvTable> ParseCsv(const std::string& content,
+                          const CsvReadOptions& options = {});
+
+// Writes a table; entries not in `observed` are emitted as empty cells.
+Status WriteCsv(const std::string& path, const Table& table,
+                const Mask& observed, char delimiter = ',');
+
+// Convenience overload: all entries observed.
+Status WriteCsv(const std::string& path, const Table& table,
+                char delimiter = ',');
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_CSV_H_

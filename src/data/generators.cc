@@ -1,0 +1,296 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace smfl::data {
+
+namespace {
+
+// A smooth scalar field over the plane: a sum of Gaussian RBF bumps.
+class RbfField {
+ public:
+  RbfField(Index bumps, double lat_lo, double lat_hi, double lon_lo,
+           double lon_hi, double scale_fraction, Rng& rng) {
+    const double diag = std::hypot(lat_hi - lat_lo, lon_hi - lon_lo);
+    const double sigma = scale_fraction * diag;
+    for (Index b = 0; b < bumps; ++b) {
+      Bump bump;
+      bump.lat = rng.Uniform(lat_lo, lat_hi);
+      bump.lon = rng.Uniform(lon_lo, lon_hi);
+      bump.weight = rng.Normal();
+      // Jitter widths so the field has multiple spatial frequencies.
+      bump.inv_two_sigma2 =
+          1.0 / (2.0 * sigma * sigma * rng.Uniform(0.5, 1.5));
+      bumps_.push_back(bump);
+    }
+  }
+
+  double Value(double lat, double lon) const {
+    double acc = 0.0;
+    for (const Bump& b : bumps_) {
+      const double dlat = lat - b.lat;
+      const double dlon = lon - b.lon;
+      acc += b.weight *
+             std::exp(-(dlat * dlat + dlon * dlon) * b.inv_two_sigma2);
+    }
+    return acc;
+  }
+
+ private:
+  struct Bump {
+    double lat, lon, weight, inv_two_sigma2;
+  };
+  std::vector<Bump> bumps_;
+};
+
+}  // namespace
+
+Result<SyntheticDataset> MakeSynthetic(const SyntheticSpec& spec) {
+  if (spec.rows <= 0 || spec.cols < 3) {
+    return Status::InvalidArgument(
+        "synthetic spec needs rows > 0 and cols >= 3 (2 spatial + 1)");
+  }
+  if (spec.num_clusters <= 0 || spec.latent_fields <= 0) {
+    return Status::InvalidArgument(
+        "synthetic spec needs positive cluster and field counts");
+  }
+  Rng rng(spec.seed);
+
+  // 1. Location blobs.
+  struct Blob {
+    double lat, lon;
+  };
+  std::vector<Blob> blobs;
+  for (Index c = 0; c < spec.num_clusters; ++c) {
+    blobs.push_back({rng.Uniform(spec.lat_lo, spec.lat_hi),
+                     rng.Uniform(spec.lon_lo, spec.lon_hi)});
+  }
+  const double lat_spread = spec.cluster_spread * (spec.lat_hi - spec.lat_lo);
+  const double lon_spread = spec.cluster_spread * (spec.lon_hi - spec.lon_lo);
+
+  std::vector<Index> labels(static_cast<size_t>(spec.rows));
+  Matrix values(spec.rows, spec.cols);
+  const Index visits = std::max<Index>(spec.visits_per_location, 1);
+  Index i = 0;
+  while (i < spec.rows) {
+    const Index c =
+        static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(
+            spec.num_clusters)));
+    const Blob& b = blobs[static_cast<size_t>(c)];
+    double lat = rng.Normal(b.lat, lat_spread);
+    double lon = rng.Normal(b.lon, lon_spread);
+    lat = std::min(std::max(lat, spec.lat_lo), spec.lat_hi);
+    lon = std::min(std::max(lon, spec.lon_lo), spec.lon_hi);
+    // 1..2*visits-1 readings at (almost) this location; tiny GPS jitter.
+    const Index burst = 1 + static_cast<Index>(rng.UniformInt(
+                                static_cast<uint64_t>(2 * visits - 1)));
+    for (Index v = 0; v < burst && i < spec.rows; ++v, ++i) {
+      labels[static_cast<size_t>(i)] = c;
+      const double jlat =
+          lat + rng.Normal(0.0, 1e-4 * (spec.lat_hi - spec.lat_lo));
+      const double jlon =
+          lon + rng.Normal(0.0, 1e-4 * (spec.lon_hi - spec.lon_lo));
+      values(i, 0) = std::min(std::max(jlat, spec.lat_lo), spec.lat_hi);
+      values(i, 1) = std::min(std::max(jlon, spec.lon_lo), spec.lon_hi);
+    }
+  }
+
+  // 2. Shared latent fields.
+  std::vector<RbfField> fields;
+  for (Index f = 0; f < spec.latent_fields; ++f) {
+    fields.emplace_back(spec.field_bumps, spec.lat_lo, spec.lat_hi,
+                        spec.lon_lo, spec.lon_hi, spec.field_scale, rng);
+  }
+
+  // 3. Attribute columns: random nonnegative mixtures of the latent fields
+  // plus a per-cluster offset (so clusters are separable in attribute space)
+  // plus noise. Mixing weights are shared across rows, which gives the
+  // attribute block its low-rank structure.
+  const Index num_attrs = spec.cols - 2;
+  Matrix mix(num_attrs, spec.latent_fields);
+  la::Vector cluster_offset_scale(num_attrs);
+  for (Index a = 0; a < num_attrs; ++a) {
+    for (Index f = 0; f < spec.latent_fields; ++f) {
+      mix(a, f) = rng.Uniform(0.2, 1.0);
+    }
+    cluster_offset_scale[a] = rng.Uniform(0.3, 0.8);
+  }
+  Matrix cluster_offsets(spec.num_clusters, num_attrs);
+  for (Index c = 0; c < spec.num_clusters; ++c) {
+    for (Index a = 0; a < num_attrs; ++a) {
+      cluster_offsets(c, a) = rng.Normal();
+    }
+  }
+
+  const Index num_factors = std::max<Index>(spec.row_factors, 0);
+  Matrix factor_loadings(num_attrs, std::max<Index>(num_factors, 1));
+  for (Index a = 0; a < num_attrs; ++a) {
+    for (Index f = 0; f < num_factors; ++f) {
+      factor_loadings(a, f) = rng.Uniform(0.2, 1.0);
+    }
+  }
+  // Mark a deterministic subset of attributes as weakly spatial (never the
+  // last column, which may carry the planted east gradient).
+  std::vector<bool> weak(static_cast<size_t>(num_attrs), false);
+  const Index num_weak = static_cast<Index>(
+      spec.weak_attr_fraction * static_cast<double>(num_attrs));
+  for (Index w = 0; w < num_weak && num_attrs > 1; ++w) {
+    const Index a = (w * 2 + 1) % (num_attrs - 1);
+    weak[static_cast<size_t>(a)] = true;
+  }
+
+  const double lon_mid = 0.5 * (spec.lon_lo + spec.lon_hi);
+  const double lon_half = 0.5 * (spec.lon_hi - spec.lon_lo);
+  for (Index i = 0; i < spec.rows; ++i) {
+    const double lat = values(i, 0);
+    const double lon = values(i, 1);
+    la::Vector row_factor(std::max<Index>(num_factors, 1));
+    for (Index f = 0; f < num_factors; ++f) {
+      row_factor[f] = spec.row_effect * rng.Normal();
+    }
+    la::Vector field_vals(spec.latent_fields);
+    for (Index f = 0; f < spec.latent_fields; ++f) {
+      field_vals[f] = fields[static_cast<size_t>(f)].Value(lat, lon);
+    }
+    const Index c = labels[static_cast<size_t>(i)];
+    for (Index a = 0; a < num_attrs; ++a) {
+      double v = 0.0;
+      for (Index f = 0; f < spec.latent_fields; ++f) {
+        v += mix(a, f) * field_vals[f];
+      }
+      if (weak[static_cast<size_t>(a)]) v *= 0.15;
+      v += cluster_offset_scale[a] * cluster_offsets(c, a);
+      if (a == num_attrs - 1 && spec.east_gradient != 0.0) {
+        // Fig 1 geography: the last attribute rises toward the east, on
+        // top of the usual field mixture (the gradient is a trend, not a
+        // deterministic function of longitude).
+        v = 0.5 * v + spec.east_gradient * (lon - lon_mid) / lon_half;
+      }
+      for (Index f = 0; f < num_factors; ++f) {
+        v += row_factor[f] * factor_loadings(a, f);
+      }
+      const double col_noise = weak[static_cast<size_t>(a)]
+                                   ? spec.noise * spec.weak_attr_noise_boost
+                                   : spec.noise;
+      v += rng.Normal(0.0, col_noise);
+      values(i, 2 + a) = v;
+    }
+  }
+
+  // Shift every attribute column so its minimum sits just above zero:
+  // sensor quantities (fuel rate, speed, lake area, ...) are nonnegative
+  // in raw units. Min-max normalization makes this shift invisible to all
+  // algorithms; it only keeps raw-unit outputs (e.g. route fuel costs)
+  // physically plausible.
+  for (Index a = 0; a < num_attrs; ++a) {
+    double lo = values(0, 2 + a);
+    for (Index r = 1; r < spec.rows; ++r) lo = std::min(lo, values(r, 2 + a));
+    const double shift = 0.1 - lo;
+    for (Index r = 0; r < spec.rows; ++r) values(r, 2 + a) += shift;
+  }
+
+  std::vector<std::string> names = {"latitude", "longitude"};
+  for (Index a = 0; a < num_attrs; ++a) {
+    names.push_back(StrFormat("%s_attr%lld", spec.name.c_str(),
+                              static_cast<long long>(a)));
+  }
+  ASSIGN_OR_RETURN(Table table,
+                   Table::Create(std::move(names), std::move(values), 2));
+  return SyntheticDataset{std::move(table), std::move(labels)};
+}
+
+Result<SyntheticDataset> MakeEconomicLike(Index rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "economic";
+  spec.rows = rows;
+  spec.cols = 13;
+  spec.num_clusters = 8;
+  spec.latent_fields = 4;
+  spec.field_bumps = 18;
+  spec.field_scale = 0.14;  // climate-like fields with regional texture
+  spec.noise = 0.30;
+  spec.row_factors = 5;
+  spec.row_effect = 0.9;
+  spec.cluster_spread = 0.10;
+  spec.seed = seed;
+  return MakeSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeFarmLike(Index rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "farm";
+  spec.rows = rows;
+  spec.cols = 13;
+  spec.num_clusters = 4;
+  spec.latent_fields = 3;
+  spec.field_bumps = 28;
+  spec.field_scale = 0.08;  // within-farm variation: rough
+  spec.noise = 0.35;
+  spec.row_factors = 5;
+  spec.row_effect = 0.9;
+  // A single farm: one compact region.
+  spec.lat_lo = 33.0;
+  spec.lat_hi = 33.2;
+  spec.lon_lo = -63.9;
+  spec.lon_hi = -63.6;
+  spec.cluster_spread = 0.2;
+  spec.seed = seed;
+  return MakeSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeLakeLike(Index rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "lake";
+  spec.rows = rows;
+  spec.cols = 7;
+  spec.num_clusters = 5;
+  spec.latent_fields = 3;
+  spec.field_bumps = 22;
+  spec.field_scale = 0.12;
+  spec.noise = 0.30;
+  // Upper-midwest-like region; well-separated lake districts.
+  spec.lat_lo = 41.0;
+  spec.lat_hi = 49.0;
+  spec.lon_lo = -97.0;
+  spec.lon_hi = -67.0;
+  spec.cluster_spread = 0.05;
+  spec.seed = seed;
+  return MakeSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeVehicleLike(Index rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "vehicle";
+  spec.rows = rows;
+  spec.cols = 7;
+  spec.num_clusters = 6;
+  spec.latent_fields = 3;
+  spec.field_bumps = 22;
+  spec.field_scale = 0.12;
+  spec.noise = 0.30;
+  // North-east China region of Fig 1.
+  spec.lat_lo = 40.0;
+  spec.lat_hi = 47.0;
+  spec.lon_lo = 120.0;
+  spec.lon_hi = 132.0;
+  spec.cluster_spread = 0.07;
+  spec.east_gradient = 1.6;  // fuel rate higher in the east (Fig 1)
+  spec.seed = seed;
+  return MakeSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeDatasetByName(const std::string& name,
+                                           Index rows, uint64_t seed) {
+  const std::string lower = ToLower(name);
+  if (lower == "economic") return MakeEconomicLike(rows, seed);
+  if (lower == "farm") return MakeFarmLike(rows, seed);
+  if (lower == "lake") return MakeLakeLike(rows, seed);
+  if (lower == "vehicle") return MakeVehicleLike(rows, seed);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace smfl::data

@@ -1,0 +1,96 @@
+#include "src/data/inject.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace smfl::data {
+
+namespace {
+
+// Validates shared options; returns the sorted set of protected rows.
+Result<std::vector<Index>> PickProtectedRows(const Table& table, double rate,
+                                             Index preserve, Rng& rng) {
+  if (!(rate >= 0.0 && rate < 1.0)) {
+    return Status::InvalidArgument("injection rate must be in [0, 1)");
+  }
+  const Index n = table.NumRows();
+  const Index keep = std::min(preserve, n);
+  auto picks = rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                            static_cast<size_t>(keep));
+  std::vector<Index> rows(picks.size());
+  for (size_t i = 0; i < picks.size(); ++i) {
+    rows[i] = static_cast<Index>(picks[i]);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool IsProtected(const std::vector<Index>& rows, Index i) {
+  return std::binary_search(rows.begin(), rows.end(), i);
+}
+
+}  // namespace
+
+Result<MissingInjection> InjectMissing(
+    const Table& table, const MissingInjectionOptions& options) {
+  Rng rng(options.seed);
+  ASSIGN_OR_RETURN(std::vector<Index> protected_rows,
+                   PickProtectedRows(table, options.missing_rate,
+                                     options.preserve_complete_rows, rng));
+  const Index n = table.NumRows(), m = table.NumCols();
+  const Index first_col =
+      options.include_spatial_cols ? 0 : table.SpatialCols();
+  Mask observed = Mask::AllSet(n, m);
+  for (Index i = 0; i < n; ++i) {
+    if (IsProtected(protected_rows, i)) continue;
+    bool removed_all = true;
+    for (Index j = first_col; j < m; ++j) {
+      if (rng.Bernoulli(options.missing_rate)) {
+        observed.Set(i, j, false);
+      } else {
+        removed_all = false;
+      }
+    }
+    // Never empty an entire tuple's eligible block: keep one value so the
+    // row still carries information (matches the paper's setup where rows
+    // are partially observed, not absent).
+    if (removed_all && m > first_col) {
+      const Index j = first_col + static_cast<Index>(rng.UniformInt(
+                                      static_cast<uint64_t>(m - first_col)));
+      observed.Set(i, j, true);
+    }
+  }
+  return MissingInjection{std::move(observed)};
+}
+
+Result<ErrorInjection> InjectErrors(const Table& table,
+                                    const ErrorInjectionOptions& options) {
+  Rng rng(options.seed);
+  ASSIGN_OR_RETURN(std::vector<Index> protected_rows,
+                   PickProtectedRows(table, options.error_rate,
+                                     options.preserve_complete_rows, rng));
+  const Index n = table.NumRows(), m = table.NumCols();
+  const Index first_col =
+      options.include_spatial_cols ? 0 : table.SpatialCols();
+  Matrix dirty = table.values();
+  Mask dirty_cells(n, m);
+  if (n < 2) return ErrorInjection{std::move(dirty), std::move(dirty_cells)};
+  for (Index i = 0; i < n; ++i) {
+    if (IsProtected(protected_rows, i)) continue;
+    for (Index j = first_col; j < m; ++j) {
+      if (!rng.Bernoulli(options.error_rate)) continue;
+      // Replace with a value from another tuple in the same column
+      // ("other values in the same domain").
+      Index src;
+      do {
+        src = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(n)));
+      } while (src == i);
+      dirty(i, j) = table.values()(src, j);
+      dirty_cells.Set(i, j);
+    }
+  }
+  return ErrorInjection{std::move(dirty), std::move(dirty_cells)};
+}
+
+}  // namespace smfl::data

@@ -1,0 +1,66 @@
+// Error injection for the two evaluation tasks (paper §IV-A1).
+//
+// Imputation task: values are removed at random from (by default non-spatial)
+// columns at a given missing rate; the ground truth stays in the Table and
+// methods only see R_Ω(X).
+//
+// Repair task: cell values are replaced with other values drawn from the same
+// column's domain at a given error rate; repairers receive the dirty matrix
+// plus the dirty-cell set (as produced by an error detector such as Raha).
+//
+// Both injectors preserve a pool of complete tuples (the paper keeps 100)
+// because several baselines need complete neighbors to operate.
+
+#ifndef SMFL_DATA_INJECT_H_
+#define SMFL_DATA_INJECT_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/data/table.h"
+
+namespace smfl::data {
+
+struct MissingInjectionOptions {
+  // Fraction of eligible cells to remove, in [0, 1).
+  double missing_rate = 0.1;
+  // Whether spatial-information columns are eligible (Table V setting).
+  bool include_spatial_cols = false;
+  // Number of rows randomly chosen to stay fully complete.
+  Index preserve_complete_rows = 100;
+  uint64_t seed = 1;
+};
+
+struct MissingInjection {
+  // Ω: true = still observed.
+  Mask observed;
+};
+
+// Computes an observation mask over `table` by removing values at random.
+Result<MissingInjection> InjectMissing(const Table& table,
+                                       const MissingInjectionOptions& options);
+
+struct ErrorInjectionOptions {
+  // Fraction of eligible cells to corrupt, in [0, 1).
+  double error_rate = 0.1;
+  // Errors are injected into all columns in the paper's repair task.
+  bool include_spatial_cols = true;
+  Index preserve_complete_rows = 100;
+  uint64_t seed = 1;
+};
+
+struct ErrorInjection {
+  // The corrupted copy of the data.
+  Matrix dirty;
+  // Ψ for the repair task: true = cell was corrupted.
+  Mask dirty_cells;
+};
+
+// Corrupts cells by swapping in a different value from the same column.
+Result<ErrorInjection> InjectErrors(const Table& table,
+                                    const ErrorInjectionOptions& options);
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_INJECT_H_

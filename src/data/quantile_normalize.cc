@@ -1,0 +1,94 @@
+#include "src/data/quantile_normalize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smfl::data {
+
+namespace {
+
+// Linear-interpolated quantile of a sorted sample.
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  SMFL_CHECK(!sorted.empty());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Result<QuantileNormalizer> QuantileNormalizer::Fit(const Matrix& x,
+                                                   const Mask& observed,
+                                                   double q_lo, double q_hi) {
+  if (x.rows() != observed.rows() || x.cols() != observed.cols()) {
+    return Status::InvalidArgument("QuantileNormalizer: mask shape mismatch");
+  }
+  if (!(q_lo >= 0.0 && q_lo < q_hi && q_hi <= 1.0)) {
+    return Status::InvalidArgument(
+        "QuantileNormalizer: need 0 <= q_lo < q_hi <= 1");
+  }
+  QuantileNormalizer n;
+  n.lo_.resize(static_cast<size_t>(x.cols()));
+  n.hi_.resize(static_cast<size_t>(x.cols()));
+  std::vector<double> values;
+  for (Index j = 0; j < x.cols(); ++j) {
+    values.clear();
+    for (Index i = 0; i < x.rows(); ++i) {
+      if (!observed.Contains(i, j)) continue;
+      if (!std::isfinite(x(i, j))) {
+        return Status::DataError("QuantileNormalizer: non-finite value");
+      }
+      values.push_back(x(i, j));
+    }
+    auto sj = static_cast<size_t>(j);
+    if (values.empty()) {
+      n.lo_[sj] = 0.0;
+      n.hi_[sj] = 1.0;
+      continue;
+    }
+    std::sort(values.begin(), values.end());
+    n.lo_[sj] = QuantileOfSorted(values, q_lo);
+    n.hi_[sj] = QuantileOfSorted(values, q_hi);
+    if (n.hi_[sj] - n.lo_[sj] < 1e-300) n.hi_[sj] = n.lo_[sj] + 1.0;
+  }
+  return n;
+}
+
+Result<QuantileNormalizer> QuantileNormalizer::Fit(const Matrix& x,
+                                                   double q_lo, double q_hi) {
+  return Fit(x, Mask::AllSet(x.rows(), x.cols()), q_lo, q_hi);
+}
+
+Matrix QuantileNormalizer::Transform(const Matrix& x) const {
+  SMFL_CHECK_EQ(x.cols(), NumCols());
+  Matrix out(x.rows(), x.cols());
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      auto sj = static_cast<size_t>(j);
+      const double t = (x(i, j) - lo_[sj]) / (hi_[sj] - lo_[sj]);
+      out(i, j) = std::clamp(t, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+Matrix QuantileNormalizer::InverseTransform(const Matrix& x) const {
+  SMFL_CHECK_EQ(x.cols(), NumCols());
+  Matrix out(x.rows(), x.cols());
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      out(i, j) = InverseTransformCell(x(i, j), j);
+    }
+  }
+  return out;
+}
+
+double QuantileNormalizer::InverseTransformCell(double v, Index col) const {
+  auto sj = static_cast<size_t>(col);
+  return lo_[sj] + v * (hi_[sj] - lo_[sj]);
+}
+
+}  // namespace smfl::data

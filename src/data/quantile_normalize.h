@@ -1,0 +1,51 @@
+// Robust quantile normalization to [0, 1] per column, mask-aware.
+//
+// Min-max normalization collapses when a column contains outliers: one bad
+// sensor reading compresses the entire healthy range into a sliver. The
+// quantile normalizer maps [q_lo, q_hi] (default the 1st..99th percentile
+// of the observed cells) onto [0, 1] and clamps values outside — the
+// robust preprocessing choice for raw field data. The inverse transform is
+// exact for values inside the quantile band (clamped values are not
+// recoverable, by construction).
+
+#ifndef SMFL_DATA_QUANTILE_NORMALIZE_H_
+#define SMFL_DATA_QUANTILE_NORMALIZE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::data {
+
+class QuantileNormalizer {
+ public:
+  // Learns per-column [quantile(q_lo), quantile(q_hi)] over the observed
+  // cells. Requires 0 <= q_lo < q_hi <= 1 and at least one observed cell
+  // per column (fully-unobserved columns get the identity band [0, 1]).
+  static Result<QuantileNormalizer> Fit(const Matrix& x, const Mask& observed,
+                                        double q_lo = 0.01,
+                                        double q_hi = 0.99);
+
+  static Result<QuantileNormalizer> Fit(const Matrix& x, double q_lo = 0.01,
+                                        double q_hi = 0.99);
+
+  // Maps into [0, 1], clamping outside the quantile band.
+  Matrix Transform(const Matrix& x) const;
+
+  // Inverse map; exact for in-band values.
+  Matrix InverseTransform(const Matrix& x) const;
+  double InverseTransformCell(double v, Index col) const;
+
+  Index NumCols() const { return static_cast<Index>(lo_.size()); }
+  double BandLo(Index j) const { return lo_[static_cast<size_t>(j)]; }
+  double BandHi(Index j) const { return hi_[static_cast<size_t>(j)]; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_QUANTILE_NORMALIZE_H_

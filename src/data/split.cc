@@ -1,0 +1,67 @@
+#include "src/data/split.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace smfl::data {
+
+Result<TrainTestSplit> SplitTrainTest(Index n, double test_fraction,
+                                      uint64_t seed) {
+  if (n < 2) {
+    return Status::InvalidArgument("SplitTrainTest: need at least two rows");
+  }
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "SplitTrainTest: test_fraction must be in (0, 1)");
+  }
+  Index test_count = static_cast<Index>(
+      test_fraction * static_cast<double>(n) + 0.5);
+  test_count = std::clamp<Index>(test_count, 1, n - 1);
+  Rng rng(seed);
+  auto picks = rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                            static_cast<size_t>(test_count));
+  std::vector<bool> is_test(static_cast<size_t>(n), false);
+  for (size_t p : picks) is_test[p] = true;
+  TrainTestSplit split;
+  for (Index i = 0; i < n; ++i) {
+    if (is_test[static_cast<size_t>(i)]) {
+      split.test_rows.push_back(i);
+    } else {
+      split.train_rows.push_back(i);
+    }
+  }
+  return split;
+}
+
+Result<std::vector<Index>> AssignKFolds(Index n, Index k, uint64_t seed) {
+  if (k < 2 || k > n) {
+    return Status::InvalidArgument("AssignKFolds: need 2 <= k <= n");
+  }
+  Rng rng(seed);
+  auto perm = rng.Permutation(static_cast<size_t>(n));
+  std::vector<Index> fold_of(static_cast<size_t>(n));
+  for (size_t position = 0; position < perm.size(); ++position) {
+    fold_of[perm[position]] = static_cast<Index>(position) % k;
+  }
+  return fold_of;
+}
+
+std::vector<Index> FoldRows(const std::vector<Index>& fold_of, Index fold) {
+  std::vector<Index> rows;
+  for (size_t i = 0; i < fold_of.size(); ++i) {
+    if (fold_of[i] == fold) rows.push_back(static_cast<Index>(i));
+  }
+  return rows;
+}
+
+std::vector<Index> NonFoldRows(const std::vector<Index>& fold_of,
+                               Index fold) {
+  std::vector<Index> rows;
+  for (size_t i = 0; i < fold_of.size(); ++i) {
+    if (fold_of[i] != fold) rows.push_back(static_cast<Index>(i));
+  }
+  return rows;
+}
+
+}  // namespace smfl::data

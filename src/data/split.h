@@ -1,0 +1,38 @@
+// Row-level dataset splitting utilities: random train/test partitions and
+// K-fold assignments, deterministic per seed. Used by model selection
+// workflows and the fold-in evaluation.
+
+#ifndef SMFL_DATA_SPLIT_H_
+#define SMFL_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::data {
+
+using la::Index;
+
+struct TrainTestSplit {
+  std::vector<Index> train_rows;  // ascending
+  std::vector<Index> test_rows;   // ascending
+};
+
+// Randomly assigns `test_fraction` of the n rows to the test set. Requires
+// 0 < test_fraction < 1 and that both sides end up non-empty.
+Result<TrainTestSplit> SplitTrainTest(Index n, double test_fraction,
+                                      uint64_t seed);
+
+// fold_of[i] in [0, k): a random balanced K-fold assignment (fold sizes
+// differ by at most one). Requires 2 <= k <= n.
+Result<std::vector<Index>> AssignKFolds(Index n, Index k, uint64_t seed);
+
+// The rows in / not in fold `fold` of an AssignKFolds result (ascending).
+std::vector<Index> FoldRows(const std::vector<Index>& fold_of, Index fold);
+std::vector<Index> NonFoldRows(const std::vector<Index>& fold_of, Index fold);
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_SPLIT_H_

@@ -1,0 +1,108 @@
+#include "src/data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace smfl::data {
+
+Result<ColumnStats> ComputeColumnStats(const Matrix& x, const Mask& observed,
+                                       Index column) {
+  if (column < 0 || column >= x.cols()) {
+    return Status::OutOfRange("ComputeColumnStats: bad column");
+  }
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("ComputeColumnStats: mask shape mismatch");
+  }
+  std::vector<double> values;
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.Contains(i, column)) values.push_back(x(i, column));
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument(
+        "ComputeColumnStats: column has no observed cells");
+  }
+  ColumnStats stats;
+  stats.observed = static_cast<Index>(values.size());
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  stats.median = values[mid];
+  if (values.size() % 2 == 0) {
+    std::nth_element(values.begin(), values.begin() + mid - 1, values.end());
+    stats.median = 0.5 * (stats.median + values[mid - 1]);
+  }
+  return stats;
+}
+
+Result<std::vector<ColumnStats>> ComputeAllColumnStats(const Matrix& x,
+                                                       const Mask& observed) {
+  std::vector<ColumnStats> all;
+  all.reserve(static_cast<size_t>(x.cols()));
+  for (Index j = 0; j < x.cols(); ++j) {
+    ASSIGN_OR_RETURN(ColumnStats stats, ComputeColumnStats(x, observed, j));
+    all.push_back(stats);
+  }
+  return all;
+}
+
+Result<std::vector<ColumnStats>> ComputeAllColumnStats(const Matrix& x) {
+  return ComputeAllColumnStats(x, Mask::AllSet(x.rows(), x.cols()));
+}
+
+Result<double> ColumnCorrelation(const Matrix& x, const Mask& observed,
+                                 Index a, Index b) {
+  if (a < 0 || a >= x.cols() || b < 0 || b >= x.cols()) {
+    return Status::OutOfRange("ColumnCorrelation: bad column");
+  }
+  double sa = 0, sb = 0;
+  Index n = 0;
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (!observed.Contains(i, a) || !observed.Contains(i, b)) continue;
+    sa += x(i, a);
+    sb += x(i, b);
+    ++n;
+  }
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "ColumnCorrelation: fewer than two jointly observed rows");
+  }
+  const double ma = sa / n, mb = sb / n;
+  double cov = 0, va = 0, vb = 0;
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (!observed.Contains(i, a) || !observed.Contains(i, b)) continue;
+    const double da = x(i, a) - ma, db = x(i, b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-300 || vb < 1e-300) {
+    return Status::NumericError("ColumnCorrelation: constant column");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+std::string FormatStatsTable(const std::vector<std::string>& names,
+                             const std::vector<ColumnStats>& stats) {
+  std::string out = StrFormat("%-16s %8s %10s %10s %10s %10s %10s\n", "column",
+                              "n", "min", "max", "mean", "std", "median");
+  for (size_t j = 0; j < stats.size(); ++j) {
+    const std::string name =
+        j < names.size() ? names[j] : "col" + std::to_string(j);
+    const ColumnStats& s = stats[j];
+    out += StrFormat("%-16s %8lld %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+                     name.c_str(), static_cast<long long>(s.observed), s.min,
+                     s.max, s.mean, s.stddev, s.median);
+  }
+  return out;
+}
+
+}  // namespace smfl::data

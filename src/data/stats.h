@@ -1,0 +1,44 @@
+// Column summary statistics, mask-aware. Used by examples for dataset
+// inspection, by the detector's documentation, and by tests as an
+// independent reference implementation of the moments.
+
+#ifndef SMFL_DATA_STATS_H_
+#define SMFL_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::data {
+
+struct ColumnStats {
+  Index observed = 0;  // number of observed cells
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population std-dev over observed cells
+  double median = 0.0;
+};
+
+// Stats for one column over the observed entries; errors if none observed.
+Result<ColumnStats> ComputeColumnStats(const Matrix& x, const Mask& observed,
+                                       Index column);
+
+// Stats for all columns (fully-observed convenience overload included).
+Result<std::vector<ColumnStats>> ComputeAllColumnStats(const Matrix& x,
+                                                       const Mask& observed);
+Result<std::vector<ColumnStats>> ComputeAllColumnStats(const Matrix& x);
+
+// Pearson correlation of two columns over rows where both are observed.
+Result<double> ColumnCorrelation(const Matrix& x, const Mask& observed,
+                                 Index a, Index b);
+
+// Multi-line human-readable summary ("col  n  min  max  mean  std  median").
+std::string FormatStatsTable(const std::vector<std::string>& names,
+                             const std::vector<ColumnStats>& stats);
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_STATS_H_

@@ -1,0 +1,61 @@
+#include "src/data/table.h"
+
+#include <algorithm>
+
+namespace smfl::data {
+
+Result<Table> Table::Create(std::vector<std::string> column_names,
+                            Matrix values, Index spatial_cols) {
+  if (static_cast<Index>(column_names.size()) != values.cols()) {
+    return Status::InvalidArgument(
+        "Table: column name count does not match matrix width");
+  }
+  if (spatial_cols < 0 || spatial_cols > values.cols()) {
+    return Status::InvalidArgument("Table: invalid spatial column count");
+  }
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    for (size_t j = i + 1; j < column_names.size(); ++j) {
+      if (column_names[i] == column_names[j]) {
+        return Status::InvalidArgument("Table: duplicate column name '" +
+                                       column_names[i] + "'");
+      }
+    }
+  }
+  Table t;
+  t.column_names_ = std::move(column_names);
+  t.values_ = std::move(values);
+  t.spatial_cols_ = spatial_cols;
+  return t;
+}
+
+Result<Index> Table::ColumnIndex(const std::string& name) const {
+  auto it = std::find(column_names_.begin(), column_names_.end(), name);
+  if (it == column_names_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return static_cast<Index>(it - column_names_.begin());
+}
+
+Table Table::SelectRows(const std::vector<Index>& rows) const {
+  Matrix sub(static_cast<Index>(rows.size()), values_.cols());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SMFL_CHECK(rows[r] >= 0 && rows[r] < values_.rows());
+    for (Index j = 0; j < values_.cols(); ++j) {
+      sub(static_cast<Index>(r), j) = values_(rows[r], j);
+    }
+  }
+  Table t;
+  t.column_names_ = column_names_;
+  t.values_ = std::move(sub);
+  t.spatial_cols_ = spatial_cols_;
+  return t;
+}
+
+Table Table::Head(Index n) const {
+  n = std::min(n, NumRows());
+  std::vector<Index> rows(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+  return SelectRows(rows);
+}
+
+}  // namespace smfl::data

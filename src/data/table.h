@@ -1,0 +1,69 @@
+// Table: a named-column numeric relation with spatial-information columns.
+//
+// The paper's input (Table I) is a tabular dataset whose first L columns are
+// spatial coordinates (latitude, longitude) and whose remaining columns are
+// sensor attributes. Table couples the numeric matrix with the schema and L.
+
+#ifndef SMFL_DATA_TABLE_H_
+#define SMFL_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::data {
+
+using la::Index;
+using la::Matrix;
+
+class Table {
+ public:
+  Table() = default;
+
+  // Takes ownership of the values. `spatial_cols` is the paper's L: the
+  // first L columns of `values` are spatial information.
+  static Result<Table> Create(std::vector<std::string> column_names,
+                              Matrix values, Index spatial_cols);
+
+  Index NumRows() const { return values_.rows(); }
+  Index NumCols() const { return values_.cols(); }
+  Index SpatialCols() const { return spatial_cols_; }
+
+  const Matrix& values() const { return values_; }
+  Matrix& mutable_values() { return values_; }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  // Column index by name, or NotFound.
+  Result<Index> ColumnIndex(const std::string& name) const;
+
+  // The SI block: first L columns (N x L copy).
+  Matrix SpatialInfo() const {
+    return values_.Block(0, 0, values_.rows(), spatial_cols_);
+  }
+
+  // Copy of the non-spatial block (N x (M-L)).
+  Matrix AttributeBlock() const {
+    return values_.Block(0, spatial_cols_, values_.rows(),
+                         values_.cols() - spatial_cols_);
+  }
+
+  // Row subset (preserves schema and L).
+  Table SelectRows(const std::vector<Index>& rows) const;
+
+  // First n rows.
+  Table Head(Index n) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  Matrix values_;
+  Index spatial_cols_ = 0;
+};
+
+}  // namespace smfl::data
+
+#endif  // SMFL_DATA_TABLE_H_

@@ -1,0 +1,79 @@
+// Experiment harness shared by every bench binary: dataset preparation,
+// imputation/repair trial runners (N trials, averaged — the paper runs each
+// experiment five times), and timing.
+
+#ifndef SMFL_EXP_EXPERIMENT_H_
+#define SMFL_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/data/normalize.h"
+#include "src/impute/imputer.h"
+#include "src/repair/repairer.h"
+
+namespace smfl::exp {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+// A dataset ready for experiments: generated, ground truth normalized to
+// [0, 1] column-wise.
+struct PreparedDataset {
+  std::string name;
+  // Normalized ground truth (N x M, first `spatial_cols` columns spatial).
+  Matrix truth;
+  Index spatial_cols = 0;
+  // Cluster labels from the generator (clustering app ground truth).
+  std::vector<Index> cluster_labels;
+  // Inverse transform back to original units (route app needs real km/L).
+  data::MinMaxNormalizer normalizer;
+  // Original-unit values.
+  Matrix raw;
+};
+
+// Generates and normalizes one of the named synthetic datasets
+// ("economic" | "farm" | "lake" | "vehicle") at the given row count.
+Result<PreparedDataset> PrepareDataset(const std::string& name, Index rows,
+                                       uint64_t seed = 7);
+
+// Default experiment sizes (scaled-down stand-ins for Table III; see
+// DESIGN.md). Used by the bench binaries unless overridden.
+Index DefaultRowsFor(const std::string& name);
+
+struct TrialOptions {
+  // Trials averaged per measurement (paper: 5).
+  int trials = 3;
+  double missing_rate = 0.1;
+  // Whether SI columns also lose values (Table V setting).
+  bool missing_in_spatial = false;
+  double error_rate = 0.1;
+  uint64_t seed = 1234;
+};
+
+struct TrialResult {
+  double mean_rms = 0.0;
+  double mean_seconds = 0.0;
+  int failures = 0;  // trials where the method returned an error
+};
+
+// Runs `imputer` on `dataset` across `options.trials` independent missing-
+// value injections. Unobserved entries are scrubbed (zeroed) before the
+// imputer sees the matrix, so methods cannot leak ground truth.
+Result<TrialResult> RunImputationTrials(const PreparedDataset& dataset,
+                                        const impute::Imputer& imputer,
+                                        const TrialOptions& options);
+
+// Repair counterpart: error injection + Repair() + RMS over dirty cells.
+Result<TrialResult> RunRepairTrials(const PreparedDataset& dataset,
+                                    const repair::Repairer& repairer,
+                                    const TrialOptions& options);
+
+}  // namespace smfl::exp
+
+#endif  // SMFL_EXP_EXPERIMENT_H_

@@ -1,0 +1,31 @@
+#include "src/exp/metrics.h"
+
+#include <cmath>
+
+namespace smfl::exp {
+
+Result<double> RmsOverMask(const Matrix& estimate, const Matrix& truth,
+                           const Mask& mask) {
+  if (!estimate.SameShape(truth)) {
+    return Status::InvalidArgument("RmsOverMask: shape mismatch");
+  }
+  if (mask.rows() != truth.rows() || mask.cols() != truth.cols()) {
+    return Status::InvalidArgument("RmsOverMask: mask shape mismatch");
+  }
+  double acc = 0.0;
+  Index count = 0;
+  for (Index i = 0; i < truth.rows(); ++i) {
+    for (Index j = 0; j < truth.cols(); ++j) {
+      if (!mask.Contains(i, j)) continue;
+      const double d = estimate(i, j) - truth(i, j);
+      acc += d * d;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("RmsOverMask: empty evaluation mask");
+  }
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+}  // namespace smfl::exp

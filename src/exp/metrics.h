@@ -1,0 +1,23 @@
+// Evaluation metrics (paper §IV-A2).
+
+#ifndef SMFL_EXP_METRICS_H_
+#define SMFL_EXP_METRICS_H_
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::exp {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+// RMS = sqrt(||R_Ψ(X* − X#)||_F² / |Ψ|): root-mean-square error between
+// estimate and ground truth over the entries in `mask` (Ψ). Fails if the
+// mask is empty.
+Result<double> RmsOverMask(const Matrix& estimate, const Matrix& truth,
+                           const Mask& mask);
+
+}  // namespace smfl::exp
+
+#endif  // SMFL_EXP_METRICS_H_

@@ -1,0 +1,78 @@
+#include "src/exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace smfl::exp {
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ReportTable::BeginRow(const std::string& label) {
+  rows_.emplace_back();
+  rows_.back().push_back(label);
+}
+
+void ReportTable::AddCell(const std::string& value) {
+  rows_.back().push_back(value);
+}
+
+void ReportTable::AddNumber(double value, int precision) {
+  rows_.back().push_back(StrFormat("%.*f", precision, value));
+}
+
+std::string ReportTable::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string ReportTable::ToCsv() const {
+  std::string out = Join(columns_, ",") + "\n";
+  for (const auto& row : rows_) out += Join(row, ",") + "\n";
+  return out;
+}
+
+std::string ReportTable::ToMarkdown() const {
+  std::string out = "| " + Join(columns_, " | ") + " |\n|";
+  for (size_t c = 0; c < columns_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "| " + Join(row, " | ") + " |\n";
+  }
+  return out;
+}
+
+void ReportTable::Print(const std::string& title) const {
+  std::printf("=== %s ===\n%s\n", title.c_str(), ToText().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace smfl::exp

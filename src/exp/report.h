@@ -1,0 +1,41 @@
+// Fixed-width table and CSV printers for the bench binaries, so every
+// regenerated table/figure prints in the same layout the paper reports.
+
+#ifndef SMFL_EXP_REPORT_H_
+#define SMFL_EXP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace smfl::exp {
+
+class ReportTable {
+ public:
+  // `columns` includes the leading row-label column.
+  explicit ReportTable(std::vector<std::string> columns);
+
+  // Starts a row with its label; fill it with AddCell / AddNumber.
+  void BeginRow(const std::string& label);
+  void AddCell(const std::string& value);
+  void AddNumber(double value, int precision = 3);
+
+  // Renders as an aligned text table.
+  std::string ToText() const;
+
+  // Renders as CSV (for downstream plotting).
+  std::string ToCsv() const;
+
+  // Renders as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+  std::string ToMarkdown() const;
+
+  // Prints the title, the text table, and a trailing blank line to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smfl::exp
+
+#endif  // SMFL_EXP_REPORT_H_

@@ -1,0 +1,55 @@
+#include "src/exp/sweep.h"
+
+#include "src/impute/mf_imputers.h"
+
+namespace smfl::exp {
+
+Result<ReportTable> RunSmflSweep(const SweepSpec& spec) {
+  if (spec.datasets.empty() || spec.value_labels.empty()) {
+    return Status::InvalidArgument("RunSmflSweep: empty datasets or values");
+  }
+  if (!spec.apply) {
+    return Status::InvalidArgument("RunSmflSweep: missing apply function");
+  }
+  if (!spec.include_smf && !spec.include_smfl) {
+    return Status::InvalidArgument("RunSmflSweep: no methods selected");
+  }
+  std::vector<std::string> columns = {"Dataset", "Method"};
+  columns.insert(columns.end(), spec.value_labels.begin(),
+                 spec.value_labels.end());
+  ReportTable table(std::move(columns));
+
+  for (const std::string& dataset_name : spec.datasets) {
+    const Index rows = spec.rows_override > 0 ? spec.rows_override
+                                              : DefaultRowsFor(dataset_name);
+    ASSIGN_OR_RETURN(PreparedDataset prepared,
+                     PrepareDataset(dataset_name, rows));
+    std::vector<bool> landmark_variants;
+    if (spec.include_smf) landmark_variants.push_back(false);
+    if (spec.include_smfl) landmark_variants.push_back(true);
+    for (bool landmarks : landmark_variants) {
+      table.BeginRow(dataset_name);
+      table.AddCell(landmarks ? "SMFL" : "SMF");
+      for (size_t v = 0; v < spec.value_labels.size(); ++v) {
+        core::SmflOptions options;
+        options.use_landmarks = landmarks;
+        spec.apply(v, &options);
+        auto result =
+            landmarks
+                ? RunImputationTrials(prepared,
+                                      impute::SmflImputer(options),
+                                      spec.trial)
+                : RunImputationTrials(prepared, impute::SmfImputer(options),
+                                      spec.trial);
+        if (result.ok()) {
+          table.AddNumber(result->mean_rms);
+        } else {
+          table.AddCell("ERR");
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace smfl::exp

@@ -1,0 +1,45 @@
+// Generic parameter-sweep runner for the sensitivity figures (Figs 6-8).
+//
+// Each sweep evaluates SMF and SMFL on a list of datasets across a list of
+// parameter values, producing one ReportTable row per (dataset, method).
+// The figure benches supply only the parameter name, the value list, and a
+// function applying a value to SmflOptions.
+
+#ifndef SMFL_EXP_SWEEP_H_
+#define SMFL_EXP_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/smfl.h"
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace smfl::exp {
+
+struct SweepSpec {
+  // Datasets to sweep over (names for PrepareDataset / DefaultRowsFor).
+  std::vector<std::string> datasets = {"lake", "vehicle"};
+  // Column labels, one per parameter value.
+  std::vector<std::string> value_labels;
+  // Applies the i-th parameter value to an options struct.
+  std::function<void(size_t value_index, core::SmflOptions*)> apply;
+  // Trials averaged per cell.
+  TrialOptions trial;
+  // Sweep SMF and/or SMFL rows.
+  bool include_smf = true;
+  bool include_smfl = true;
+  // Rows per dataset; 0 = DefaultRowsFor.
+  Index rows_override = 0;
+};
+
+// Runs the sweep and returns the filled table with columns
+// {"Dataset", "Method", <value_labels...>}. Cells that fail to fit hold
+// "ERR". Fails on an empty/invalid spec.
+Result<ReportTable> RunSmflSweep(const SweepSpec& spec);
+
+}  // namespace smfl::exp
+
+#endif  // SMFL_EXP_SWEEP_H_

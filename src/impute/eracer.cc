@@ -1,0 +1,102 @@
+#include "src/impute/eracer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/normalize.h"
+#include "src/la/qr.h"
+#include "src/spatial/knn.h"
+
+namespace smfl::impute {
+
+Result<Matrix> EracerImputer::Impute(const Matrix& x, const Mask& observed,
+                                     Index spatial_cols) const {
+  const Index n = x.rows(), m = x.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("EracerImputer: empty matrix");
+  }
+  if (observed.rows() != n || observed.cols() != m) {
+    return Status::InvalidArgument("EracerImputer: mask shape mismatch");
+  }
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  if (m < 2) return out;
+
+  // Spatial neighborhood (fixed across rounds). Rows with unobserved SI
+  // fall back to an empty neighborhood (their relational term is the
+  // column mean, i.e. zero-information).
+  const Index p = std::min<Index>(options_.neighbors, std::max<Index>(1, n - 1));
+  std::vector<std::vector<spatial::Neighbor>> knn;
+  if (spatial_cols >= 1 && n > 1) {
+    Matrix si = out.Block(0, 0, n, spatial_cols);
+    auto all = spatial::AllKnn(si, p);
+    if (all.ok()) knn = std::move(*all);
+  }
+
+  std::vector<Index> incomplete_cols;
+  for (Index j = 0; j < m; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      if (!observed.Contains(i, j)) {
+        incomplete_cols.push_back(j);
+        break;
+      }
+    }
+  }
+  if (incomplete_cols.empty()) return out;
+
+  // Neighborhood mean of column j around row i, on the current completion.
+  auto neighborhood_mean = [&](Index i, Index j) {
+    if (knn.empty() || knn[static_cast<size_t>(i)].empty()) {
+      return out(i, j);  // no relational signal
+    }
+    double acc = 0.0;
+    for (const auto& nb : knn[static_cast<size_t>(i)]) {
+      acc += out(nb.index, j);
+    }
+    return acc / static_cast<double>(knn[static_cast<size_t>(i)].size());
+  };
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    double max_change = 0.0;
+    for (Index j : incomplete_cols) {
+      std::vector<Index> train_rows;
+      for (Index i = 0; i < n; ++i) {
+        if (observed.Contains(i, j)) train_rows.push_back(i);
+      }
+      if (train_rows.size() < 3) continue;
+      const Index rows = static_cast<Index>(train_rows.size());
+      // Features: intercept + other columns + neighborhood mean of j.
+      Matrix f(rows, m + 1);
+      la::Vector y(rows);
+      for (Index r = 0; r < rows; ++r) {
+        const Index i = train_rows[static_cast<size_t>(r)];
+        f(r, 0) = 1.0;
+        Index c = 1;
+        for (Index jj = 0; jj < m; ++jj) {
+          if (jj == j) continue;
+          f(r, c++) = out(i, jj);
+        }
+        f(r, m) = neighborhood_mean(i, j);
+        y[r] = out(i, j);
+      }
+      auto beta = la::RidgeSolve(f, y, options_.ridge);
+      if (!beta.ok()) continue;
+      for (Index i = 0; i < n; ++i) {
+        if (observed.Contains(i, j)) continue;
+        double pred = (*beta)[0];
+        Index c = 1;
+        for (Index jj = 0; jj < m; ++jj) {
+          if (jj == j) continue;
+          pred += (*beta)[c++] * out(i, jj);
+        }
+        pred += (*beta)[m] * neighborhood_mean(i, j);
+        if (!std::isfinite(pred)) continue;
+        max_change = std::max(max_change, std::fabs(pred - out(i, j)));
+        out(i, j) = pred;
+      }
+    }
+    if (max_change < options_.tolerance) break;
+  }
+  return out;
+}
+
+}  // namespace smfl::impute

@@ -1,0 +1,43 @@
+// ERACER-style relational-statistics imputer (Mayfield et al., SIGMOD'10;
+// the paper's §V-B3 statistics-based family).
+//
+// ERACER learns probabilistic dependencies between attributes and the
+// attributes of related (here: spatially neighboring) tuples, then
+// iteratively re-estimates missing values until convergence — a
+// belief-propagation-flavored cousin of IterativeImputer. This
+// implementation models each column as a linear function of (a) the
+// tuple's other columns and (b) the neighborhood means of the SAME column,
+// refit each round on the current completion. The neighbor term is what
+// distinguishes it from IterativeImputer and lets it exploit spatial
+// relations the way the original exploits relational links.
+
+#ifndef SMFL_IMPUTE_ERACER_H_
+#define SMFL_IMPUTE_ERACER_H_
+
+#include "src/impute/imputer.h"
+
+namespace smfl::impute {
+
+struct EracerOptions {
+  // Spatial neighbors feeding the relational term.
+  Index neighbors = 4;
+  // Re-estimation rounds.
+  int rounds = 8;
+  double ridge = 1e-3;
+  double tolerance = 1e-4;
+};
+
+class EracerImputer : public Imputer {
+ public:
+  explicit EracerImputer(EracerOptions options = {}) : options_(options) {}
+  std::string name() const override { return "ERACER"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+ private:
+  EracerOptions options_;
+};
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_ERACER_H_

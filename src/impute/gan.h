@@ -1,0 +1,65 @@
+// GAN-based imputers: GAIN [46] and CAMF [42].
+//
+// GAIN: a generator MLP completes the matrix from [x̃, m] and a
+// discriminator MLP guesses which entries were observed from [x̂, hint];
+// the generator is trained with the adversarial signal plus an α-weighted
+// reconstruction loss on observed entries. Built entirely on src/nn.
+//
+// CAMF clusters the tuples and trains an adversarial matrix-factorization
+// imputer per cluster; we realize it as per-cluster NMF initialization
+// followed by per-cluster GAIN-style adversarial refinement, which keeps
+// the clustered+adversarial structure of the original. (The original is a
+// TensorFlow/GPU system; see DESIGN.md substitution notes.)
+
+#ifndef SMFL_IMPUTE_GAN_H_
+#define SMFL_IMPUTE_GAN_H_
+
+#include <cstdint>
+
+#include "src/impute/imputer.h"
+
+namespace smfl::impute {
+
+struct GainOptions {
+  Index hidden_dim = 0;     // 0 = same as input width M
+  int training_steps = 600;
+  Index batch_size = 128;
+  double hint_rate = 0.9;
+  double alpha = 10.0;      // reconstruction weight in the G loss
+  double learning_rate = 1e-3;
+  uint64_t seed = 31;
+};
+
+class GainImputer : public Imputer {
+ public:
+  explicit GainImputer(GainOptions options = {}) : options_(options) {}
+  std::string name() const override { return "GAIN"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+ private:
+  GainOptions options_;
+};
+
+struct CamfOptions {
+  Index num_clusters = 5;
+  Index nmf_rank = 5;
+  int nmf_iterations = 200;
+  GainOptions gan;  // per-cluster adversarial refinement
+  uint64_t seed = 37;
+};
+
+class CamfImputer : public Imputer {
+ public:
+  explicit CamfImputer(CamfOptions options = {}) : options_(options) {}
+  std::string name() const override { return "CAMF"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+ private:
+  CamfOptions options_;
+};
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_GAN_H_

@@ -1,0 +1,36 @@
+// Common interface for all imputation methods (paper §IV-A3).
+//
+// Contract: `x` is the (min-max normalized) data matrix whose first
+// `spatial_cols` columns are spatial information; only entries marked true
+// in `observed` may be read. The result must equal x on observed entries and
+// hold predictions elsewhere. Implementations must not consult ground truth.
+
+#ifndef SMFL_IMPUTE_IMPUTER_H_
+#define SMFL_IMPUTE_IMPUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::impute {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  // Display name used in experiment tables ("kNNE", "DLM", "SMFL", ...).
+  virtual std::string name() const = 0;
+
+  virtual Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                                Index spatial_cols) const = 0;
+};
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_IMPUTER_H_

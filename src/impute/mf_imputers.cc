@@ -1,0 +1,43 @@
+#include "src/impute/mf_imputers.h"
+
+namespace smfl::impute {
+
+Result<Matrix> McImputer::Impute(const Matrix& x, const Mask& observed,
+                                 Index /*spatial_cols*/) const {
+  ASSIGN_OR_RETURN(mf::SvtResult result,
+                   mf::CompleteSvt(x, observed, options_));
+  return data::CombineByMask(x, result.completed, observed);
+}
+
+Result<Matrix> SoftImputeImputer::Impute(const Matrix& x, const Mask& observed,
+                                         Index /*spatial_cols*/) const {
+  ASSIGN_OR_RETURN(mf::SoftImputeResult result,
+                   mf::CompleteSoftImpute(x, observed, options_));
+  return data::CombineByMask(x, result.completed, observed);
+}
+
+Result<Matrix> NmfImputer::Impute(const Matrix& x, const Mask& observed,
+                                  Index /*spatial_cols*/) const {
+  ASSIGN_OR_RETURN(mf::NmfModel model, mf::FitNmf(x, observed, options_));
+  return mf::ImputeWithModel(x, observed, model);
+}
+
+SmfImputer::SmfImputer(core::SmflOptions options) : options_(options) {
+  options_.use_landmarks = false;
+}
+
+Result<Matrix> SmfImputer::Impute(const Matrix& x, const Mask& observed,
+                                  Index spatial_cols) const {
+  return core::SmflImpute(x, observed, spatial_cols, options_);
+}
+
+SmflImputer::SmflImputer(core::SmflOptions options) : options_(options) {
+  options_.use_landmarks = true;
+}
+
+Result<Matrix> SmflImputer::Impute(const Matrix& x, const Mask& observed,
+                                   Index spatial_cols) const {
+  return core::SmflImpute(x, observed, spatial_cols, options_);
+}
+
+}  // namespace smfl::impute

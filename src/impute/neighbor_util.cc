@@ -1,0 +1,78 @@
+#include "src/impute/neighbor_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace smfl::impute {
+
+double PartialRowDistance(const Matrix& x, Index a, Index b,
+                          const std::vector<Index>& cols) {
+  if (cols.empty()) return std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (Index c : cols) {
+    const double d = x(a, c) - x(b, c);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<Index> ObservedColumns(const Mask& observed, Index i) {
+  std::vector<Index> cols;
+  for (Index j = 0; j < observed.cols(); ++j) {
+    if (observed.Contains(i, j)) cols.push_back(j);
+  }
+  return cols;
+}
+
+std::vector<Index> RowsCompleteOn(const Mask& observed,
+                                  const std::vector<Index>& cols) {
+  std::vector<Index> rows;
+  for (Index i = 0; i < observed.rows(); ++i) {
+    bool complete = true;
+    for (Index c : cols) {
+      if (!observed.Contains(i, c)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::vector<ScoredRow> NearestAmong(const Matrix& x, Index self,
+                                    const std::vector<Index>& candidates,
+                                    const std::vector<Index>& cols, Index k) {
+  auto farther = [](const ScoredRow& a, const ScoredRow& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.row < b.row;
+  };
+  std::priority_queue<ScoredRow, std::vector<ScoredRow>, decltype(farther)>
+      heap(farther);
+  for (Index row : candidates) {
+    if (row == self) continue;
+    const double d = PartialRowDistance(x, self, row, cols);
+    if (!std::isfinite(d)) continue;
+    if (static_cast<Index>(heap.size()) < k) {
+      heap.push({row, d});
+    } else if (farther({row, d}, heap.top())) {
+      heap.pop();
+      heap.push({row, d});
+    }
+  }
+  std::vector<ScoredRow> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredRow& a, const ScoredRow& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.row < b.row;
+  });
+  return out;
+}
+
+}  // namespace smfl::impute

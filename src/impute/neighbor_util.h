@@ -1,0 +1,43 @@
+// Shared neighbor machinery for the tuple-local imputers (kNN, kNNE, LOESS,
+// IIM, DLM): distances over partially observed tuples and complete-row
+// candidate pools.
+
+#ifndef SMFL_IMPUTE_NEIGHBOR_UTIL_H_
+#define SMFL_IMPUTE_NEIGHBOR_UTIL_H_
+
+#include <vector>
+
+#include "src/data/mask.h"
+
+namespace smfl::impute {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+// Euclidean distance between rows a and b of x restricted to the columns in
+// `cols`; infinity if `cols` is empty.
+double PartialRowDistance(const Matrix& x, Index a, Index b,
+                          const std::vector<Index>& cols);
+
+// Columns of row i that are observed.
+std::vector<Index> ObservedColumns(const Mask& observed, Index i);
+
+// Rows fully observed on every column in `cols` — valid donor tuples.
+std::vector<Index> RowsCompleteOn(const Mask& observed,
+                                  const std::vector<Index>& cols);
+
+struct ScoredRow {
+  Index row;
+  double distance;
+};
+
+// The k candidates (from `candidates`, excluding `self`) nearest to row
+// `self` of x under PartialRowDistance over `cols`; ascending by distance.
+std::vector<ScoredRow> NearestAmong(const Matrix& x, Index self,
+                                    const std::vector<Index>& candidates,
+                                    const std::vector<Index>& cols, Index k);
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_NEIGHBOR_UTIL_H_

@@ -1,0 +1,43 @@
+#include "src/impute/registry.h"
+
+#include "src/common/strings.h"
+#include "src/impute/eracer.h"
+#include "src/impute/gan.h"
+#include "src/impute/mf_imputers.h"
+#include "src/impute/regression.h"
+#include "src/impute/simple.h"
+#include "src/impute/statistical.h"
+
+namespace smfl::impute {
+
+Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "mean") return std::unique_ptr<Imputer>(new MeanImputer());
+  if (key == "eracer") return std::unique_ptr<Imputer>(new EracerImputer());
+  if (key == "knn") return std::unique_ptr<Imputer>(new KnnImputer());
+  if (key == "knne") return std::unique_ptr<Imputer>(new KnneImputer());
+  if (key == "loess") return std::unique_ptr<Imputer>(new LoessImputer());
+  if (key == "iim") return std::unique_ptr<Imputer>(new IimImputer());
+  if (key == "mc") return std::unique_ptr<Imputer>(new McImputer());
+  if (key == "dlm") return std::unique_ptr<Imputer>(new DlmImputer());
+  if (key == "gain") return std::unique_ptr<Imputer>(new GainImputer());
+  if (key == "softimpute") {
+    return std::unique_ptr<Imputer>(new SoftImputeImputer());
+  }
+  if (key == "iterative") {
+    return std::unique_ptr<Imputer>(new IterativeImputer());
+  }
+  if (key == "camf") return std::unique_ptr<Imputer>(new CamfImputer());
+  if (key == "nmf") return std::unique_ptr<Imputer>(new NmfImputer());
+  if (key == "smf") return std::unique_ptr<Imputer>(new SmfImputer());
+  if (key == "smfl") return std::unique_ptr<Imputer>(new SmflImputer());
+  return Status::NotFound("no imputer named '" + name + "'");
+}
+
+std::vector<std::string> RegisteredImputers() {
+  return {"kNNE", "LOESS", "IIM",        "MC",        "DLM",
+          "GAIN", "SoftImpute", "Iterative", "CAMF",  "NMF",
+          "SMF",  "SMFL"};
+}
+
+}  // namespace smfl::impute

@@ -1,0 +1,25 @@
+// Name-based imputer factory used by the experiment harness and benches.
+
+#ifndef SMFL_IMPUTE_REGISTRY_H_
+#define SMFL_IMPUTE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/impute/imputer.h"
+
+namespace smfl::impute {
+
+// Creates the imputer registered under `name` with its default options.
+// Known names: Mean, ERACER, kNN, kNNE, LOESS, IIM, MC, DLM, GAIN,
+// SoftImpute, Iterative, CAMF, NMF, SMF, SMFL. NotFound otherwise.
+Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& name);
+
+// The paper's Table IV method set, in its column order (Mean and ERACER
+// are constructible by name but not part of the paper's comparison).
+std::vector<std::string> RegisteredImputers();
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_REGISTRY_H_

@@ -1,0 +1,184 @@
+#include "src/impute/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/normalize.h"
+#include "src/impute/neighbor_util.h"
+#include "src/la/cholesky.h"
+#include "src/la/ops.h"
+#include "src/la/qr.h"
+
+namespace smfl::impute {
+
+namespace {
+
+using la::Vector;
+
+Status ValidateShape(const Matrix& x, const Mask& observed) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("Impute: empty matrix");
+  }
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("Impute: mask shape mismatch");
+  }
+  return Status::OK();
+}
+
+// Weighted ridge regression of y on [1, features]: solves
+// (Fᵀ diag(w) F + ridge I) beta = Fᵀ diag(w) y and predicts at `query`.
+// Returns false on numeric failure.
+bool WeightedLinearPredict(const Matrix& x, const std::vector<ScoredRow>& nn,
+                           const std::vector<double>& weights,
+                           const std::vector<Index>& feature_cols,
+                           Index target_col, Index query_row, double ridge,
+                           double* out) {
+  const Index rows = static_cast<Index>(nn.size());
+  const Index dims = static_cast<Index>(feature_cols.size()) + 1;
+  Matrix f(rows, dims);
+  Vector y(rows);
+  for (Index r = 0; r < rows; ++r) {
+    const double w = std::sqrt(weights[static_cast<size_t>(r)]);
+    f(r, 0) = w;  // intercept
+    for (size_t c = 0; c < feature_cols.size(); ++c) {
+      f(r, static_cast<Index>(c) + 1) = w * x(nn[static_cast<size_t>(r)].row,
+                                              feature_cols[c]);
+    }
+    y[r] = w * x(nn[static_cast<size_t>(r)].row, target_col);
+  }
+  auto beta = la::RidgeSolve(f, y, ridge);
+  if (!beta.ok()) return false;
+  double pred = (*beta)[0];
+  for (size_t c = 0; c < feature_cols.size(); ++c) {
+    pred += (*beta)[static_cast<Index>(c) + 1] * x(query_row, feature_cols[c]);
+  }
+  if (!std::isfinite(pred)) return false;
+  *out = pred;
+  return true;
+}
+
+}  // namespace
+
+Result<Matrix> LoessImputer::Impute(const Matrix& x, const Mask& observed,
+                                    Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  // Classical LOESS imputation fits on fully complete donor tuples.
+  const std::vector<Index> donors = observed.FullySetRows();
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.RowFullySet(i)) continue;
+    const std::vector<Index> obs_cols = ObservedColumns(observed, i);
+    if (obs_cols.empty()) continue;
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j)) continue;
+      std::vector<ScoredRow> nn =
+          NearestAmong(x, i, donors, obs_cols, options_.k);
+      if (nn.empty()) continue;
+      // Tricube weights over normalized distances.
+      const double dmax = std::max(nn.back().distance, 1e-12);
+      std::vector<double> w(nn.size());
+      for (size_t r = 0; r < nn.size(); ++r) {
+        const double u = std::min(nn[r].distance / dmax, 1.0);
+        const double t = 1.0 - u * u * u;
+        w[r] = std::max(t * t * t, 1e-6);
+      }
+      double v;
+      if (WeightedLinearPredict(x, nn, w, obs_cols, j, i, options_.ridge,
+                                &v)) {
+        out(i, j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> IimImputer::Impute(const Matrix& x, const Mask& observed,
+                                  Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  // IIM learns each tuple's individual model from complete neighbors.
+  const std::vector<Index> donors = observed.FullySetRows();
+  std::vector<double> unit_weights;
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.RowFullySet(i)) continue;
+    const std::vector<Index> obs_cols = ObservedColumns(observed, i);
+    if (obs_cols.empty()) continue;
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j)) continue;
+      std::vector<ScoredRow> nn =
+          NearestAmong(x, i, donors, obs_cols, options_.k);
+      if (nn.empty()) continue;
+      unit_weights.assign(nn.size(), 1.0);
+      double v;
+      if (WeightedLinearPredict(x, nn, unit_weights, obs_cols, j, i,
+                                options_.ridge, &v)) {
+        out(i, j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> IterativeImputer::Impute(const Matrix& x, const Mask& observed,
+                                        Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  const Index n = x.rows(), m = x.cols();
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  if (m < 2) return out;
+
+  // Columns that actually have holes, and the rows observed per column.
+  std::vector<Index> incomplete_cols;
+  for (Index j = 0; j < m; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      if (!observed.Contains(i, j)) {
+        incomplete_cols.push_back(j);
+        break;
+      }
+    }
+  }
+  if (incomplete_cols.empty()) return out;
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    double max_change = 0.0;
+    for (Index j : incomplete_cols) {
+      // Train on rows where column j is observed; features = other columns
+      // of the current working matrix (already hole-filled).
+      std::vector<Index> train_rows;
+      for (Index i = 0; i < n; ++i) {
+        if (observed.Contains(i, j)) train_rows.push_back(i);
+      }
+      if (train_rows.size() < 2) continue;
+      const Index rows = static_cast<Index>(train_rows.size());
+      Matrix f(rows, m);  // intercept + (m-1) other columns
+      Vector y(rows);
+      for (Index r = 0; r < rows; ++r) {
+        const Index i = train_rows[static_cast<size_t>(r)];
+        f(r, 0) = 1.0;
+        Index c = 1;
+        for (Index jj = 0; jj < m; ++jj) {
+          if (jj == j) continue;
+          f(r, c++) = out(i, jj);
+        }
+        y[r] = out(i, j);
+      }
+      auto beta = la::RidgeSolve(f, y, options_.ridge);
+      if (!beta.ok()) continue;
+      for (Index i = 0; i < n; ++i) {
+        if (observed.Contains(i, j)) continue;
+        double pred = (*beta)[0];
+        Index c = 1;
+        for (Index jj = 0; jj < m; ++jj) {
+          if (jj == j) continue;
+          pred += (*beta)[c++] * out(i, jj);
+        }
+        if (!std::isfinite(pred)) continue;
+        max_change = std::max(max_change, std::fabs(pred - out(i, j)));
+        out(i, j) = pred;
+      }
+    }
+    if (max_change < options_.tolerance) break;
+  }
+  return out;
+}
+
+}  // namespace smfl::impute

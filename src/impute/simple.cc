@@ -1,0 +1,109 @@
+#include "src/impute/simple.h"
+
+#include <algorithm>
+
+#include "src/data/normalize.h"
+#include "src/impute/neighbor_util.h"
+
+namespace smfl::impute {
+
+namespace {
+
+Status ValidateShape(const Matrix& x, const Mask& observed) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("Impute: empty matrix");
+  }
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("Impute: mask shape mismatch");
+  }
+  return Status::OK();
+}
+
+// kNN prediction for cell (i, j) matching on `match_cols`; returns false if
+// no donor row qualifies. Donors are FULLY complete tuples — the classical
+// kNN/kNNE implementations the paper compares against cannot use partially
+// observed donors (which is why its protocol reserves 100 complete rows).
+bool KnnPredict(const Matrix& x, Index i, Index j,
+                const std::vector<Index>& match_cols, Index k, double* out,
+                const std::vector<Index>& complete_donors) {
+  std::vector<ScoredRow> nn =
+      NearestAmong(x, i, complete_donors, match_cols, k);
+  if (nn.empty()) return false;
+  double acc = 0.0;
+  for (const ScoredRow& s : nn) acc += x(s.row, j);
+  *out = acc / static_cast<double>(nn.size());
+  return true;
+}
+
+}  // namespace
+
+Result<Matrix> MeanImputer::Impute(const Matrix& x, const Mask& observed,
+                                   Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  return data::FillWithColumnMeans(x, observed);
+}
+
+Result<Matrix> KnnImputer::Impute(const Matrix& x, const Mask& observed,
+                                  Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  Matrix out = data::FillWithColumnMeans(x, observed);  // fallback values
+  const std::vector<Index> complete_donors = observed.FullySetRows();
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.RowFullySet(i)) continue;
+    const std::vector<Index> obs_cols = ObservedColumns(observed, i);
+    if (obs_cols.empty()) continue;  // nothing to match on: keep the mean
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j)) continue;
+      double v;
+      if (KnnPredict(x, i, j, obs_cols, options_.k, &v,
+                     complete_donors)) {
+        out(i, j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> KnneImputer::Impute(const Matrix& x, const Mask& observed,
+                                   Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(x, observed));
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  const std::vector<Index> complete_donors = observed.FullySetRows();
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.RowFullySet(i)) continue;
+    const std::vector<Index> obs_cols = ObservedColumns(observed, i);
+    if (obs_cols.empty()) continue;
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j)) continue;
+      // Ensemble members: the full observed set, then leave-one-out subsets.
+      double acc = 0.0;
+      Index members = 0;
+      double v;
+      if (KnnPredict(x, i, j, obs_cols, options_.k, &v,
+                     complete_donors)) {
+        acc += v;
+        ++members;
+      }
+      if (obs_cols.size() > 1) {
+        const Index budget = std::min<Index>(
+            options_.max_models - 1, static_cast<Index>(obs_cols.size()));
+        for (Index drop = 0; drop < budget; ++drop) {
+          std::vector<Index> subset;
+          subset.reserve(obs_cols.size() - 1);
+          for (size_t c = 0; c < obs_cols.size(); ++c) {
+            if (static_cast<Index>(c) != drop) subset.push_back(obs_cols[c]);
+          }
+          if (KnnPredict(x, i, j, subset, options_.k, &v,
+                         complete_donors)) {
+            acc += v;
+            ++members;
+          }
+        }
+      }
+      if (members > 0) out(i, j) = acc / static_cast<double>(members);
+    }
+  }
+  return out;
+}
+
+}  // namespace smfl::impute

@@ -1,0 +1,60 @@
+// Mean, kNN, and kNN-Ensemble imputers (paper baselines §IV-A3 (1)).
+
+#ifndef SMFL_IMPUTE_SIMPLE_H_
+#define SMFL_IMPUTE_SIMPLE_H_
+
+#include "src/impute/imputer.h"
+
+namespace smfl::impute {
+
+// Column-mean imputation — the floor any method must beat.
+class MeanImputer : public Imputer {
+ public:
+  std::string name() const override { return "Mean"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+};
+
+struct KnnOptions {
+  Index k = 5;
+};
+
+// Classic kNN imputation [6]: a missing cell is the average of the k rows
+// nearest on the tuple's observed columns (donors must be observed on both
+// the matching columns and the target column).
+class KnnImputer : public Imputer {
+ public:
+  explicit KnnImputer(KnnOptions options = {}) : options_(options) {}
+  std::string name() const override { return "kNN"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+ private:
+  KnnOptions options_;
+};
+
+struct KnneOptions {
+  Index k = 5;
+  // Cap on ensemble members per cell (leave-one-out subsets of the observed
+  // columns plus the full set).
+  Index max_models = 8;
+};
+
+// kNN Ensemble [16]: builds a kNN estimate on several subsets of the
+// tuple's observed columns and averages the estimates. We use the full
+// observed set plus its leave-one-out subsets (capped), matching the
+// ensemble-over-attribute-subsets idea of the original.
+class KnneImputer : public Imputer {
+ public:
+  explicit KnneImputer(KnneOptions options = {}) : options_(options) {}
+  std::string name() const override { return "kNNE"; }
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+ private:
+  KnneOptions options_;
+};
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_SIMPLE_H_

@@ -1,0 +1,70 @@
+#include "src/impute/statistical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/normalize.h"
+#include "src/impute/neighbor_util.h"
+
+namespace smfl::impute {
+
+Result<Matrix> DlmImputer::Impute(const Matrix& x, const Mask& observed,
+                                  Index /*spatial_cols*/) const {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("DlmImputer: empty matrix");
+  }
+  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+    return Status::InvalidArgument("DlmImputer: mask shape mismatch");
+  }
+  Matrix out = data::FillWithColumnMeans(x, observed);
+  const double scale = std::max(options_.likelihood_scale, 1e-9);
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (observed.RowFullySet(i)) continue;
+    const std::vector<Index> obs_cols = ObservedColumns(observed, i);
+    if (obs_cols.empty()) continue;
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j)) continue;
+      std::vector<Index> needed = obs_cols;
+      needed.push_back(j);
+      std::vector<Index> donors = RowsCompleteOn(observed, needed);
+      std::vector<ScoredRow> nn =
+          NearestAmong(x, i, donors, obs_cols, options_.k);
+      if (nn.empty()) continue;
+      // Candidate fillings: each neighbor's value of column j. Score each
+      // candidate by the log-likelihood of the completed tuple's distances
+      // to all neighbors under d ~ Exp(scale): log p = -Σ_t d_t / scale
+      // (up to constants), where d_t includes the candidate's contribution
+      // in dimension j.
+      double best_score = -std::numeric_limits<double>::infinity();
+      double best_value = out(i, j);
+      for (const ScoredRow& cand : nn) {
+        const double value = x(cand.row, j);
+        double score = 0.0;
+        for (const ScoredRow& t : nn) {
+          const double dj = value - x(t.row, j);
+          const double d =
+              std::sqrt(t.distance * t.distance + dj * dj);
+          score -= d / scale;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best_value = value;
+        }
+      }
+      // Refine: likelihood-weighted average around the best candidate —
+      // this is the "maximize then aggregate" smoothing of DLM.
+      double wsum = 0.0, vsum = 0.0;
+      for (const ScoredRow& t : nn) {
+        const double dj = best_value - x(t.row, j);
+        const double d = std::sqrt(t.distance * t.distance + dj * dj);
+        const double w = std::exp(-d / scale);
+        wsum += w;
+        vsum += w * x(t.row, j);
+      }
+      out(i, j) = wsum > 0.0 ? vsum / wsum : best_value;
+    }
+  }
+  return out;
+}
+
+}  // namespace smfl::impute

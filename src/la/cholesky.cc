@@ -1,0 +1,80 @@
+#include "src/la/cholesky.h"
+
+#include <cmath>
+
+namespace smfl::la {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const Index n = a.rows();
+  Matrix l(n, n);
+  for (Index j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (Index p = 0; p < j; ++p) diag -= l(j, p) * l(j, p);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::NumericError(
+          "matrix is not positive definite (pivot " +
+          std::to_string(static_cast<long long>(j)) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (Index p = 0; p < j; ++p) v -= l(i, p) * l(j, p);
+      l(i, j) = v / ljj;
+    }
+  }
+  return l;
+}
+
+Vector ForwardSubstitute(const Matrix& l, const Vector& b) {
+  SMFL_CHECK_EQ(l.rows(), l.cols());
+  SMFL_CHECK_EQ(l.rows(), b.size());
+  const Index n = l.rows();
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double v = b[i];
+    for (Index p = 0; p < i; ++p) v -= l(i, p) * y[p];
+    y[i] = v / l(i, i);
+  }
+  return y;
+}
+
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& y) {
+  SMFL_CHECK_EQ(l.rows(), l.cols());
+  SMFL_CHECK_EQ(l.rows(), y.size());
+  const Index n = l.rows();
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    double v = y[i];
+    for (Index p = i + 1; p < n; ++p) v -= l(p, i) * x[p];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("Cholesky solve: dimension mismatch");
+  }
+  ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  Vector y = ForwardSubstitute(l, b);
+  return BackSubstituteTransposed(l, y);
+}
+
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("Cholesky solve: dimension mismatch");
+  }
+  ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  Matrix x(b.rows(), b.cols());
+  for (Index j = 0; j < b.cols(); ++j) {
+    Vector y = ForwardSubstitute(l, b.Col(j));
+    x.SetCol(j, BackSubstituteTransposed(l, y));
+  }
+  return x;
+}
+
+}  // namespace smfl::la

@@ -1,0 +1,30 @@
+// Cholesky factorization and SPD solves (used by ridge regression and the
+// IterativeImputer / LOESS / IIM baselines).
+
+#ifndef SMFL_LA_CHOLESKY_H_
+#define SMFL_LA_CHOLESKY_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// Lower-triangular Cholesky factor of a symmetric positive-definite A:
+// A = L * L^T. Fails with NumericError if A is not (numerically) SPD.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+// Solves A x = b for SPD A via Cholesky.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+// Solves A X = B column-wise for SPD A.
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b);
+
+// Forward substitution: solves L y = b for lower-triangular L.
+Vector ForwardSubstitute(const Matrix& l, const Vector& b);
+
+// Back substitution: solves L^T x = y for lower-triangular L.
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& y);
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_CHOLESKY_H_

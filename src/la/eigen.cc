@@ -1,0 +1,90 @@
+#include "src/la/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/la/ops.h"
+
+namespace smfl::la {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          const EigenOptions& options) {
+  if (a.rows() == 0 || a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: need a square matrix");
+  }
+  if (a.HasNonFinite()) {
+    return Status::NumericError("SymmetricEigen: non-finite input");
+  }
+  const Index n = a.rows();
+  // Symmetry check, then work on the symmetrized copy.
+  double asym = 0.0, scale = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      asym = std::max(asym, std::fabs(a(i, j) - a(j, i)));
+      scale = std::max(scale, std::fabs(a(i, j)));
+    }
+  }
+  if (asym > 1e-8 * std::max(scale, 1.0)) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not symmetric");
+  }
+  Matrix w(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) w(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; stop when negligible.
+    double off = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = i + 1; j < n; ++j) off += w(i, j) * w(i, j);
+    }
+    if (std::sqrt(off) <= options.tolerance * std::max(scale, 1e-300)) break;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = w(p, p), aqq = w(q, q);
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // W <- Jᵀ W J applied to rows/columns p and q.
+        for (Index k = 0; k < n; ++k) {
+          const double wkp = w(k, p), wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double wpk = w(p, k), wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort ascending.
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&](Index x, Index y) { return w(x, x) < w(y, y); });
+  EigenDecomposition out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index src = order[static_cast<size_t>(j)];
+    out.values[j] = w(src, src);
+    for (Index i = 0; i < n; ++i) out.vectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace smfl::la

@@ -1,0 +1,35 @@
+// Symmetric eigendecomposition via the classical Jacobi rotation method.
+//
+// Used for spectral analysis of the neighbor-graph Laplacian (its spectrum
+// certifies positive semidefiniteness and connectivity) and by the spectral
+// clustering extension in src/cluster.
+
+#ifndef SMFL_LA_EIGEN_H_
+#define SMFL_LA_EIGEN_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// A = V diag(w) Vᵀ with orthonormal eigenvector columns in V and
+// eigenvalues in `values`, sorted ascending.
+struct EigenDecomposition {
+  Vector values;
+  Matrix vectors;
+};
+
+struct EigenOptions {
+  double tolerance = 1e-12;
+  int max_sweeps = 64;
+};
+
+// Eigendecomposition of a symmetric matrix. Fails on non-square or
+// non-finite input; symmetry is enforced by averaging A and Aᵀ, and inputs
+// whose asymmetry exceeds a tolerance are rejected.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          const EigenOptions& options = {});
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_EIGEN_H_

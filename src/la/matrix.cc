@@ -1,0 +1,158 @@
+#include "src/la/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/la/ops.h"
+
+namespace smfl::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<Index>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<Index>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_ * cols_));
+  for (const auto& r : rows) {
+    SMFL_CHECK_EQ(static_cast<Index>(r.size()), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(Index n) {
+  Matrix m(n, n);
+  for (Index i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (Index i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::FromRowMajor(Index rows, Index cols,
+                            std::vector<double> data) {
+  SMFL_CHECK_EQ(static_cast<Index>(data.size()), rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Vector Matrix::Col(Index j) const {
+  SMFL_CHECK(j >= 0 && j < cols_);
+  Vector v(rows_);
+  for (Index i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::SetCol(Index j, const Vector& v) {
+  SMFL_CHECK(j >= 0 && j < cols_);
+  SMFL_CHECK_EQ(v.size(), rows_);
+  for (Index i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+void Matrix::SetRow(Index i, const Vector& v) {
+  SMFL_CHECK(i >= 0 && i < rows_);
+  SMFL_CHECK_EQ(v.size(), cols_);
+  for (Index j = 0; j < cols_; ++j) (*this)(i, j) = v[j];
+}
+
+Matrix Matrix::Block(Index r0, Index c0, Index nr, Index nc) const {
+  SMFL_CHECK(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0);
+  SMFL_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (Index i = 0; i < nr; ++i) {
+    for (Index j = 0; j < nc; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  }
+  return b;
+}
+
+void Matrix::SetBlock(Index r0, Index c0, const Matrix& b) {
+  SMFL_CHECK(r0 >= 0 && c0 >= 0);
+  SMFL_CHECK(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
+  for (Index i = 0; i < b.rows(); ++i) {
+    for (Index j = 0; j < b.cols(); ++j) (*this)(r0 + i, c0 + j) = b(i, j);
+  }
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SMFL_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SMFL_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+bool Matrix::HasNonFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << "[" << rows_ << " x " << cols_ << "]\n";
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = 0; j < cols_; ++j) {
+      os << (*this)(i, j) << (j + 1 < cols_ ? " " : "");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double s) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(double s, Matrix a) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) { return MatMul(a, b); }
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  SMFL_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    auto row = a.Row(i);
+    for (Index j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace smfl::la

@@ -1,0 +1,163 @@
+// Dense row-major matrix and vector types — the numeric substrate for the
+// whole library. No external BLAS/LAPACK: kernels live in ops.h, and
+// decompositions (Cholesky, QR, SVD) in their own headers.
+//
+// Dimension mismatches are programmer errors and abort via SMFL_CHECK;
+// data-dependent numeric failures return Status from the routines that can
+// hit them.
+
+#ifndef SMFL_LA_MATRIX_H_
+#define SMFL_LA_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace smfl::la {
+
+using Index = std::ptrdiff_t;
+
+// A dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(Index n, double fill = 0.0)
+      : data_(static_cast<size_t>(n), fill) {
+    SMFL_CHECK_GE(n, 0);
+  }
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  Index size() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](Index i) const {
+    SMFL_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  double& operator[](Index i) {
+    SMFL_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  const std::vector<double>& values() const { return data_; }
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+  void Resize(Index n, double fill = 0.0) {
+    data_.resize(static_cast<size_t>(n), fill);
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::vector<double> data_;
+};
+
+// A dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  // n x m matrix filled with `fill`.
+  Matrix(Index rows, Index cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {
+    SMFL_CHECK_GE(rows, 0);
+    SMFL_CHECK_GE(cols, 0);
+  }
+
+  // Row-major initializer: {{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(Index n);
+  static Matrix Diagonal(const Vector& d);
+
+  // Builds from a row-major flat buffer of size rows*cols.
+  static Matrix FromRowMajor(Index rows, Index cols,
+                             std::vector<double> data);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(Index i, Index j) const {
+    SMFL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double& operator()(Index i, Index j) {
+    SMFL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  // Contiguous view of row i.
+  std::span<double> Row(Index i) {
+    SMFL_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<const double> Row(Index i) const {
+    SMFL_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+
+  // Copies column j out / in.
+  Vector Col(Index j) const;
+  void SetCol(Index j, const Vector& v);
+  void SetRow(Index i, const Vector& v);
+
+  // Sub-block copy: rows [r0, r0+nr), cols [c0, c0+nc).
+  Matrix Block(Index r0, Index c0, Index nr, Index nc) const;
+  void SetBlock(Index r0, Index c0, const Matrix& b);
+
+  Matrix Transposed() const;
+
+  // Element-wise in-place ops.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // True if any entry is NaN or Inf.
+  bool HasNonFinite() const;
+
+  // Debug printing (small matrices).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+// Matrix product a*b (dispatches to the blocked kernel in ops.cc).
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+// Matrix-vector product.
+Vector operator*(const Matrix& a, const Vector& x);
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_MATRIX_H_

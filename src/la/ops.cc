@@ -1,0 +1,174 @@
+#include "src/la/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smfl::la {
+
+namespace {
+// Block edge for the gemm kernels; sized so three blocks fit in L2.
+constexpr Index kBlock = 64;
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK_EQ(a.cols(), b.rows());
+  const Index n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix c(n, m);
+  double* cd = c.data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (Index i0 = 0; i0 < n; i0 += kBlock) {
+    const Index i1 = std::min(i0 + kBlock, n);
+    for (Index p0 = 0; p0 < k; p0 += kBlock) {
+      const Index p1 = std::min(p0 + kBlock, k);
+      for (Index j0 = 0; j0 < m; j0 += kBlock) {
+        const Index j1 = std::min(j0 + kBlock, m);
+        for (Index i = i0; i < i1; ++i) {
+          for (Index p = p0; p < p1; ++p) {
+            const double av = ad[i * k + p];
+            if (av == 0.0) continue;
+            const double* brow = bd + p * m;
+            double* crow = cd + i * m;
+            for (Index j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulAtB(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK_EQ(a.rows(), b.rows());
+  const Index k = a.rows(), n = a.cols(), m = b.cols();
+  Matrix c(n, m);
+  double* cd = c.data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  // c[i][j] = sum_p a[p][i] * b[p][j]; stream rows of a and b.
+  for (Index p = 0; p < k; ++p) {
+    const double* arow = ad + p * n;
+    const double* brow = bd + p * m;
+    for (Index i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = cd + i * m;
+      for (Index j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulABt(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK_EQ(a.cols(), b.cols());
+  const Index n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix c(n, m);
+  // c[i][j] = dot(a.row(i), b.row(j)): both contiguous.
+  for (Index i = 0; i < n; ++i) {
+    auto arow = a.Row(i);
+    for (Index j = 0; j < m; ++j) {
+      auto brow = b.Row(j);
+      double acc = 0.0;
+      for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* cd = c.data();
+  for (Index i = 0; i < a.size(); ++i) cd[i] = ad[i] * bd[i];
+  return c;
+}
+
+Matrix SafeDivide(const Matrix& num, const Matrix& den, double eps) {
+  SMFL_CHECK(num.SameShape(den));
+  Matrix c(num.rows(), num.cols());
+  const double* nd = num.data();
+  const double* dd = den.data();
+  double* cd = c.data();
+  for (Index i = 0; i < num.size(); ++i) {
+    cd[i] = nd[i] / std::max(dd[i], eps);
+  }
+  return c;
+}
+
+double FrobeniusNormSquared(const Matrix& a) {
+  double acc = 0.0;
+  const double* d = a.data();
+  for (Index i = 0; i < a.size(); ++i) acc += d[i] * d[i];
+  return acc;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  return std::sqrt(FrobeniusNormSquared(a));
+}
+
+double Trace(const Matrix& a) {
+  SMFL_CHECK_EQ(a.rows(), a.cols());
+  double acc = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) acc += a(i, i);
+  return acc;
+}
+
+double TraceAtB(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK(a.SameShape(b));
+  double acc = 0.0;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (Index i = 0; i < a.size(); ++i) acc += ad[i] * bd[i];
+  return acc;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  SMFL_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (Index i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  SMFL_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SMFL_CHECK(a.SameShape(b));
+  double best = 0.0;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (Index i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(ad[i] - bd[i]));
+  }
+  return best;
+}
+
+void ClampMin(Matrix& a, double lo) {
+  double* d = a.data();
+  for (Index i = 0; i < a.size(); ++i) d[i] = std::max(d[i], lo);
+}
+
+Vector ColMeans(const Matrix& a) {
+  Vector mu(a.cols());
+  if (a.rows() == 0) return mu;
+  for (Index i = 0; i < a.rows(); ++i) {
+    auto row = a.Row(i);
+    for (Index j = 0; j < a.cols(); ++j) mu[j] += row[j];
+  }
+  for (Index j = 0; j < a.cols(); ++j) mu[j] /= static_cast<double>(a.rows());
+  return mu;
+}
+
+}  // namespace smfl::la

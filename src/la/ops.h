@@ -1,0 +1,60 @@
+// BLAS-like kernels on Matrix/Vector. All products use a cache-blocked
+// i-k-j loop order; MatMulAtB / MatMulABt avoid materializing transposes.
+
+#ifndef SMFL_LA_OPS_H_
+#define SMFL_LA_OPS_H_
+
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// C = A^T * B without forming A^T.
+Matrix MatMulAtB(const Matrix& a, const Matrix& b);
+
+// C = A * B^T without forming B^T.
+Matrix MatMulABt(const Matrix& a, const Matrix& b);
+
+// Element-wise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+// Element-wise quotient with denominator clamped at `eps` (used by
+// multiplicative NMF updates; keeps entries finite and nonnegative).
+Matrix SafeDivide(const Matrix& num, const Matrix& den, double eps);
+
+// ||A||_F.
+double FrobeniusNorm(const Matrix& a);
+
+// ||A||_F^2 (avoids the sqrt).
+double FrobeniusNormSquared(const Matrix& a);
+
+// Trace of a square matrix.
+double Trace(const Matrix& a);
+
+// Tr(A^T * B) = sum_ij a_ij * b_ij, without forming the product.
+double TraceAtB(const Matrix& a, const Matrix& b);
+
+// Dot product.
+double Dot(const Vector& a, const Vector& b);
+
+// ||v||_2.
+double Norm2(const Vector& v);
+
+// Squared Euclidean distance between two equal-length spans.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+// Max |a_ij - b_ij|.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+// Clamps all entries below `lo` to `lo` (projection onto the nonnegative
+// orthant when lo = 0).
+void ClampMin(Matrix& a, double lo);
+
+// Column-wise mean of the rows.
+Vector ColMeans(const Matrix& a);
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_OPS_H_

@@ -1,0 +1,118 @@
+#include "src/la/qr.h"
+
+#include <cmath>
+
+#include "src/la/cholesky.h"
+#include "src/la/ops.h"
+
+namespace smfl::la {
+
+Result<QrDecomposition> QrFactor(const Matrix& a) {
+  const Index n = a.rows(), m = a.cols();
+  if (n < m) {
+    return Status::InvalidArgument("QrFactor requires rows >= cols");
+  }
+  // Householder in-place on a working copy; accumulate reflectors.
+  Matrix r = a;
+  std::vector<Vector> reflectors;
+  reflectors.reserve(static_cast<size_t>(m));
+  for (Index j = 0; j < m; ++j) {
+    // Build the Householder vector for column j below the diagonal.
+    double norm = 0.0;
+    for (Index i = j; i < n; ++i) norm += r(i, j) * r(i, j);
+    norm = std::sqrt(norm);
+    Vector v(n - j);
+    if (norm == 0.0) {
+      reflectors.push_back(std::move(v));  // zero reflector: identity
+      continue;
+    }
+    const double alpha = r(j, j) >= 0 ? -norm : norm;
+    for (Index i = j; i < n; ++i) v[i - j] = r(i, j);
+    v[0] -= alpha;
+    double vnorm2 = 0.0;
+    for (Index i = 0; i < v.size(); ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) {
+      reflectors.push_back(std::move(v));
+      continue;
+    }
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing submatrix.
+    for (Index c = j; c < m; ++c) {
+      double dot = 0.0;
+      for (Index i = j; i < n; ++i) dot += v[i - j] * r(i, c);
+      const double f = 2.0 * dot / vnorm2;
+      for (Index i = j; i < n; ++i) r(i, c) -= f * v[i - j];
+    }
+    reflectors.push_back(std::move(v));
+  }
+  // Form thin Q by applying reflectors (in reverse) to the first m columns
+  // of the identity.
+  Matrix q(n, m);
+  for (Index j = 0; j < m; ++j) q(j, j) = 1.0;
+  for (Index j = m - 1; j >= 0; --j) {
+    const Vector& v = reflectors[static_cast<size_t>(j)];
+    double vnorm2 = 0.0;
+    for (Index i = 0; i < v.size(); ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) continue;
+    for (Index c = 0; c < m; ++c) {
+      double dot = 0.0;
+      for (Index i = j; i < n; ++i) dot += v[i - j] * q(i, c);
+      const double f = 2.0 * dot / vnorm2;
+      for (Index i = j; i < n; ++i) q(i, c) -= f * v[i - j];
+    }
+  }
+  // Zero out the strictly-lower part of R (numerical noise) and shrink.
+  Matrix r_thin(m, m);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j2 = i; j2 < m; ++j2) r_thin(i, j2) = r(i, j2);
+  }
+  return QrDecomposition{std::move(q), std::move(r_thin)};
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: dimension mismatch");
+  }
+  ASSIGN_OR_RETURN(QrDecomposition qr, QrFactor(a));
+  const Index m = a.cols();
+  // x = R^{-1} Q^T b.
+  Vector qtb(m);
+  for (Index j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (Index i = 0; i < a.rows(); ++i) acc += qr.q(i, j) * b[i];
+    qtb[j] = acc;
+  }
+  // Rank check on the diagonal of R.
+  double rmax = 0.0;
+  for (Index i = 0; i < m; ++i) rmax = std::max(rmax, std::fabs(qr.r(i, i)));
+  const double tol = rmax * 1e-12;
+  Vector x(m);
+  for (Index i = m - 1; i >= 0; --i) {
+    if (std::fabs(qr.r(i, i)) <= tol) {
+      return Status::NumericError("LeastSquares: rank-deficient system");
+    }
+    double v = qtb[i];
+    for (Index j = i + 1; j < m; ++j) v -= qr.r(i, j) * x[j];
+    x[i] = v / qr.r(i, i);
+  }
+  return x;
+}
+
+Result<Vector> RidgeSolve(const Matrix& a, const Vector& b, double lambda) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("RidgeSolve: dimension mismatch");
+  }
+  if (!(lambda > 0.0)) {
+    return Status::InvalidArgument("RidgeSolve: lambda must be > 0");
+  }
+  Matrix ata = MatMulAtB(a, a);
+  for (Index i = 0; i < ata.rows(); ++i) ata(i, i) += lambda;
+  Vector atb(a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    double acc = 0.0;
+    for (Index i = 0; i < a.rows(); ++i) acc += a(i, j) * b[i];
+    atb[j] = acc;
+  }
+  return CholeskySolve(ata, atb);
+}
+
+}  // namespace smfl::la

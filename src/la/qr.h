@@ -1,0 +1,31 @@
+// Householder QR and least-squares solves.
+
+#ifndef SMFL_LA_QR_H_
+#define SMFL_LA_QR_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// Thin QR of an n x m matrix (n >= m): A = Q R with Q n x m orthonormal
+// columns and R m x m upper triangular.
+struct QrDecomposition {
+  Matrix q;
+  Matrix r;
+};
+
+Result<QrDecomposition> QrFactor(const Matrix& a);
+
+// Minimum-norm least squares solution of min ||A x - b||_2 via QR.
+// Fails with NumericError if A is numerically rank-deficient.
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b);
+
+// Ridge (Tikhonov) least squares: solves (A^T A + lambda I) x = A^T b.
+// lambda > 0 makes the system SPD even for rank-deficient A, which is what
+// the regression-based imputers rely on.
+Result<Vector> RidgeSolve(const Matrix& a, const Vector& b, double lambda);
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_QR_H_

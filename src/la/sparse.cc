@@ -1,0 +1,133 @@
+#include "src/la/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smfl::la {
+
+Result<SparseMatrix> SparseMatrix::FromTriplets(
+    Index rows, Index cols, std::vector<Triplet> triplets) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("SparseMatrix: negative dimensions");
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange("SparseMatrix: triplet out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    // Merge duplicates.
+    size_t j = i + 1;
+    double sum = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_indices_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    ++m.row_offsets_[static_cast<size_t>(triplets[i].row) + 1];
+    i = j;
+  }
+  for (size_t r = 1; r < m.row_offsets_.size(); ++r) {
+    m.row_offsets_[r] += m.row_offsets_[r - 1];
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense,
+                                     double drop_tolerance) {
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < dense.rows(); ++i) {
+    for (Index j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(dense(i, j)) > drop_tolerance) {
+        triplets.push_back({i, j, dense(i, j)});
+      }
+    }
+  }
+  auto result = FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+  SMFL_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  SMFL_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (Index k = row_offsets_[static_cast<size_t>(i)];
+         k < row_offsets_[static_cast<size_t>(i) + 1]; ++k) {
+      acc += values_[static_cast<size_t>(k)] *
+             x[col_indices_[static_cast<size_t>(k)]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
+  SMFL_CHECK_EQ(b.rows(), cols_);
+  Matrix c(rows_, b.cols());
+  for (Index i = 0; i < rows_; ++i) {
+    auto crow = c.Row(i);
+    for (Index k = row_offsets_[static_cast<size_t>(i)];
+         k < row_offsets_[static_cast<size_t>(i) + 1]; ++k) {
+      const double v = values_[static_cast<size_t>(k)];
+      auto brow = b.Row(col_indices_[static_cast<size_t>(k)]);
+      for (Index j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+double SparseMatrix::QuadraticForm(const Vector& x) const {
+  SMFL_CHECK_EQ(rows_, cols_);
+  SMFL_CHECK_EQ(x.size(), rows_);
+  double acc = 0.0;
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_offsets_[static_cast<size_t>(i)];
+         k < row_offsets_[static_cast<size_t>(i) + 1]; ++k) {
+      acc += x[i] * values_[static_cast<size_t>(k)] *
+             x[col_indices_[static_cast<size_t>(k)]];
+    }
+  }
+  return acc;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_offsets_[static_cast<size_t>(i)];
+         k < row_offsets_[static_cast<size_t>(i) + 1]; ++k) {
+      dense(i, col_indices_[static_cast<size_t>(k)]) +=
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+std::span<const Index> SparseMatrix::RowIndices(Index i) const {
+  SMFL_DCHECK(i >= 0 && i < rows_);
+  const auto begin = static_cast<size_t>(row_offsets_[static_cast<size_t>(i)]);
+  const auto end =
+      static_cast<size_t>(row_offsets_[static_cast<size_t>(i) + 1]);
+  return {col_indices_.data() + begin, end - begin};
+}
+
+std::span<const double> SparseMatrix::RowValues(Index i) const {
+  SMFL_DCHECK(i >= 0 && i < rows_);
+  const auto begin = static_cast<size_t>(row_offsets_[static_cast<size_t>(i)]);
+  const auto end =
+      static_cast<size_t>(row_offsets_[static_cast<size_t>(i) + 1]);
+  return {values_.data() + begin, end - begin};
+}
+
+}  // namespace smfl::la

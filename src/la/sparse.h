@@ -1,0 +1,69 @@
+// Compressed sparse row (CSR) matrix.
+//
+// The neighbor-graph operators D·U / W·U and the Laplacian quadratic form
+// are sparse computations; CSR gives them a standard, testable form and is
+// the interchange format NeighborGraph exports (graph.h). Only the
+// operations the library needs are implemented — this is not a general
+// sparse-algebra package.
+
+#ifndef SMFL_LA_SPARSE_H_
+#define SMFL_LA_SPARSE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// One explicit entry of a sparse matrix.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  double value = 0.0;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  // Builds CSR from unordered triplets; duplicate (row, col) entries are
+  // summed. Fails on out-of-range coordinates.
+  static Result<SparseMatrix> FromTriplets(Index rows, Index cols,
+                                           std::vector<Triplet> triplets);
+
+  // Dense -> sparse, dropping entries with |v| <= drop_tolerance.
+  static SparseMatrix FromDense(const Matrix& dense,
+                                double drop_tolerance = 0.0);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index NumNonZeros() const { return static_cast<Index>(values_.size()); }
+
+  // y = A * x.
+  Vector Multiply(const Vector& x) const;
+
+  // C = A * B for dense B (the D·U / W·U use case).
+  Matrix MultiplyDense(const Matrix& b) const;
+
+  // xᵀ A x (for symmetric A; used for Laplacian quadratic forms).
+  double QuadraticForm(const Vector& x) const;
+
+  // Dense copy for tests and small problems.
+  Matrix ToDense() const;
+
+  // Row i's column indices / values (parallel spans).
+  std::span<const Index> RowIndices(Index i) const;
+  std::span<const double> RowValues(Index i) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_offsets_;  // size rows_ + 1
+  std::vector<Index> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_SPARSE_H_

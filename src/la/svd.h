@@ -1,0 +1,51 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// One-sided Jacobi is simple, numerically robust, and accurate for the
+// moderate sizes this library handles (N up to ~1e5 rows but with small
+// column counts, where the cost is dominated by column sweeps over m^2
+// pairs). It underpins the MC (SVT), SoftImpute, and PCA baselines.
+
+#ifndef SMFL_LA_SVD_H_
+#define SMFL_LA_SVD_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace smfl::la {
+
+// A = U * diag(s) * V^T with U: n x r, V: m x r, r = min(n, m).
+// Singular values are sorted in non-increasing order.
+struct SvdDecomposition {
+  Matrix u;
+  Vector s;
+  Matrix v;
+};
+
+struct SvdOptions {
+  // Convergence threshold on the off-diagonal orthogonality measure.
+  double tolerance = 1e-12;
+  // Max full sweeps over all column pairs.
+  int max_sweeps = 60;
+};
+
+// Full (thin) SVD. Fails with NumericError on non-finite input or if the
+// sweep budget is exhausted before convergence.
+Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options = {});
+
+// Reconstructs U * diag(s) * V^T.
+Matrix SvdReconstruct(const SvdDecomposition& svd);
+
+// Rank-k truncation of an SVD (keeps the k largest singular values).
+SvdDecomposition TruncateSvd(const SvdDecomposition& svd, Index k);
+
+// Soft-thresholding operator S_tau(A): shrink singular values by tau and
+// drop the ones that hit zero. The core step of SoftImpute and SVT.
+Result<Matrix> SoftThresholdSvd(const Matrix& a, double tau,
+                                const SvdOptions& options = {});
+
+// Nuclear norm ||A||_* = sum of singular values.
+Result<double> NuclearNorm(const Matrix& a, const SvdOptions& options = {});
+
+}  // namespace smfl::la
+
+#endif  // SMFL_LA_SVD_H_

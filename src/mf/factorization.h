@@ -1,0 +1,45 @@
+// Shared types for iterative matrix factorization solvers.
+
+#ifndef SMFL_MF_FACTORIZATION_H_
+#define SMFL_MF_FACTORIZATION_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace smfl::mf {
+
+using la::Index;
+using la::Matrix;
+
+// Denominator floor for multiplicative update rules. Standard NMF practice:
+// keeps iterates finite and nonnegative when a factor row/column dies.
+inline constexpr double kDivEps = 1e-12;
+
+// Progress record returned by every iterative solver. The objective trace is
+// the hook for the paper's convergence guarantee: multiplicative updates
+// must make it non-increasing (Propositions 5 and 7), which the test suite
+// asserts.
+struct FitReport {
+  std::vector<double> objective_trace;
+  int iterations = 0;
+  bool converged = false;
+
+  double final_objective() const {
+    return objective_trace.empty() ? 0.0 : objective_trace.back();
+  }
+};
+
+// Convergence test shared by the solvers: relative objective improvement.
+inline bool RelativeImprovementBelow(const std::vector<double>& trace,
+                                     double tolerance) {
+  if (trace.size() < 2) return false;
+  const double prev = trace[trace.size() - 2];
+  const double cur = trace.back();
+  const double denom = prev > 1e-300 ? prev : 1e-300;
+  return (prev - cur) / denom < tolerance;
+}
+
+}  // namespace smfl::mf
+
+#endif  // SMFL_MF_FACTORIZATION_H_

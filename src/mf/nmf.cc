@@ -1,0 +1,93 @@
+#include "src/mf/nmf.h"
+
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+
+namespace smfl::mf {
+
+Matrix NmfModel::Reconstruct() const { return la::MatMul(u, v); }
+
+double MaskedReconstructionError(const Matrix& x, const Mask& observed,
+                                 const Matrix& u, const Matrix& v) {
+  Matrix uv = la::MatMul(u, v);
+  double acc = 0.0;
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (!observed.Contains(i, j)) continue;
+      const double d = x(i, j) - uv(i, j);
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+Result<NmfModel> FitNmf(const Matrix& x, const Mask& observed,
+                        const NmfOptions& options) {
+  const Index n = x.rows(), m = x.cols();
+  if (n == 0 || m == 0) return Status::InvalidArgument("FitNmf: empty matrix");
+  if (observed.rows() != n || observed.cols() != m) {
+    return Status::InvalidArgument("FitNmf: mask shape mismatch");
+  }
+  if (options.rank <= 0) {
+    return Status::InvalidArgument("FitNmf: rank must be positive");
+  }
+  if (x.HasNonFinite()) {
+    return Status::NumericError("FitNmf: input contains NaN/Inf");
+  }
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index j = 0; j < x.cols(); ++j) {
+      if (observed.Contains(i, j) && x(i, j) < 0.0) {
+        return Status::InvalidArgument(
+            "FitNmf: observed entries must be nonnegative (normalize first)");
+      }
+    }
+  }
+  const Index k = options.rank;
+  Rng rng(options.seed);
+  NmfModel model;
+  model.u = Matrix(n, k);
+  model.v = Matrix(k, m);
+  for (Index i = 0; i < model.u.size(); ++i) {
+    model.u.data()[i] = rng.Uniform(0.01, 1.0);
+  }
+  for (Index i = 0; i < model.v.size(); ++i) {
+    model.v.data()[i] = rng.Uniform(0.01, 1.0);
+  }
+
+  const Matrix x_observed = data::ApplyMask(x, observed);
+  FitReport& report = model.report;
+  report.objective_trace.push_back(
+      MaskedReconstructionError(x, observed, model.u, model.v));
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    // U <- U ⊙ (R_Ω(X) Vᵀ) / (R_Ω(U V) Vᵀ)
+    Matrix uv_masked = data::ApplyMask(la::MatMul(model.u, model.v), observed);
+    Matrix num_u = la::MatMulABt(x_observed, model.v);
+    Matrix den_u = la::MatMulABt(uv_masked, model.v);
+    model.u = la::Hadamard(model.u, la::SafeDivide(num_u, den_u, kDivEps));
+
+    // V <- V ⊙ (Uᵀ R_Ω(X)) / (Uᵀ R_Ω(U V))
+    uv_masked = data::ApplyMask(la::MatMul(model.u, model.v), observed);
+    Matrix num_v = la::MatMulAtB(model.u, x_observed);
+    Matrix den_v = la::MatMulAtB(model.u, uv_masked);
+    model.v = la::Hadamard(model.v, la::SafeDivide(num_v, den_v, kDivEps));
+
+    report.objective_trace.push_back(
+        MaskedReconstructionError(x, observed, model.u, model.v));
+    if (RelativeImprovementBelow(report.objective_trace, options.tolerance)) {
+      report.converged = true;
+      break;
+    }
+  }
+  if (model.u.HasNonFinite() || model.v.HasNonFinite()) {
+    return Status::NumericError("FitNmf: factorization diverged");
+  }
+  return model;
+}
+
+Matrix ImputeWithModel(const Matrix& x, const Mask& observed,
+                       const NmfModel& model) {
+  return data::CombineByMask(x, model.Reconstruct(), observed);
+}
+
+}  // namespace smfl::mf

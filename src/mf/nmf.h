@@ -1,0 +1,54 @@
+// Masked Nonnegative Matrix Factorization (paper §II-B, baseline "NMF").
+//
+// Minimizes ||R_Ω(X − U V)||_F² over nonnegative U (N x K), V (K x M) with
+// Lee–Seung multiplicative updates restricted to observed entries. This is
+// the [41]-style NMF imputation baseline and the foundation SMF/SMFL build
+// on (they add the Laplacian term and landmarks in src/core).
+
+#ifndef SMFL_MF_NMF_H_
+#define SMFL_MF_NMF_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/mf/factorization.h"
+
+namespace smfl::mf {
+
+using data::Mask;
+
+struct NmfOptions {
+  // Latent rank K; must satisfy 0 < K.
+  Index rank = 10;
+  // Paper default t1 = 500 with early stop.
+  int max_iterations = 500;
+  // Early-stop threshold on relative objective improvement.
+  double tolerance = 1e-6;
+  uint64_t seed = 3;
+};
+
+struct NmfModel {
+  Matrix u;  // N x K coefficient matrix
+  Matrix v;  // K x M feature matrix
+  FitReport report;
+
+  // Reconstruction U V.
+  Matrix Reconstruct() const;
+};
+
+// Factorizes the observed entries of x. The mask marks Ω (true = observed).
+Result<NmfModel> FitNmf(const Matrix& x, const Mask& observed,
+                        const NmfOptions& options);
+
+// Masked reconstruction objective ||R_Ω(X − U V)||_F².
+double MaskedReconstructionError(const Matrix& x, const Mask& observed,
+                                 const Matrix& u, const Matrix& v);
+
+// Imputes x by Formula 8: observed entries kept, others from U V.
+Matrix ImputeWithModel(const Matrix& x, const Mask& observed,
+                       const NmfModel& model);
+
+}  // namespace smfl::mf
+
+#endif  // SMFL_MF_NMF_H_

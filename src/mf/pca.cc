@@ -1,0 +1,38 @@
+#include "src/mf/pca.h"
+
+#include "src/la/ops.h"
+
+namespace smfl::mf {
+
+Matrix PcaModel::Transform(const Matrix& x) const {
+  SMFL_CHECK_EQ(x.cols(), mean.size());
+  Matrix centered = x;
+  for (Index i = 0; i < centered.rows(); ++i) {
+    auto row = centered.Row(i);
+    for (Index j = 0; j < centered.cols(); ++j) row[j] -= mean[j];
+  }
+  return la::MatMul(centered, components);
+}
+
+Result<PcaModel> FitPca(const Matrix& x, Index k) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("FitPca: empty matrix");
+  }
+  if (k <= 0) return Status::InvalidArgument("FitPca: k must be positive");
+  k = std::min(k, std::min(x.rows(), x.cols()));
+
+  PcaModel model;
+  model.mean = la::ColMeans(x);
+  Matrix centered = x;
+  for (Index i = 0; i < centered.rows(); ++i) {
+    auto row = centered.Row(i);
+    for (Index j = 0; j < centered.cols(); ++j) row[j] -= model.mean[j];
+  }
+  ASSIGN_OR_RETURN(la::SvdDecomposition svd, la::Svd(centered));
+  la::SvdDecomposition top = la::TruncateSvd(svd, k);
+  model.components = std::move(top.v);
+  model.singular_values = std::move(top.s);
+  return model;
+}
+
+}  // namespace smfl::mf

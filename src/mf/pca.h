@@ -1,0 +1,34 @@
+// Principal component analysis via the library's SVD — the "PCA" clustering
+// baseline of Fig 4(b).
+
+#ifndef SMFL_MF_PCA_H_
+#define SMFL_MF_PCA_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+#include "src/la/svd.h"
+
+namespace smfl::mf {
+
+using la::Index;
+using la::Matrix;
+using la::Vector;
+
+struct PcaModel {
+  // Column means used for centering (length M).
+  Vector mean;
+  // M x k principal axes (right singular vectors).
+  Matrix components;
+  // Top-k singular values.
+  Vector singular_values;
+
+  // Projects rows of x (N x M) onto the k components -> N x k scores.
+  Matrix Transform(const Matrix& x) const;
+};
+
+// Fits PCA keeping `k` components (clamped to min(N, M)).
+Result<PcaModel> FitPca(const Matrix& x, Index k);
+
+}  // namespace smfl::mf
+
+#endif  // SMFL_MF_PCA_H_

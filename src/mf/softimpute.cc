@@ -1,0 +1,50 @@
+#include "src/mf/softimpute.h"
+
+#include <cmath>
+
+#include "src/la/ops.h"
+#include "src/la/svd.h"
+
+namespace smfl::mf {
+
+Result<SoftImputeResult> CompleteSoftImpute(const Matrix& x,
+                                            const Mask& observed,
+                                            const SoftImputeOptions& options) {
+  const Index n = x.rows(), m = x.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("CompleteSoftImpute: empty matrix");
+  }
+  if (observed.rows() != n || observed.cols() != m) {
+    return Status::InvalidArgument("CompleteSoftImpute: mask shape mismatch");
+  }
+  if (observed.Count() == 0) {
+    return Status::InvalidArgument("CompleteSoftImpute: no observed entries");
+  }
+  const Matrix x_observed = data::ApplyMask(x, observed);
+
+  double shrinkage = options.shrinkage;
+  if (shrinkage <= 0.0) {
+    ASSIGN_OR_RETURN(la::SvdDecomposition svd0, la::Svd(x_observed));
+    shrinkage = svd0.s[0] / 50.0;
+  }
+
+  SoftImputeResult result;
+  result.completed = x_observed;  // start: zeros in the holes
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.report.iterations = iter + 1;
+    // Fill the holes with the current estimate, then shrink.
+    Matrix filled = data::CombineByMask(x, result.completed, observed);
+    ASSIGN_OR_RETURN(Matrix z, la::SoftThresholdSvd(filled, shrinkage));
+    const double denom = std::max(la::FrobeniusNorm(result.completed), 1e-300);
+    const double change = la::FrobeniusNorm(z - result.completed) / denom;
+    result.completed = std::move(z);
+    result.report.objective_trace.push_back(change);
+    if (change < options.tolerance) {
+      result.report.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace smfl::mf

@@ -1,0 +1,34 @@
+// SoftImpute (Mazumder–Hastie–Tibshirani): iterative soft-thresholded SVD
+// replacement of the unobserved entries.
+
+#ifndef SMFL_MF_SOFTIMPUTE_H_
+#define SMFL_MF_SOFTIMPUTE_H_
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/mf/factorization.h"
+
+namespace smfl::mf {
+
+using data::Mask;
+
+struct SoftImputeOptions {
+  // Shrinkage on singular values; <= 0 picks sigma_max/50 adaptively.
+  double shrinkage = 0.0;
+  int max_iterations = 100;
+  // Stop on relative change of the completed matrix.
+  double tolerance = 1e-5;
+};
+
+struct SoftImputeResult {
+  Matrix completed;
+  FitReport report;
+};
+
+Result<SoftImputeResult> CompleteSoftImpute(
+    const Matrix& x, const Mask& observed,
+    const SoftImputeOptions& options = {});
+
+}  // namespace smfl::mf
+
+#endif  // SMFL_MF_SOFTIMPUTE_H_

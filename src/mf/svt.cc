@@ -1,0 +1,55 @@
+#include "src/mf/svt.h"
+
+#include <cmath>
+
+#include "src/la/ops.h"
+#include "src/la/svd.h"
+
+namespace smfl::mf {
+
+Result<SvtResult> CompleteSvt(const Matrix& x, const Mask& observed,
+                              const SvtOptions& options) {
+  const Index n = x.rows(), m = x.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("CompleteSvt: empty matrix");
+  }
+  if (observed.rows() != n || observed.cols() != m) {
+    return Status::InvalidArgument("CompleteSvt: mask shape mismatch");
+  }
+  const Index num_observed = observed.Count();
+  if (num_observed == 0) {
+    return Status::InvalidArgument("CompleteSvt: no observed entries");
+  }
+  const double tau =
+      options.tau > 0.0
+          ? options.tau
+          : 5.0 * std::sqrt(static_cast<double>(n) * static_cast<double>(m));
+  const double delta =
+      options.step > 0.0
+          ? options.step
+          : 1.2 * static_cast<double>(n) * static_cast<double>(m) /
+                static_cast<double>(num_observed);
+
+  const Matrix x_observed = data::ApplyMask(x, observed);
+  const double x_norm = std::max(la::FrobeniusNorm(x_observed), 1e-300);
+
+  SvtResult result;
+  result.completed = Matrix(n, m);
+  Matrix y = x_observed * delta;  // dual variable
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.report.iterations = iter + 1;
+    ASSIGN_OR_RETURN(result.completed, la::SoftThresholdSvd(y, tau));
+    Matrix residual = data::ApplyMask(x - result.completed, observed);
+    const double rel = la::FrobeniusNorm(residual) / x_norm;
+    result.report.objective_trace.push_back(rel);
+    if (rel < options.tolerance) {
+      result.report.converged = true;
+      break;
+    }
+    residual *= delta;
+    y += residual;
+  }
+  return result;
+}
+
+}  // namespace smfl::mf

@@ -1,0 +1,37 @@
+// Singular Value Thresholding for nuclear-norm matrix completion —
+// the paper's "MC" baseline (Candès & Recht; Cai–Candès–Shen SVT solver).
+
+#ifndef SMFL_MF_SVT_H_
+#define SMFL_MF_SVT_H_
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+#include "src/mf/factorization.h"
+
+namespace smfl::mf {
+
+using data::Mask;
+
+struct SvtOptions {
+  // Threshold tau; <= 0 picks the standard heuristic 5 * sqrt(N*M).
+  double tau = 0.0;
+  // Step size delta; <= 0 picks 1.2 * (N*M / |Ω|).
+  double step = 0.0;
+  int max_iterations = 200;
+  // Stop when ||R_Ω(X - Z)||_F / ||R_Ω(X)||_F falls below this.
+  double tolerance = 1e-4;
+};
+
+struct SvtResult {
+  // The completed low-rank matrix Z.
+  Matrix completed;
+  FitReport report;
+};
+
+// Completes x from its observed entries by minimizing the nuclear norm.
+Result<SvtResult> CompleteSvt(const Matrix& x, const Mask& observed,
+                              const SvtOptions& options = {});
+
+}  // namespace smfl::mf
+
+#endif  // SMFL_MF_SVT_H_

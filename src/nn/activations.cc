@@ -1,0 +1,57 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+namespace smfl::nn {
+
+Matrix Apply(Activation act, const Matrix& x) {
+  Matrix y(x.rows(), x.cols());
+  const double* xd = x.data();
+  double* yd = y.data();
+  switch (act) {
+    case Activation::kIdentity:
+      y = x;
+      break;
+    case Activation::kRelu:
+      for (Index i = 0; i < x.size(); ++i) yd[i] = xd[i] > 0 ? xd[i] : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (Index i = 0; i < x.size(); ++i) {
+        yd[i] = 1.0 / (1.0 + std::exp(-xd[i]));
+      }
+      break;
+    case Activation::kTanh:
+      for (Index i = 0; i < x.size(); ++i) yd[i] = std::tanh(xd[i]);
+      break;
+  }
+  return y;
+}
+
+Matrix Backprop(Activation act, const Matrix& y, const Matrix& dy) {
+  SMFL_CHECK(y.SameShape(dy));
+  Matrix dx(y.rows(), y.cols());
+  const double* yd = y.data();
+  const double* gd = dy.data();
+  double* xd = dx.data();
+  switch (act) {
+    case Activation::kIdentity:
+      dx = dy;
+      break;
+    case Activation::kRelu:
+      for (Index i = 0; i < y.size(); ++i) xd[i] = yd[i] > 0 ? gd[i] : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (Index i = 0; i < y.size(); ++i) {
+        xd[i] = gd[i] * yd[i] * (1.0 - yd[i]);
+      }
+      break;
+    case Activation::kTanh:
+      for (Index i = 0; i < y.size(); ++i) {
+        xd[i] = gd[i] * (1.0 - yd[i] * yd[i]);
+      }
+      break;
+  }
+  return dx;
+}
+
+}  // namespace smfl::nn

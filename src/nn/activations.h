@@ -1,0 +1,25 @@
+// Element-wise activations for the MLP substrate.
+
+#ifndef SMFL_NN_ACTIVATIONS_H_
+#define SMFL_NN_ACTIVATIONS_H_
+
+#include "src/la/matrix.h"
+
+namespace smfl::nn {
+
+using la::Index;
+using la::Matrix;
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+// y = act(x), element-wise.
+Matrix Apply(Activation act, const Matrix& x);
+
+// Given y = act(x) and upstream gradient dy, returns dx. All supported
+// activations admit a derivative expressed in terms of the output y, so we
+// never need to retain x.
+Matrix Backprop(Activation act, const Matrix& y, const Matrix& dy);
+
+}  // namespace smfl::nn
+
+#endif  // SMFL_NN_ACTIVATIONS_H_

@@ -1,0 +1,193 @@
+#include "src/nn/mlp.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+
+namespace smfl::nn {
+
+Result<Mlp> Mlp::Create(Index input_dim, std::vector<LayerSpec> layers,
+                        uint64_t seed) {
+  if (input_dim <= 0) {
+    return Status::InvalidArgument("Mlp: input_dim must be positive");
+  }
+  if (layers.empty()) {
+    return Status::InvalidArgument("Mlp: need at least one layer");
+  }
+  Mlp mlp;
+  mlp.input_dim_ = input_dim;
+  Rng rng(seed);
+  Index in = input_dim;
+  for (const LayerSpec& spec : layers) {
+    if (spec.output_dim <= 0) {
+      return Status::InvalidArgument("Mlp: layer output_dim must be positive");
+    }
+    Layer layer;
+    layer.activation = spec.activation;
+    layer.w = Matrix(in, spec.output_dim);
+    // Xavier/Glorot init.
+    const double scale =
+        std::sqrt(2.0 / static_cast<double>(in + spec.output_dim));
+    for (Index i = 0; i < layer.w.size(); ++i) {
+      layer.w.data()[i] = rng.Normal(0.0, scale);
+    }
+    layer.b = Vector(spec.output_dim);
+    layer.dw = Matrix(in, spec.output_dim);
+    layer.db = Vector(spec.output_dim);
+    layer.mw = Matrix(in, spec.output_dim);
+    layer.vw = Matrix(in, spec.output_dim);
+    layer.mb = Vector(spec.output_dim);
+    layer.vb = Vector(spec.output_dim);
+    mlp.layers_.push_back(std::move(layer));
+    in = spec.output_dim;
+  }
+  return mlp;
+}
+
+Index Mlp::output_dim() const {
+  return layers_.back().w.cols();
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  SMFL_CHECK_EQ(x.cols(), input_dim_);
+  Matrix h = x;
+  for (Layer& layer : layers_) {
+    layer.input = h;
+    Matrix z = la::MatMul(h, layer.w);
+    for (Index i = 0; i < z.rows(); ++i) {
+      auto row = z.Row(i);
+      for (Index j = 0; j < z.cols(); ++j) row[j] += layer.b[j];
+    }
+    layer.output = Apply(layer.activation, z);
+    h = layer.output;
+  }
+  return h;
+}
+
+Matrix Mlp::Predict(const Matrix& x) const {
+  SMFL_CHECK_EQ(x.cols(), input_dim_);
+  Matrix h = x;
+  for (const Layer& layer : layers_) {
+    Matrix z = la::MatMul(h, layer.w);
+    for (Index i = 0; i < z.rows(); ++i) {
+      auto row = z.Row(i);
+      for (Index j = 0; j < z.cols(); ++j) row[j] += layer.b[j];
+    }
+    h = Apply(layer.activation, z);
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Layer& layer = *it;
+    SMFL_CHECK(grad.SameShape(layer.output));
+    // Through the activation.
+    Matrix dz = Backprop(layer.activation, layer.output, grad);
+    // Parameter gradients: dW = Xᵀ dZ, db = column sums of dZ.
+    layer.dw += la::MatMulAtB(layer.input, dz);
+    for (Index i = 0; i < dz.rows(); ++i) {
+      auto row = dz.Row(i);
+      for (Index j = 0; j < dz.cols(); ++j) layer.db[j] += row[j];
+    }
+    // Input gradient: dX = dZ Wᵀ.
+    grad = la::MatMulABt(dz, layer.w);
+  }
+  return grad;
+}
+
+void Mlp::Step(const AdamOptions& options) {
+  ++step_count_;
+  const double b1 = options.beta1, b2 = options.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  for (Layer& layer : layers_) {
+    for (Index i = 0; i < layer.w.size(); ++i) {
+      double& m = layer.mw.data()[i];
+      double& v = layer.vw.data()[i];
+      const double g = layer.dw.data()[i];
+      m = b1 * m + (1.0 - b1) * g;
+      v = b2 * v + (1.0 - b2) * g * g;
+      layer.w.data()[i] -= options.learning_rate * (m / bias1) /
+                           (std::sqrt(v / bias2) + options.epsilon);
+    }
+    for (Index j = 0; j < layer.b.size(); ++j) {
+      double& m = layer.mb[j];
+      double& v = layer.vb[j];
+      const double g = layer.db[j];
+      m = b1 * m + (1.0 - b1) * g;
+      v = b2 * v + (1.0 - b2) * g * g;
+      layer.b[j] -= options.learning_rate * (m / bias1) /
+                    (std::sqrt(v / bias2) + options.epsilon);
+    }
+  }
+  ZeroGradients();
+}
+
+void Mlp::ZeroGradients() {
+  for (Layer& layer : layers_) {
+    layer.dw.Fill(0.0);
+    layer.db.Fill(0.0);
+  }
+}
+
+Index Mlp::NumParameters() const {
+  Index total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.w.size() + layer.b.size();
+  }
+  return total;
+}
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  SMFL_CHECK(pred.SameShape(target));
+  const double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  for (Index i = 0; i < pred.size(); ++i) {
+    const double diff = pred.data()[i] - target.data()[i];
+    loss += diff * diff;
+    if (grad != nullptr) grad->data()[i] = 2.0 * diff / n;
+  }
+  return loss / n;
+}
+
+double MaskedMseLoss(const Matrix& pred, const Matrix& target,
+                     const Matrix& mask, Matrix* grad) {
+  SMFL_CHECK(pred.SameShape(target));
+  SMFL_CHECK(pred.SameShape(mask));
+  double count = 0.0;
+  for (Index i = 0; i < mask.size(); ++i) count += mask.data()[i] != 0.0;
+  if (count == 0.0) count = 1.0;
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  for (Index i = 0; i < pred.size(); ++i) {
+    if (mask.data()[i] == 0.0) continue;
+    const double diff = pred.data()[i] - target.data()[i];
+    loss += diff * diff;
+    if (grad != nullptr) grad->data()[i] = 2.0 * diff / count;
+  }
+  return loss / count;
+}
+
+double BceLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  SMFL_CHECK(pred.SameShape(target));
+  constexpr double kEps = 1e-8;
+  const double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  for (Index i = 0; i < pred.size(); ++i) {
+    const double p =
+        std::min(std::max(pred.data()[i], kEps), 1.0 - kEps);
+    const double t = target.data()[i];
+    loss += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+    if (grad != nullptr) {
+      grad->data()[i] = (p - t) / (p * (1.0 - p)) / n;
+    }
+  }
+  return loss / n;
+}
+
+}  // namespace smfl::nn

@@ -1,0 +1,94 @@
+// A small multilayer perceptron with Adam — the substrate for the GAIN and
+// CAMF baselines (generator + discriminator networks).
+//
+// Batch convention: inputs are (batch x features) matrices; a layer computes
+// Y = act(X W + 1 bᵀ).
+
+#ifndef SMFL_NN_MLP_H_
+#define SMFL_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nn/activations.h"
+
+namespace smfl::nn {
+
+using la::Vector;
+
+struct LayerSpec {
+  Index output_dim = 0;
+  Activation activation = Activation::kRelu;
+};
+
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Mlp {
+ public:
+  // Xavier-initialized MLP mapping input_dim to the last layer's output_dim.
+  static Result<Mlp> Create(Index input_dim, std::vector<LayerSpec> layers,
+                            uint64_t seed);
+
+  Index input_dim() const { return input_dim_; }
+  Index output_dim() const;
+
+  // Forward pass; caches per-layer outputs for the next Backward call.
+  Matrix Forward(const Matrix& x);
+
+  // Forward without caching (inference).
+  Matrix Predict(const Matrix& x) const;
+
+  // Backpropagates dLoss/dOutput from the last Forward call, accumulating
+  // parameter gradients. Returns dLoss/dInput.
+  Matrix Backward(const Matrix& grad_output);
+
+  // One Adam update from the accumulated gradients, then clears them.
+  void Step(const AdamOptions& options);
+
+  // Drops accumulated gradients without applying them.
+  void ZeroGradients();
+
+  // Number of trainable parameters.
+  Index NumParameters() const;
+
+ private:
+  struct Layer {
+    Matrix w;   // in x out
+    Vector b;   // out
+    Activation activation;
+    // Cached activations from Forward.
+    Matrix input;
+    Matrix output;
+    // Accumulated gradients.
+    Matrix dw;
+    Vector db;
+    // Adam first/second moments.
+    Matrix mw, vw;
+    Vector mb, vb;
+  };
+
+  Index input_dim_ = 0;
+  std::vector<Layer> layers_;
+  int64_t step_count_ = 0;
+};
+
+// Mean squared error 1/n Σ (pred - target)^2 and its gradient wrt pred.
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+// Masked MSE: error only over entries where mask(i,j) != 0.
+double MaskedMseLoss(const Matrix& pred, const Matrix& target,
+                     const Matrix& mask, Matrix* grad);
+
+// Binary cross-entropy with probabilities in (0,1); targets in {0,1}
+// (or soft labels). Gradient wrt pred.
+double BceLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+}  // namespace smfl::nn
+
+#endif  // SMFL_NN_MLP_H_

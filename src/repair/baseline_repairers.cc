@@ -1,0 +1,204 @@
+#include "src/repair/baseline_repairers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/impute/neighbor_util.h"
+
+namespace smfl::repair {
+
+namespace {
+
+Status ValidateShape(const Matrix& dirty, const Mask& dirty_cells) {
+  if (dirty.rows() == 0 || dirty.cols() == 0) {
+    return Status::InvalidArgument("Repair: empty matrix");
+  }
+  if (dirty_cells.rows() != dirty.rows() ||
+      dirty_cells.cols() != dirty.cols()) {
+    return Status::InvalidArgument("Repair: mask shape mismatch");
+  }
+  return Status::OK();
+}
+
+// Median of the clean values in column j; falls back to 0.5 (mid-range of
+// normalized data) when the column has no clean cells.
+double CleanColumnMedian(const Matrix& x, const Mask& dirty_cells, Index j) {
+  std::vector<double> vals;
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (!dirty_cells.Contains(i, j)) vals.push_back(x(i, j));
+  }
+  if (vals.empty()) return 0.5;
+  const size_t mid = vals.size() / 2;
+  std::nth_element(vals.begin(), vals.begin() + mid, vals.end());
+  return vals[mid];
+}
+
+// Per-column equal-width histogram over clean cells; returns bin centers
+// and counts.
+struct ColumnHistogram {
+  double lo = 0.0, hi = 1.0;
+  std::vector<double> counts;
+
+  Index NumBins() const { return static_cast<Index>(counts.size()); }
+  Index BinOf(double v) const {
+    if (hi <= lo) return 0;
+    const double t = (v - lo) / (hi - lo);
+    const Index b = static_cast<Index>(t * static_cast<double>(NumBins()));
+    return std::clamp<Index>(b, 0, NumBins() - 1);
+  }
+  double Center(Index b) const {
+    return lo + (static_cast<double>(b) + 0.5) * (hi - lo) /
+                    static_cast<double>(NumBins());
+  }
+};
+
+ColumnHistogram BuildHistogram(const Matrix& x, const Mask& dirty_cells,
+                               Index j, Index bins) {
+  ColumnHistogram h;
+  h.lo = std::numeric_limits<double>::infinity();
+  h.hi = -std::numeric_limits<double>::infinity();
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (dirty_cells.Contains(i, j)) continue;
+    h.lo = std::min(h.lo, x(i, j));
+    h.hi = std::max(h.hi, x(i, j));
+  }
+  if (!std::isfinite(h.lo)) {
+    h.lo = 0.0;
+    h.hi = 1.0;
+  }
+  if (h.hi - h.lo < 1e-12) h.hi = h.lo + 1e-12;
+  h.counts.assign(static_cast<size_t>(bins), 0.0);
+  for (Index i = 0; i < x.rows(); ++i) {
+    if (dirty_cells.Contains(i, j)) continue;
+    h.counts[static_cast<size_t>(h.BinOf(x(i, j)))] += 1.0;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<Matrix> BaranLikeRepairer::Repair(const Matrix& dirty,
+                                         const Mask& dirty_cells,
+                                         Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(dirty, dirty_cells));
+  const Index n = dirty.rows(), m = dirty.cols();
+  const Mask clean = dirty_cells.Complement();
+  Matrix out = dirty;
+
+  // Precompute the per-column correctors that do not depend on the tuple.
+  std::vector<double> medians(static_cast<size_t>(m));
+  std::vector<double> mode_centers(static_cast<size_t>(m));
+  for (Index j = 0; j < m; ++j) {
+    medians[static_cast<size_t>(j)] = CleanColumnMedian(dirty, dirty_cells, j);
+    ColumnHistogram h = BuildHistogram(dirty, dirty_cells, j, options_.bins);
+    Index best = 0;
+    for (Index b = 1; b < h.NumBins(); ++b) {
+      if (h.counts[static_cast<size_t>(b)] >
+          h.counts[static_cast<size_t>(best)]) {
+        best = b;
+      }
+    }
+    mode_centers[static_cast<size_t>(j)] = h.Center(best);
+  }
+
+  for (Index i = 0; i < n; ++i) {
+    if (clean.RowFullySet(i)) continue;
+    const std::vector<Index> clean_cols = impute::ObservedColumns(clean, i);
+    for (Index j = 0; j < m; ++j) {
+      if (!dirty_cells.Contains(i, j)) continue;
+      double acc = 0.0;
+      int correctors = 0;
+      // Value corrector.
+      acc += medians[static_cast<size_t>(j)];
+      ++correctors;
+      // Domain corrector.
+      acc += mode_centers[static_cast<size_t>(j)];
+      ++correctors;
+      // Vicinity corrector: average over nearest tuples that are clean on
+      // the matching columns and on the target column.
+      if (!clean_cols.empty()) {
+        std::vector<Index> needed = clean_cols;
+        needed.push_back(j);
+        std::vector<Index> donors = impute::RowsCompleteOn(clean, needed);
+        auto nn = impute::NearestAmong(dirty, i, donors, clean_cols,
+                                       options_.k);
+        if (!nn.empty()) {
+          double v = 0.0;
+          for (const auto& s : nn) v += dirty(s.row, j);
+          acc += v / static_cast<double>(nn.size());
+          ++correctors;
+        }
+      }
+      out(i, j) = acc / static_cast<double>(correctors);
+    }
+  }
+  return out;
+}
+
+Result<Matrix> HolocleanLikeRepairer::Repair(const Matrix& dirty,
+                                             const Mask& dirty_cells,
+                                             Index /*spatial_cols*/) const {
+  RETURN_NOT_OK(ValidateShape(dirty, dirty_cells));
+  const Index n = dirty.rows(), m = dirty.cols();
+  const Index bins = options_.bins;
+  Matrix out = dirty;
+
+  // Statistical signals: per-column histograms and pairwise co-occurrence
+  // counts over rows where both cells are clean.
+  std::vector<ColumnHistogram> hist;
+  hist.reserve(static_cast<size_t>(m));
+  for (Index j = 0; j < m; ++j) {
+    hist.push_back(BuildHistogram(dirty, dirty_cells, j, bins));
+  }
+  // cooc[j][k](b_j, b_k): joint clean counts of (column j in bin b_j,
+  // column k in bin b_k).
+  std::vector<std::vector<Matrix>> cooc(
+      static_cast<size_t>(m),
+      std::vector<Matrix>(static_cast<size_t>(m), Matrix(bins, bins)));
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < m; ++j) {
+      if (dirty_cells.Contains(i, j)) continue;
+      const Index bj = hist[static_cast<size_t>(j)].BinOf(dirty(i, j));
+      for (Index k = 0; k < m; ++k) {
+        if (k == j || dirty_cells.Contains(i, k)) continue;
+        const Index bk = hist[static_cast<size_t>(k)].BinOf(dirty(i, k));
+        cooc[static_cast<size_t>(j)][static_cast<size_t>(k)](bj, bk) += 1.0;
+      }
+    }
+  }
+
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < m; ++j) {
+      if (!dirty_cells.Contains(i, j)) continue;
+      // Posterior over candidate bins of column j, from the product of
+      // pairwise conditionals given the tuple's clean cells (log space).
+      std::vector<double> logp(static_cast<size_t>(bins), 0.0);
+      // Prior: the column's own histogram.
+      for (Index b = 0; b < bins; ++b) {
+        logp[static_cast<size_t>(b)] = std::log(
+            hist[static_cast<size_t>(j)].counts[static_cast<size_t>(b)] +
+            options_.smoothing);
+      }
+      for (Index k = 0; k < m; ++k) {
+        if (k == j || dirty_cells.Contains(i, k)) continue;
+        const Index bk = hist[static_cast<size_t>(k)].BinOf(dirty(i, k));
+        const Matrix& joint =
+            cooc[static_cast<size_t>(j)][static_cast<size_t>(k)];
+        for (Index b = 0; b < bins; ++b) {
+          logp[static_cast<size_t>(b)] +=
+              std::log(joint(b, bk) + options_.smoothing);
+        }
+      }
+      // MAP repair: HoloClean predicts the highest-probability candidate
+      // value from its (pruned, discretized) domain, so the repair is the
+      // center of the most probable bin — not a posterior expectation.
+      const Index best = static_cast<Index>(
+          std::max_element(logp.begin(), logp.end()) - logp.begin());
+      out(i, j) = hist[static_cast<size_t>(j)].Center(best);
+    }
+  }
+  return out;
+}
+
+}  // namespace smfl::repair

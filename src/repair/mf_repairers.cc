@@ -1,0 +1,33 @@
+#include "src/repair/mf_repairers.h"
+
+namespace smfl::repair {
+
+Result<Matrix> NmfRepairer::Repair(const Matrix& dirty,
+                                   const Mask& dirty_cells,
+                                   Index /*spatial_cols*/) const {
+  const Mask clean = dirty_cells.Complement();
+  ASSIGN_OR_RETURN(mf::NmfModel model, mf::FitNmf(dirty, clean, options_));
+  return mf::ImputeWithModel(dirty, clean, model);
+}
+
+SmfRepairer::SmfRepairer(core::SmflOptions options) : options_(options) {
+  options_.use_landmarks = false;
+}
+
+Result<Matrix> SmfRepairer::Repair(const Matrix& dirty,
+                                   const Mask& dirty_cells,
+                                   Index spatial_cols) const {
+  return core::SmflRepair(dirty, dirty_cells, spatial_cols, options_);
+}
+
+SmflRepairer::SmflRepairer(core::SmflOptions options) : options_(options) {
+  options_.use_landmarks = true;
+}
+
+Result<Matrix> SmflRepairer::Repair(const Matrix& dirty,
+                                    const Mask& dirty_cells,
+                                    Index spatial_cols) const {
+  return core::SmflRepair(dirty, dirty_cells, spatial_cols, options_);
+}
+
+}  // namespace smfl::repair

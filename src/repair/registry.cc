@@ -1,0 +1,26 @@
+#include "src/common/strings.h"
+#include "src/repair/baseline_repairers.h"
+#include "src/repair/mf_repairers.h"
+#include "src/repair/repairer.h"
+
+namespace smfl::repair {
+
+Result<std::unique_ptr<Repairer>> MakeRepairer(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "baran") {
+    return std::unique_ptr<Repairer>(new BaranLikeRepairer());
+  }
+  if (key == "holoclean") {
+    return std::unique_ptr<Repairer>(new HolocleanLikeRepairer());
+  }
+  if (key == "nmf") return std::unique_ptr<Repairer>(new NmfRepairer());
+  if (key == "smf") return std::unique_ptr<Repairer>(new SmfRepairer());
+  if (key == "smfl") return std::unique_ptr<Repairer>(new SmflRepairer());
+  return Status::NotFound("no repairer named '" + name + "'");
+}
+
+std::vector<std::string> RegisteredRepairers() {
+  return {"Baran", "HoloClean", "NMF", "SMF", "SMFL"};
+}
+
+}  // namespace smfl::repair

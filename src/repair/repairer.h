@@ -1,0 +1,43 @@
+// Common interface for data-repair methods (paper §IV-B2, Table VI).
+//
+// Contract: `dirty` is the (normalized) data matrix with injected cell
+// errors; `dirty_cells` is the output of an error detector (e.g. Raha) —
+// true marks a cell known to be wrong. Repairers must replace exactly the
+// dirty cells with predictions and keep every clean cell untouched.
+
+#ifndef SMFL_REPAIR_REPAIRER_H_
+#define SMFL_REPAIR_REPAIRER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/mask.h"
+
+namespace smfl::repair {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+class Repairer {
+ public:
+  virtual ~Repairer() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Result<Matrix> Repair(const Matrix& dirty, const Mask& dirty_cells,
+                                Index spatial_cols) const = 0;
+};
+
+// Creates the repairer registered under `name`. Known names: Baran,
+// HoloClean, NMF, SMF, SMFL.
+Result<std::unique_ptr<Repairer>> MakeRepairer(const std::string& name);
+
+// All registered names, in the paper's Table VI column order.
+std::vector<std::string> RegisteredRepairers();
+
+}  // namespace smfl::repair
+
+#endif  // SMFL_REPAIR_REPAIRER_H_

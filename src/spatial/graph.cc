@@ -1,0 +1,244 @@
+#include "src/spatial/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/spatial/knn.h"
+#include "src/la/ops.h"
+#include "src/spatial/metrics.h"
+
+namespace smfl::spatial {
+
+Result<NeighborGraph> NeighborGraph::Build(const Matrix& si, Index p) {
+  return Build(si, p,
+               std::vector<bool>(static_cast<size_t>(si.rows()), true));
+}
+
+Result<NeighborGraph> NeighborGraph::Build(const Matrix& si, Index p,
+                                           const std::vector<bool>& valid_rows) {
+  const Index n = si.rows();
+  if (n == 0) return Status::InvalidArgument("NeighborGraph: empty input");
+  if (static_cast<Index>(valid_rows.size()) != n) {
+    return Status::InvalidArgument("NeighborGraph: valid_rows size mismatch");
+  }
+  std::vector<Index> valid;
+  for (Index i = 0; i < n; ++i) {
+    if (valid_rows[static_cast<size_t>(i)]) valid.push_back(i);
+  }
+  NeighborGraph g;
+  g.adj_.assign(static_cast<size_t>(n), {});
+  if (valid.size() < 2) {
+    // Degenerate but legal: an edgeless graph (zero Laplacian term).
+    g.degree_ = Vector(n);
+    return g;
+  }
+  if (p < 1 || p >= static_cast<Index>(valid.size())) {
+    return Status::InvalidArgument(
+        "NeighborGraph: p must be in [1, #valid-1], got p=" +
+        std::to_string(p) + " with " + std::to_string(valid.size()) +
+        " valid rows");
+  }
+  // k-NN among the valid rows only, then map back to original indices.
+  Matrix valid_si(static_cast<Index>(valid.size()), si.cols());
+  for (size_t v = 0; v < valid.size(); ++v) {
+    for (Index j = 0; j < si.cols(); ++j) {
+      valid_si(static_cast<Index>(v), j) = si(valid[v], j);
+    }
+  }
+  ASSIGN_OR_RETURN(auto knn, AllKnn(valid_si, p));
+  // Symmetrize: edge if either direction is a p-NN relation (weight 1,
+  // Formula 3).
+  for (size_t v = 0; v < valid.size(); ++v) {
+    const Index i = valid[v];
+    for (const Neighbor& nb : knn[v]) {
+      const Index j = valid[static_cast<size_t>(nb.index)];
+      g.adj_[static_cast<size_t>(i)].push_back({j, 1.0});
+      g.adj_[static_cast<size_t>(j)].push_back({i, 1.0});
+    }
+  }
+  Index edges = 0;
+  auto by_target = [](const Edge& a, const Edge& b) { return a.to < b.to; };
+  auto same_target = [](const Edge& a, const Edge& b) { return a.to == b.to; };
+  for (auto& list : g.adj_) {
+    std::sort(list.begin(), list.end(), by_target);
+    list.erase(std::unique(list.begin(), list.end(), same_target),
+               list.end());
+    edges += static_cast<Index>(list.size());
+  }
+  g.num_edges_ = edges / 2;
+  g.RecomputeDegrees();
+  return g;
+}
+
+void NeighborGraph::RecomputeDegrees() {
+  const Index n = num_vertices();
+  degree_ = Vector(n);
+  for (Index i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) acc += e.weight;
+    degree_[i] = acc;
+  }
+}
+
+Status NeighborGraph::ApplyHeatKernelWeights(const Matrix& points,
+                                             double sigma) {
+  const Index n = num_vertices();
+  if (points.rows() != n) {
+    return Status::InvalidArgument(
+        "ApplyHeatKernelWeights: point count mismatch");
+  }
+  if (sigma <= 0.0) {
+    // Mean edge length as the bandwidth.
+    double total = 0.0;
+    Index count = 0;
+    for (Index i = 0; i < n; ++i) {
+      for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+        if (e.to <= i) continue;
+        total += std::sqrt(
+            la::SquaredDistance(points.Row(i), points.Row(e.to)));
+        ++count;
+      }
+    }
+    if (count == 0) return Status::OK();  // edgeless graph: nothing to do
+    sigma = std::max(total / static_cast<double>(count), 1e-12);
+  }
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+  for (Index i = 0; i < n; ++i) {
+    for (Edge& e : adj_[static_cast<size_t>(i)]) {
+      const double d2 = la::SquaredDistance(points.Row(i), points.Row(e.to));
+      e.weight = std::exp(-d2 * inv_two_sigma2);
+    }
+  }
+  RecomputeDegrees();
+  return Status::OK();
+}
+
+Result<NeighborGraph> NeighborGraph::BuildHaversine(const Matrix& si,
+                                                    Index p) {
+  if (si.cols() != 2) {
+    return Status::InvalidArgument(
+        "NeighborGraph::BuildHaversine: need N x 2 (lat, lon)");
+  }
+  // Chord distances on the sphere are monotone in great-circle distance,
+  // so the Euclidean builder over the 3-D embedding produces exactly the
+  // haversine p-NN graph.
+  return Build(EmbedLatLonOnSphere(si), p);
+}
+
+void NeighborGraph::AddSymmetricEdge(Index a, Index b) {
+  SMFL_CHECK(a >= 0 && a < num_vertices());
+  SMFL_CHECK(b >= 0 && b < num_vertices());
+  if (a == b) return;
+  auto by_target = [](const Edge& e, Index target) { return e.to < target; };
+  auto& list_a = adj_[static_cast<size_t>(a)];
+  auto it = std::lower_bound(list_a.begin(), list_a.end(), b, by_target);
+  if (it != list_a.end() && it->to == b) return;  // already present
+  list_a.insert(it, {b, 1.0});
+  auto& list_b = adj_[static_cast<size_t>(b)];
+  list_b.insert(std::lower_bound(list_b.begin(), list_b.end(), a, by_target),
+                {a, 1.0});
+  degree_[a] += 1.0;
+  degree_[b] += 1.0;
+  ++num_edges_;
+}
+
+Matrix NeighborGraph::MultiplyD(const Matrix& u) const {
+  SMFL_CHECK_EQ(u.rows(), num_vertices());
+  Matrix out(u.rows(), u.cols());
+  for (Index i = 0; i < u.rows(); ++i) {
+    auto out_row = out.Row(i);
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+      auto u_row = u.Row(e.to);
+      for (Index c = 0; c < u.cols(); ++c) {
+        out_row[c] += e.weight * u_row[c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix NeighborGraph::MultiplyW(const Matrix& u) const {
+  SMFL_CHECK_EQ(u.rows(), num_vertices());
+  Matrix out(u.rows(), u.cols());
+  for (Index i = 0; i < u.rows(); ++i) {
+    const double d = degree_[i];
+    auto u_row = u.Row(i);
+    auto out_row = out.Row(i);
+    for (Index c = 0; c < u.cols(); ++c) out_row[c] = d * u_row[c];
+  }
+  return out;
+}
+
+double NeighborGraph::LaplacianQuadraticForm(const Matrix& u) const {
+  SMFL_CHECK_EQ(u.rows(), num_vertices());
+  double acc = 0.0;
+  for (Index i = 0; i < u.rows(); ++i) {
+    auto ui = u.Row(i);
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+      if (e.to <= i) continue;  // each undirected edge once
+      auto uj = u.Row(e.to);
+      double d2 = 0.0;
+      for (Index c = 0; c < u.cols(); ++c) {
+        const double diff = ui[c] - uj[c];
+        d2 += diff * diff;
+      }
+      acc += e.weight * d2;
+    }
+  }
+  return acc;
+}
+
+Matrix NeighborGraph::DenseD() const {
+  const Index n = num_vertices();
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+      d(i, e.to) = e.weight;
+    }
+  }
+  return d;
+}
+
+Matrix NeighborGraph::DenseW() const {
+  const Index n = num_vertices();
+  Matrix w(n, n);
+  for (Index i = 0; i < n; ++i) w(i, i) = degree_[i];
+  return w;
+}
+
+Matrix NeighborGraph::DenseL() const {
+  Matrix l = DenseW();
+  l -= DenseD();
+  return l;
+}
+
+la::SparseMatrix NeighborGraph::SparseD() const {
+  const Index n = num_vertices();
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(2 * num_edges_));
+  for (Index i = 0; i < n; ++i) {
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+      triplets.push_back({i, e.to, e.weight});
+    }
+  }
+  auto result = la::SparseMatrix::FromTriplets(n, n, std::move(triplets));
+  SMFL_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+la::SparseMatrix NeighborGraph::SparseLaplacian() const {
+  const Index n = num_vertices();
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(2 * num_edges_ + n));
+  for (Index i = 0; i < n; ++i) {
+    if (degree_[i] != 0.0) triplets.push_back({i, i, degree_[i]});
+    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+      triplets.push_back({i, e.to, -e.weight});
+    }
+  }
+  auto result = la::SparseMatrix::FromTriplets(n, n, std::move(triplets));
+  SMFL_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace smfl::spatial

@@ -1,0 +1,140 @@
+#include "src/spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smfl::spatial {
+
+Result<GridIndex> GridIndex::Build(const Matrix& points) {
+  if (points.rows() == 0 || points.cols() < 2) {
+    return Status::InvalidArgument("GridIndex: need an N x >=2 point matrix");
+  }
+  GridIndex index(points);
+  index.lat_lo_ = index.lat_hi_ = points(0, 0);
+  index.lon_lo_ = index.lon_hi_ = points(0, 1);
+  for (Index i = 1; i < points.rows(); ++i) {
+    index.lat_lo_ = std::min(index.lat_lo_, points(i, 0));
+    index.lat_hi_ = std::max(index.lat_hi_, points(i, 0));
+    index.lon_lo_ = std::min(index.lon_lo_, points(i, 1));
+    index.lon_hi_ = std::max(index.lon_hi_, points(i, 1));
+  }
+  // Degenerate extents still need a nonzero cell size.
+  if (index.lat_hi_ - index.lat_lo_ < 1e-12) index.lat_hi_ = index.lat_lo_ + 1;
+  if (index.lon_hi_ - index.lon_lo_ < 1e-12) index.lon_hi_ = index.lon_lo_ + 1;
+  index.cells_ = std::max<Index>(
+      1, static_cast<Index>(std::sqrt(static_cast<double>(points.rows()))));
+  index.buckets_.assign(static_cast<size_t>(index.cells_ * index.cells_), {});
+  for (Index i = 0; i < points.rows(); ++i) {
+    const Index cx = index.CellOf(points(i, 0), index.lat_lo_, index.lat_hi_);
+    const Index cy = index.CellOf(points(i, 1), index.lon_lo_, index.lon_hi_);
+    index.buckets_[static_cast<size_t>(cx * index.cells_ + cy)].push_back(i);
+  }
+  return index;
+}
+
+Index GridIndex::CellOf(double coord, double lo, double hi) const {
+  const double t = (coord - lo) / (hi - lo);
+  return std::clamp<Index>(static_cast<Index>(t * static_cast<double>(cells_)),
+                           0, cells_ - 1);
+}
+
+const std::vector<Index>& GridIndex::Bucket(Index cx, Index cy) const {
+  return buckets_[static_cast<size_t>(cx * cells_ + cy)];
+}
+
+std::vector<Neighbor> GridIndex::RadiusQuery(double lat, double lon,
+                                             double radius) const {
+  std::vector<Neighbor> out;
+  if (radius < 0) return out;
+  const double cell_lat = (lat_hi_ - lat_lo_) / static_cast<double>(cells_);
+  const double cell_lon = (lon_hi_ - lon_lo_) / static_cast<double>(cells_);
+  const Index rx = static_cast<Index>(radius / cell_lat) + 1;
+  const Index ry = static_cast<Index>(radius / cell_lon) + 1;
+  const Index cx = CellOf(lat, lat_lo_, lat_hi_);
+  const Index cy = CellOf(lon, lon_lo_, lon_hi_);
+  for (Index x = std::max<Index>(0, cx - rx);
+       x <= std::min(cells_ - 1, cx + rx); ++x) {
+    for (Index y = std::max<Index>(0, cy - ry);
+         y <= std::min(cells_ - 1, cy + ry); ++y) {
+      for (Index i : Bucket(x, y)) {
+        const double d = std::hypot((*points_)(i, 0) - lat,
+                                    (*points_)(i, 1) - lon);
+        if (d <= radius) out.push_back({i, d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+std::vector<Neighbor> GridIndex::Knn(double lat, double lon, Index k,
+                                     Index exclude) const {
+  SMFL_CHECK_GT(k, 0);
+  const double cell_lat = (lat_hi_ - lat_lo_) / static_cast<double>(cells_);
+  const double cell_lon = (lon_hi_ - lon_lo_) / static_cast<double>(cells_);
+  const Index cx = CellOf(lat, lat_lo_, lat_hi_);
+  const Index cy = CellOf(lon, lon_lo_, lon_hi_);
+  std::vector<Neighbor> candidates;
+  // Expand rings until we have k candidates AND the ring boundary exceeds
+  // the current k-th distance (so nothing closer can be outside).
+  for (Index ring = 0; ring < cells_; ++ring) {
+    const Index x0 = std::max<Index>(0, cx - ring);
+    const Index x1 = std::min(cells_ - 1, cx + ring);
+    const Index y0 = std::max<Index>(0, cy - ring);
+    const Index y1 = std::min(cells_ - 1, cy + ring);
+    for (Index x = x0; x <= x1; ++x) {
+      for (Index y = y0; y <= y1; ++y) {
+        // Only the new ring shell.
+        if (ring > 0 && x != x0 && x != x1 && y != y0 && y != y1) continue;
+        for (Index i : Bucket(x, y)) {
+          if (i == exclude) continue;
+          candidates.push_back({i, std::hypot((*points_)(i, 0) - lat,
+                                              (*points_)(i, 1) - lon)});
+        }
+      }
+    }
+    // Border-clamped rings can revisit buckets; drop duplicate rows before
+    // the stopping test (a duplicated nearest point would fake a small
+    // k-th distance and stop the search early).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.index < b.index;
+              });
+    candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                                 [](const Neighbor& a, const Neighbor& b) {
+                                   return a.index == b.index;
+                                 }),
+                     candidates.end());
+    if (static_cast<Index>(candidates.size()) >= k) {
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + static_cast<size_t>(k) - 1,
+                       candidates.end(),
+                       [](const Neighbor& a, const Neighbor& b) {
+                         return a.distance < b.distance;
+                       });
+      const double kth =
+          candidates[static_cast<size_t>(k) - 1].distance;
+      const double ring_guarantee =
+          static_cast<double>(ring) * std::min(cell_lat, cell_lon);
+      if (kth <= ring_guarantee || (x0 == 0 && y0 == 0 && x1 == cells_ - 1 &&
+                                    y1 == cells_ - 1)) {
+        break;
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  if (static_cast<Index>(candidates.size()) > k) {
+    candidates.resize(static_cast<size_t>(k));
+  }
+  return candidates;
+}
+
+}  // namespace smfl::spatial

@@ -1,0 +1,50 @@
+// Uniform grid index over 2-D spatial points.
+//
+// Complements the KD-tree: for the dense, bounded regions spatial data
+// lives in, a grid gives O(1) expected-time radius queries and a simple
+// k-NN via expanding ring search. Used by the route planner's candidate
+// lookup and available as an alternative AllKnn backend.
+
+#ifndef SMFL_SPATIAL_GRID_INDEX_H_
+#define SMFL_SPATIAL_GRID_INDEX_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/knn.h"
+
+namespace smfl::spatial {
+
+class GridIndex {
+ public:
+  // Builds over the first two columns of `points` (lat, lon). The cell
+  // count scales with sqrt(n) per axis so expected occupancy is O(1).
+  static Result<GridIndex> Build(const Matrix& points);
+
+  // All rows within `radius` of (lat, lon), sorted by ascending distance.
+  std::vector<Neighbor> RadiusQuery(double lat, double lon,
+                                    double radius) const;
+
+  // k nearest rows to (lat, lon) via expanding ring search; `exclude`
+  // (usually the query's own row) skipped when >= 0.
+  std::vector<Neighbor> Knn(double lat, double lon, Index k,
+                            Index exclude = -1) const;
+
+  Index size() const { return points_->rows(); }
+  Index cells_per_axis() const { return cells_; }
+
+ private:
+  explicit GridIndex(const Matrix& points) : points_(&points) {}
+
+  Index CellOf(double coord, double lo, double hi) const;
+  const std::vector<Index>& Bucket(Index cx, Index cy) const;
+
+  const Matrix* points_;
+  Index cells_ = 1;
+  double lat_lo_ = 0, lat_hi_ = 1, lon_lo_ = 0, lon_hi_ = 1;
+  std::vector<std::vector<Index>> buckets_;  // cells_ x cells_, row-major
+};
+
+}  // namespace smfl::spatial
+
+#endif  // SMFL_SPATIAL_GRID_INDEX_H_

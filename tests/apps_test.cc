@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "src/apps/clustering_app.h"
+#include "src/apps/route.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/data/normalize.h"
+#include "src/spatial/metrics.h"
+
+namespace smfl::apps {
+namespace {
+
+// ---------------------------------------------------------------- routes
+
+Matrix GridSi(Index n) {
+  Matrix si(n, 2);
+  for (Index i = 0; i < n; ++i) {
+    si(i, 0) = 45.0 + 0.01 * static_cast<double>(i);
+    si(i, 1) = 130.0;
+  }
+  return si;
+}
+
+TEST(RouteTest, SampleRouteVisitsDistinctRows) {
+  auto dataset = data::MakeVehicleLike(200, 3);
+  Matrix si = dataset->table.SpatialInfo();
+  auto route = SampleRoute(si, 20, 5);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->waypoints.size(), 20u);
+  std::set<Index> seen(route->waypoints.begin(), route->waypoints.end());
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(RouteTest, GreedyWalkIsShort) {
+  // On a line of points, the greedy nearest-neighbor walk from any start
+  // must not be longer than twice the line length.
+  Matrix si = GridSi(50);
+  auto route = SampleRoute(si, 50, 7);
+  ASSERT_TRUE(route.ok());
+  double total = 0.0;
+  for (size_t s = 1; s < route->waypoints.size(); ++s) {
+    total += spatial::HaversineKm(si(route->waypoints[s - 1], 0),
+                                  si(route->waypoints[s - 1], 1),
+                                  si(route->waypoints[s], 0),
+                                  si(route->waypoints[s], 1));
+  }
+  const double line_km =
+      spatial::HaversineKm(si(0, 0), si(0, 1), si(49, 0), si(49, 1));
+  EXPECT_LT(total, 2.0 * line_km + 1.0);
+}
+
+TEST(RouteTest, SampleRouteValidation) {
+  Matrix si = GridSi(10);
+  EXPECT_FALSE(SampleRoute(si, 1, 1).ok());
+  EXPECT_FALSE(SampleRoute(si, 11, 1).ok());
+  EXPECT_FALSE(SampleRoute(Matrix(), 2, 1).ok());
+}
+
+TEST(RouteTest, AccumulatedFuelKnownValue) {
+  // Two points ~1.112 km apart with rates 2 and 4 -> ~3 L/km average.
+  Matrix si{{45.0, 130.0}, {45.01, 130.0}};
+  std::vector<double> rate{2.0, 4.0};
+  Route route{{0, 1}};
+  auto fuel = AccumulatedFuel(si, rate, route);
+  ASSERT_TRUE(fuel.ok());
+  const double km = spatial::HaversineKm(45.0, 130.0, 45.01, 130.0);
+  EXPECT_NEAR(*fuel, km * 3.0, 1e-9);
+}
+
+TEST(RouteTest, AccumulatedFuelValidation) {
+  Matrix si = GridSi(5);
+  std::vector<double> rate(5, 1.0);
+  EXPECT_FALSE(AccumulatedFuel(si, rate, Route{{0}}).ok());
+  EXPECT_FALSE(AccumulatedFuel(si, {1.0}, Route{{0, 1}}).ok());
+  EXPECT_FALSE(AccumulatedFuel(si, rate, Route{{0, 99}}).ok());
+}
+
+TEST(RouteTest, PerfectImputationHasZeroError) {
+  auto dataset = data::MakeVehicleLike(100, 9);
+  Matrix si = dataset->table.SpatialInfo();
+  std::vector<double> fuel(100);
+  for (Index i = 0; i < 100; ++i) {
+    fuel[static_cast<size_t>(i)] = dataset->table.values()(i, 6);
+  }
+  std::vector<Route> routes;
+  for (uint64_t s = 0; s < 3; ++s) {
+    auto route = SampleRoute(si, 10, s);
+    ASSERT_TRUE(route.ok());
+    routes.push_back(*route);
+  }
+  auto err = MeanRouteFuelError(si, fuel, fuel, routes);
+  ASSERT_TRUE(err.ok());
+  EXPECT_DOUBLE_EQ(*err, 0.0);
+}
+
+TEST(RouteTest, WorseImputationLargerError) {
+  auto dataset = data::MakeVehicleLike(150, 11);
+  Matrix si = dataset->table.SpatialInfo();
+  std::vector<double> truth(150), slightly_off(150), badly_off(150);
+  for (Index i = 0; i < 150; ++i) {
+    const double v = dataset->table.values()(i, 6);
+    truth[static_cast<size_t>(i)] = v;
+    slightly_off[static_cast<size_t>(i)] = v + 0.01;
+    badly_off[static_cast<size_t>(i)] = v + 1.0;
+  }
+  std::vector<Route> routes;
+  for (uint64_t s = 0; s < 5; ++s) {
+    auto route = SampleRoute(si, 12, 100 + s);
+    ASSERT_TRUE(route.ok());
+    routes.push_back(*route);
+  }
+  auto small = MeanRouteFuelError(si, truth, slightly_off, routes);
+  auto large = MeanRouteFuelError(si, truth, badly_off, routes);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(*small, *large);
+}
+
+TEST(RouteTest, PlanRoutePicksCheapest) {
+  auto dataset = data::MakeVehicleLike(120, 33);
+  Matrix si = dataset->table.SpatialInfo();
+  std::vector<double> rate(120, 1.0);
+  std::vector<apps::Route> candidates;
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto route = apps::SampleRoute(si, 10 + static_cast<Index>(s) * 8,
+                                   700 + s);
+    ASSERT_TRUE(route.ok());
+    candidates.push_back(*route);
+  }
+  auto plan = apps::PlanRoute(si, rate, candidates);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->costs.size(), 4u);
+  for (double cost : plan->costs) {
+    EXPECT_GE(cost, plan->costs[plan->chosen]);
+  }
+  // Empty candidate list rejected.
+  EXPECT_FALSE(apps::PlanRoute(si, rate, {}).ok());
+}
+
+// ---------------------------------------------------------------- clustering
+
+TEST(ClusteringAppTest, MethodNames) {
+  EXPECT_STREQ(ClusterMethodName(ClusterMethod::kPca), "PCA");
+  EXPECT_STREQ(ClusterMethodName(ClusterMethod::kSmfl), "SMFL");
+  EXPECT_STREQ(ClusterMethodName(ClusterMethod::kSpectral), "Spectral");
+}
+
+TEST(ClusteringAppTest, AllMethodsProduceLabels) {
+  auto dataset = data::MakeLakeLike(250, 13);
+  auto normalizer = data::MinMaxNormalizer::Fit(dataset->table.values());
+  Matrix truth_matrix = normalizer->Transform(dataset->table.values());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.1;
+  inject.seed = 5;
+  auto injection = data::InjectMissing(dataset->table, inject);
+  ASSERT_TRUE(injection.ok());
+  Matrix input = data::ApplyMask(truth_matrix, injection->observed);
+
+  ClusterAppOptions options;
+  options.num_clusters = 5;
+  options.rank = 5;
+  for (ClusterMethod method :
+       {ClusterMethod::kPca, ClusterMethod::kNmf, ClusterMethod::kSmf,
+        ClusterMethod::kSmfl, ClusterMethod::kSpectral}) {
+    auto labels =
+        ClusterIncomplete(method, input, injection->observed, 2, options);
+    ASSERT_TRUE(labels.ok()) << ClusterMethodName(method);
+    EXPECT_EQ(labels->size(), 250u);
+    for (Index label : *labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, 5);
+    }
+  }
+}
+
+TEST(ClusteringAppTest, SmflBeatsChanceOnPlantedClusters) {
+  auto dataset = data::MakeLakeLike(300, 17);
+  auto normalizer = data::MinMaxNormalizer::Fit(dataset->table.values());
+  Matrix truth_matrix = normalizer->Transform(dataset->table.values());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.1;
+  inject.seed = 9;
+  auto injection = data::InjectMissing(dataset->table, inject);
+  ASSERT_TRUE(injection.ok());
+  Matrix input = data::ApplyMask(truth_matrix, injection->observed);
+
+  ClusterAppOptions options;
+  options.num_clusters = 5;
+  options.rank = 5;
+  auto acc = ClusteringAccuracyOnIncomplete(ClusterMethod::kSmfl, input,
+                                            injection->observed, 2,
+                                            dataset->cluster_labels, options);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.4);  // 5 planted clusters -> chance is 0.2
+}
+
+}  // namespace
+}  // namespace smfl::apps

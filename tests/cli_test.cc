@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/cli/commands.h"
+#include "src/data/csv.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+
+namespace smfl::cli {
+namespace {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"smfl"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  SMFL_CHECK(flags.ok());
+  return std::move(flags).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Writes a Lake-like CSV with holes; returns ground truth and hole mask.
+struct Fixture {
+  std::string path;
+  Matrix truth;
+  Mask observed;
+};
+
+Fixture WriteIncompleteCsv(const std::string& name, Index rows,
+                           double missing_rate, uint64_t seed) {
+  auto dataset = data::MakeLakeLike(rows, seed);
+  SMFL_CHECK(dataset.ok());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = missing_rate;
+  inject.preserve_complete_rows = 5;  // small fixtures: protect few rows
+  inject.seed = seed + 9;
+  auto injection = data::InjectMissing(dataset->table, inject);
+  SMFL_CHECK(injection.ok());
+  SMFL_CHECK(injection->observed.Complement().Count() > 0);
+  Fixture f;
+  f.path = TempPath(name);
+  f.truth = dataset->table.values();
+  f.observed = injection->observed;
+  SMFL_CHECK(data::WriteCsv(f.path, dataset->table, f.observed).ok());
+  return f;
+}
+
+TEST(CliTest, UsageOnMissingOrUnknownCommand) {
+  std::string output;
+  Status status = ::smfl::cli::Run(MakeFlags({}), &output);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("usage:"), std::string::npos);
+  status = ::smfl::cli::Run(MakeFlags({"teleport"}), &output);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, StatsCommand) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_stats.csv", 80, 0.1, 3);
+  std::string output;
+  Status status =
+      ::smfl::cli::Run(MakeFlags({"stats", "--in=" + f.path, "--spatial=2"}), &output);
+  std::remove(f.path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(output.find("80 rows x 7 columns"), std::string::npos);
+  EXPECT_NE(output.find("latitude"), std::string::npos);
+}
+
+TEST(CliTest, ImputeCommandFillsEveryHole) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_impute.csv", 150, 0.15, 5);
+  const std::string out_path = TempPath("smfl_cli_imputed.csv");
+  std::string output;
+  Status status = ::smfl::cli::Run(MakeFlags({"impute", "--in=" + f.path,
+                                 "--out=" + out_path, "--method=SMFL",
+                                 "--rank=6"}),
+                      &output);
+  std::remove(f.path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(output.find("imputed"), std::string::npos);
+
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = 2;
+  auto completed = data::ReadCsv(out_path, read_options);
+  std::remove(out_path.c_str());
+  ASSERT_TRUE(completed.ok());
+  // Every cell present, observed values preserved exactly.
+  EXPECT_EQ(completed->observed.Count(),
+            completed->table.NumRows() * completed->table.NumCols());
+  for (Index i = 0; i < f.truth.rows(); ++i) {
+    for (Index j = 0; j < f.truth.cols(); ++j) {
+      if (f.observed.Contains(i, j)) {
+        EXPECT_NEAR(completed->table.values()(i, j), f.truth(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CliTest, ImputeWithBaselineMethod) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_knn.csv", 100, 0.1, 7);
+  const std::string out_path = TempPath("smfl_cli_knn_out.csv");
+  std::string output;
+  Status status = ::smfl::cli::Run(MakeFlags({"impute", "--in=" + f.path,
+                                 "--out=" + out_path, "--method=kNN"}),
+                      &output);
+  std::remove(f.path.c_str());
+  std::remove(out_path.c_str());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(output.find("kNN"), std::string::npos);
+}
+
+TEST(CliTest, ImputeErrorsAreActionable) {
+  std::string output;
+  // Missing --in.
+  EXPECT_FALSE(::smfl::cli::Run(MakeFlags({"impute", "--out=x.csv"}), &output).ok());
+  // Missing --out.
+  Fixture f = WriteIncompleteCsv("smfl_cli_noout.csv", 30, 0.1, 9);
+  EXPECT_FALSE(::smfl::cli::Run(MakeFlags({"impute", "--in=" + f.path}), &output).ok());
+  // Unknown method.
+  Status status = ::smfl::cli::Run(MakeFlags({"impute", "--in=" + f.path,
+                                 "--out=" + TempPath("x.csv"),
+                                 "--method=oracle"}),
+                      &output);
+  std::remove(f.path.c_str());
+  EXPECT_FALSE(status.ok());
+  // Nonexistent input.
+  EXPECT_FALSE(::smfl::cli::Run(MakeFlags({"impute", "--in=/no/such.csv",
+                              "--out=" + TempPath("y.csv")}),
+                   &output)
+                   .ok());
+}
+
+TEST(CliTest, RepairCommandEndToEnd) {
+  // Complete table with injected cell errors.
+  auto dataset = data::MakeLakeLike(200, 11);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<std::string> names = dataset->table.column_names();
+  data::ErrorInjectionOptions inject;
+  inject.error_rate = 0.05;
+  inject.seed = 13;
+  auto injection = data::InjectErrors(dataset->table, inject);
+  ASSERT_TRUE(injection.ok());
+  auto dirty_table = data::Table::Create(names, injection->dirty, 2);
+  ASSERT_TRUE(dirty_table.ok());
+  const std::string in_path = TempPath("smfl_cli_repair_in.csv");
+  const std::string out_path = TempPath("smfl_cli_repair_out.csv");
+  ASSERT_TRUE(data::WriteCsv(in_path, *dirty_table).ok());
+
+  std::string output;
+  Status status = ::smfl::cli::Run(
+      MakeFlags({"repair", "--in=" + in_path, "--out=" + out_path}), &output);
+  std::remove(in_path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = 2;
+  auto repaired = data::ReadCsv(out_path, read_options);
+  std::remove(out_path.c_str());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->table.NumRows(), 200);
+  EXPECT_FALSE(repaired->table.values().HasNonFinite());
+}
+
+TEST(CliTest, RepairRejectsIncompleteInput) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_repair_holes.csv", 50, 0.1, 15);
+  std::string output;
+  Status status = ::smfl::cli::Run(MakeFlags({"repair", "--in=" + f.path,
+                                 "--out=" + TempPath("z.csv")}),
+                      &output);
+  std::remove(f.path.c_str());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CliTest, ImputeWithQuantileNormalizer) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_quant.csv", 120, 0.1, 29);
+  const std::string out_path = TempPath("smfl_cli_quant_out.csv");
+  std::string output;
+  Status status = ::smfl::cli::Run(
+      MakeFlags({"impute", "--in=" + f.path, "--out=" + out_path,
+                 "--normalizer=quantile", "--rank=6"}),
+      &output);
+  std::remove(f.path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = 2;
+  auto completed = data::ReadCsv(out_path, read_options);
+  std::remove(out_path.c_str());
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(completed->observed.Count(),
+            completed->table.NumRows() * completed->table.NumCols());
+  // Unknown normalizer rejected.
+  Fixture g = WriteIncompleteCsv("smfl_cli_quant2.csv", 40, 0.1, 31);
+  status = ::smfl::cli::Run(
+      MakeFlags({"impute", "--in=" + g.path, "--out=" + out_path,
+                 "--normalizer=zscore"}),
+      &output);
+  std::remove(g.path.c_str());
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(CliTest, FitThenApplyRoundTrip) {
+  // Train on one CSV, fold a second (fresh, incomplete) CSV against the
+  // saved model.
+  auto train = data::MakeLakeLike(200, 21);
+  ASSERT_TRUE(train.ok());
+  const std::string train_path = TempPath("smfl_cli_fit_train.csv");
+  ASSERT_TRUE(data::WriteCsv(train_path, train->table).ok());
+  const std::string model_path = TempPath("smfl_cli_fit_model.txt");
+
+  std::string output;
+  Status status = ::smfl::cli::Run(
+      MakeFlags({"fit", "--in=" + train_path, "--model=" + model_path,
+                 "--rank=6"}),
+      &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(output.find("model ->"), std::string::npos);
+
+  Fixture fresh = WriteIncompleteCsv("smfl_cli_apply_in.csv", 60, 0.2, 23);
+  const std::string out_path = TempPath("smfl_cli_apply_out.csv");
+  status = ::smfl::cli::Run(
+      MakeFlags({"apply", "--in=" + fresh.path, "--model=" + model_path,
+                 "--out=" + out_path}),
+      &output);
+  std::remove(train_path.c_str());
+  std::remove(fresh.path.c_str());
+  std::remove(model_path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = 2;
+  auto completed = data::ReadCsv(out_path, read_options);
+  std::remove(out_path.c_str());
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(completed->observed.Count(),
+            completed->table.NumRows() * completed->table.NumCols());
+  EXPECT_FALSE(completed->table.values().HasNonFinite());
+}
+
+TEST(CliTest, ApplyRejectsColumnMismatch) {
+  auto train = data::MakeLakeLike(100, 25);  // 7 columns
+  ASSERT_TRUE(train.ok());
+  const std::string train_path = TempPath("smfl_cli_mm_train.csv");
+  ASSERT_TRUE(data::WriteCsv(train_path, train->table).ok());
+  const std::string model_path = TempPath("smfl_cli_mm_model.txt");
+  std::string output;
+  ASSERT_TRUE(::smfl::cli::Run(MakeFlags({"fit", "--in=" + train_path,
+                                          "--model=" + model_path}),
+                               &output)
+                  .ok());
+  std::remove(train_path.c_str());
+
+  auto other = data::MakeEconomicLike(50, 27);  // 13 columns
+  ASSERT_TRUE(other.ok());
+  const std::string other_path = TempPath("smfl_cli_mm_other.csv");
+  ASSERT_TRUE(data::WriteCsv(other_path, other->table).ok());
+  Status status = ::smfl::cli::Run(
+      MakeFlags({"apply", "--in=" + other_path, "--model=" + model_path,
+                 "--out=" + TempPath("mm_out.csv")}),
+      &output);
+  std::remove(other_path.c_str());
+  std::remove(model_path.c_str());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("columns"), std::string::npos);
+}
+
+TEST(CliTest, SelectCommandRecommendsFlags) {
+  Fixture f = WriteIncompleteCsv("smfl_cli_select.csv", 200, 0.1, 33);
+  std::string output;
+  Status status =
+      ::smfl::cli::Run(MakeFlags({"select", "--in=" + f.path}), &output);
+  std::remove(f.path.c_str());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(output.find("recommended: --rank="), std::string::npos);
+  EXPECT_NE(output.find("<- best"), std::string::npos);
+}
+
+TEST(CliTest, UsageListsAllMethods) {
+  const std::string usage = UsageText();
+  EXPECT_NE(usage.find("SMFL"), std::string::npos);
+  EXPECT_NE(usage.find("apply"), std::string::npos);
+  EXPECT_NE(usage.find("fit"), std::string::npos);
+  EXPECT_NE(usage.find("HoloClean"), std::string::npos);
+  EXPECT_NE(usage.find("kNNE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smfl::cli

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/cluster/hungarian.h"
+#include "src/cluster/kmeans.h"
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+
+namespace smfl::cluster {
+namespace {
+
+// Three well-separated blobs; returns points and true labels.
+std::pair<Matrix, std::vector<Index>> MakeBlobs(Index per_blob,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix points(3 * per_blob, 2);
+  std::vector<Index> labels(static_cast<size_t>(3 * per_blob));
+  for (Index b = 0; b < 3; ++b) {
+    for (Index i = 0; i < per_blob; ++i) {
+      const Index row = b * per_blob + i;
+      points(row, 0) = rng.Normal(centers[b][0], 0.5);
+      points(row, 1) = rng.Normal(centers[b][1], 0.5);
+      labels[static_cast<size_t>(row)] = b;
+    }
+  }
+  return {points, labels};
+}
+
+// ---------------------------------------------------------------- kmeans
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  auto [points, truth] = MakeBlobs(50, 3);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 1;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  auto acc = ClusteringAccuracy(truth, result->assignments);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.99);
+}
+
+TEST(KMeansTest, CentersNearBlobCenters) {
+  auto [points, truth] = MakeBlobs(100, 5);
+  (void)truth;
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 2;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // Each true center must have a learned center within 0.5.
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (const auto& c : centers) {
+    double best = 1e9;
+    for (Index k = 0; k < 3; ++k) {
+      const double d = std::hypot(result->centers(k, 0) - c[0],
+                                  result->centers(k, 1) - c[1]);
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(KMeansTest, InertiaNonIncreasingWithMoreClusters) {
+  auto [points, truth] = MakeBlobs(40, 7);
+  (void)truth;
+  double prev = 1e300;
+  for (Index k : {1, 2, 3, 6}) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 3;
+    auto result = KMeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-9);
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeansTest, Deterministic) {
+  auto [points, truth] = MakeBlobs(30, 9);
+  (void)truth;
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 4;
+  auto a = KMeans(points, options);
+  auto b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(a->centers, b->centers), 0.0);
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(KMeansTest, KEqualsNPutsCenterOnEachPoint) {
+  Matrix points{{0, 0}, {5, 5}, {9, 1}};
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 5;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+  std::set<Index> assigned(result->assignments.begin(),
+                           result->assignments.end());
+  EXPECT_EQ(assigned.size(), 3u);
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  Matrix points(10, 2, 1.0);  // all identical
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 6;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Matrix points{{1, 2}, {3, 4}};
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeans(points, options).ok());
+  options.k = 3;  // more clusters than points
+  EXPECT_FALSE(KMeans(points, options).ok());
+  options.k = 1;
+  EXPECT_FALSE(KMeans(Matrix(), options).ok());
+}
+
+TEST(KMeansTest, SingleCluster) {
+  auto [points, truth] = MakeBlobs(20, 11);
+  (void)truth;
+  KMeansOptions options;
+  options.k = 1;
+  options.seed = 7;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // The single center is the global mean.
+  la::Vector mean = la::ColMeans(points);
+  EXPECT_NEAR(result->centers(0, 0), mean[0], 1e-9);
+  EXPECT_NEAR(result->centers(0, 1), mean[1], 1e-9);
+}
+
+TEST(KMeansTest, AssignToCenters) {
+  Matrix centers{{0, 0}, {10, 10}};
+  Matrix points{{1, 1}, {9, 9}, {0, 0}};
+  auto labels = AssignToCenters(points, centers);
+  EXPECT_EQ(labels, (std::vector<Index>{0, 1, 0}));
+}
+
+// ------------------------------------------------------------- hungarian
+
+TEST(HungarianTest, IdentityCost) {
+  // Diagonal is cheapest.
+  Matrix cost{{0, 9, 9}, {9, 0, 9}, {9, 9, 0}};
+  auto assignment = SolveAssignment(cost);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(*assignment, (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(HungarianTest, KnownOptimal) {
+  Matrix cost{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  auto assignment = SolveAssignment(cost);
+  ASSERT_TRUE(assignment.ok());
+  // Optimal: 0->1 (1), 1->0 (2), 2->2 (2) = 5.
+  double total = 0.0;
+  for (Index i = 0; i < 3; ++i) total += cost(i, (*assignment)[i]);
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(HungarianTest, IsPermutation) {
+  Rng rng(13);
+  Matrix cost(7, 7);
+  for (Index i = 0; i < cost.size(); ++i) cost.data()[i] = rng.Uniform();
+  auto assignment = SolveAssignment(cost);
+  ASSERT_TRUE(assignment.ok());
+  std::set<Index> seen(assignment->begin(), assignment->end());
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(HungarianTest, BeatsRandomAssignments) {
+  Rng rng(17);
+  Matrix cost(6, 6);
+  for (Index i = 0; i < cost.size(); ++i) cost.data()[i] = rng.Uniform();
+  auto assignment = SolveAssignment(cost);
+  ASSERT_TRUE(assignment.ok());
+  double optimal = 0.0;
+  for (Index i = 0; i < 6; ++i) optimal += cost(i, (*assignment)[i]);
+  // No random permutation can beat it.
+  for (int trial = 0; trial < 200; ++trial) {
+    auto perm = rng.Permutation(6);
+    double total = 0.0;
+    for (Index i = 0; i < 6; ++i) {
+      total += cost(i, static_cast<Index>(perm[static_cast<size_t>(i)]));
+    }
+    EXPECT_GE(total, optimal - 1e-12);
+  }
+}
+
+TEST(HungarianTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveAssignment(Matrix(2, 3)).ok());
+  Matrix nan_cost(2, 2, 0.0);
+  nan_cost(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(SolveAssignment(nan_cost).ok());
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  auto assignment = SolveAssignment(Matrix(0, 0));
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_TRUE(assignment->empty());
+}
+
+// ------------------------------------------------------- clustering accuracy
+
+TEST(ClusteringAccuracyTest, PerfectUnderRelabeling) {
+  std::vector<Index> truth{0, 0, 1, 1, 2, 2};
+  std::vector<Index> pred{2, 2, 0, 0, 1, 1};  // consistent relabeling
+  auto acc = ClusteringAccuracy(truth, pred);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(ClusteringAccuracyTest, PartialAgreement) {
+  std::vector<Index> truth{0, 0, 0, 1, 1, 1};
+  std::vector<Index> pred{0, 0, 1, 1, 1, 0};
+  auto acc = ClusteringAccuracy(truth, pred);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(*acc, 4.0 / 6.0, 1e-12);
+}
+
+TEST(ClusteringAccuracyTest, DifferentLabelCounts) {
+  std::vector<Index> truth{0, 1, 2, 0};
+  std::vector<Index> pred{5, 5, 5, 5};  // one predicted cluster
+  auto acc = ClusteringAccuracy(truth, pred);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(*acc, 0.5, 1e-12);  // best match covers the two 0s
+}
+
+TEST(ClusteringAccuracyTest, RejectsBadInput) {
+  EXPECT_FALSE(ClusteringAccuracy({0, 1}, {0}).ok());
+  EXPECT_FALSE(ClusteringAccuracy({}, {}).ok());
+  EXPECT_FALSE(ClusteringAccuracy({0, -1}, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace smfl::cluster

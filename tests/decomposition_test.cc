@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/la/cholesky.h"
+#include "src/la/matrix.h"
+#include "src/la/ops.h"
+#include "src/la/qr.h"
+#include "src/la/svd.h"
+
+namespace smfl::la {
+namespace {
+
+Matrix RandomMatrix(Index rows, Index cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (Index i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal();
+  return m;
+}
+
+// Random SPD matrix A = B Bᵀ + n I.
+Matrix RandomSpd(Index n, uint64_t seed) {
+  Matrix b = RandomMatrix(n, n, seed);
+  Matrix a = MatMulABt(b, b);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+// ---------------------------------------------------------------- Cholesky
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = RandomSpd(6, 1);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rec = MatMulABt(*l, *l);
+  EXPECT_LT(MaxAbsDiff(a, rec), 1e-9);
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  auto l = CholeskyFactor(RandomSpd(5, 2));
+  ASSERT_TRUE(l.ok());
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = i + 1; j < 5; ++j) EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  auto result = CholeskyFactor(a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericError);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a = RandomSpd(8, 3);
+  Vector x_true(8);
+  for (Index i = 0; i < 8; ++i) x_true[i] = static_cast<double>(i) - 3.5;
+  Vector b = a * x_true;
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (Index i = 0; i < 8; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, SolveMatrixMultipleRhs) {
+  Matrix a = RandomSpd(5, 4);
+  Matrix x_true = RandomMatrix(5, 3, 5);
+  Matrix b = a * x_true;
+  auto x = CholeskySolveMatrix(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(MaxAbsDiff(*x, x_true), 1e-8);
+}
+
+TEST(CholeskyTest, SubstitutionRoundTrip) {
+  auto l = CholeskyFactor(RandomSpd(4, 6));
+  ASSERT_TRUE(l.ok());
+  Vector b{1.0, 2.0, 3.0, 4.0};
+  Vector y = ForwardSubstitute(*l, b);
+  // L y should equal b.
+  Vector check = *l * y;
+  for (Index i = 0; i < 4; ++i) EXPECT_NEAR(check[i], b[i], 1e-10);
+}
+
+// ---------------------------------------------------------------- QR
+
+class QrShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapeTest, ReconstructsAndOrthogonal) {
+  const auto [n, m] = GetParam();
+  Matrix a = RandomMatrix(n, m, 100 + n + m);
+  auto qr = QrFactor(a);
+  ASSERT_TRUE(qr.ok());
+  // A = Q R.
+  Matrix rec = qr->q * qr->r;
+  EXPECT_LT(MaxAbsDiff(a, rec), 1e-9);
+  // QᵀQ = I.
+  Matrix qtq = MatMulAtB(qr->q, qr->q);
+  EXPECT_LT(MaxAbsDiff(qtq, Matrix::Identity(m)), 1e-9);
+  // R upper triangular.
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(qr->r(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(5, 5),
+                                           std::make_pair(10, 3),
+                                           std::make_pair(50, 7),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(100, 13)));
+
+TEST(QrTest, RejectsWideMatrix) { EXPECT_FALSE(QrFactor(Matrix(2, 5)).ok()); }
+
+TEST(QrTest, LeastSquaresExactOnConsistentSystem) {
+  Matrix a = RandomMatrix(10, 4, 7);
+  Vector x_true{1.0, -2.0, 0.5, 3.0};
+  Vector b = a * x_true;
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  for (Index i = 0; i < 4; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(QrTest, LeastSquaresResidualOrthogonalToColumns) {
+  Matrix a = RandomMatrix(12, 3, 9);
+  Vector b(12);
+  Rng rng(10);
+  for (Index i = 0; i < 12; ++i) b[i] = rng.Normal();
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector residual = b;
+  Vector ax = a * *x;
+  for (Index i = 0; i < 12; ++i) residual[i] -= ax[i];
+  // Aᵀ r = 0 at the optimum.
+  for (Index j = 0; j < 3; ++j) {
+    double dot = 0.0;
+    for (Index i = 0; i < 12; ++i) dot += a(i, j) * residual[i];
+    EXPECT_NEAR(dot, 0.0, 1e-8);
+  }
+}
+
+TEST(QrTest, LeastSquaresDetectsRankDeficiency) {
+  Matrix a(6, 2);
+  for (Index i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // linearly dependent
+  }
+  Vector b(6, 1.0);
+  auto x = LeastSquares(a, b);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericError);
+}
+
+TEST(QrTest, RidgeHandlesRankDeficiency) {
+  Matrix a(6, 2);
+  for (Index i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);
+  }
+  Vector b(6, 1.0);
+  auto x = RidgeSolve(a, b, 1e-3);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(std::isfinite((*x)[0]));
+}
+
+TEST(QrTest, RidgeShrinksTowardZero) {
+  Matrix a = RandomMatrix(20, 3, 21);
+  Vector x_true{2.0, -1.0, 4.0};
+  Vector b = a * x_true;
+  auto small = RidgeSolve(a, b, 1e-8);
+  auto large = RidgeSolve(a, b, 1e6);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NEAR((*small)[2], 4.0, 1e-4);
+  EXPECT_LT(std::fabs((*large)[2]), 0.1);
+}
+
+TEST(QrTest, RidgeRejectsBadLambda) {
+  EXPECT_FALSE(RidgeSolve(Matrix(3, 2), Vector(3), 0.0).ok());
+  EXPECT_FALSE(RidgeSolve(Matrix(3, 2), Vector(3), -1.0).ok());
+}
+
+// ---------------------------------------------------------------- SVD
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapeTest, ReconstructsAndOrthonormal) {
+  const auto [n, m] = GetParam();
+  Matrix a = RandomMatrix(n, m, 300 + n * 17 + m);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  const Index r = std::min<Index>(n, m);
+  ASSERT_EQ(svd->s.size(), r);
+  // Reconstruction.
+  Matrix rec = SvdReconstruct(*svd);
+  EXPECT_LT(MaxAbsDiff(a, rec), 1e-8);
+  // Orthonormal columns.
+  Matrix utu = MatMulAtB(svd->u, svd->u);
+  EXPECT_LT(MaxAbsDiff(utu, Matrix::Identity(r)), 1e-8);
+  Matrix vtv = MatMulAtB(svd->v, svd->v);
+  EXPECT_LT(MaxAbsDiff(vtv, Matrix::Identity(r)), 1e-8);
+  // Nonnegative, sorted singular values.
+  for (Index i = 0; i < r; ++i) {
+    EXPECT_GE(svd->s[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd->s[i], svd->s[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(3, 3),
+                                           std::make_pair(10, 4),
+                                           std::make_pair(4, 10),
+                                           std::make_pair(40, 7),
+                                           std::make_pair(7, 40),
+                                           std::make_pair(100, 13)));
+
+TEST(SvdTest, KnownDiagonal) {
+  Matrix a{{3, 0}, {0, 4}};
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[0], 4.0, 1e-12);
+  EXPECT_NEAR(svd->s[1], 3.0, 1e-12);
+}
+
+TEST(SvdTest, FrobeniusMatchesSingularValues) {
+  Matrix a = RandomMatrix(8, 5, 31);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  double s2 = 0.0;
+  for (Index i = 0; i < svd->s.size(); ++i) s2 += svd->s[i] * svd->s[i];
+  EXPECT_NEAR(s2, FrobeniusNormSquared(a), 1e-8);
+}
+
+TEST(SvdTest, RankDeficientHasZeroSingularValues) {
+  // Rank-1 matrix.
+  Matrix a(5, 4);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      a(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 1);
+    }
+  }
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->s[0], 1.0);
+  for (Index i = 1; i < svd->s.size(); ++i) EXPECT_NEAR(svd->s[i], 0.0, 1e-9);
+}
+
+TEST(SvdTest, TruncationGivesBestLowRank) {
+  // Build a matrix with known decaying spectrum; the rank-2 truncation
+  // error must equal the tail singular values' energy.
+  Rng rng(37);
+  Matrix u = RandomMatrix(10, 4, 41);
+  auto qu = QrFactor(u);
+  ASSERT_TRUE(qu.ok());
+  Vector s{5.0, 3.0, 1.0, 0.5};
+  Matrix v = RandomMatrix(6, 4, 43);
+  auto qv = QrFactor(v);
+  ASSERT_TRUE(qv.ok());
+  Matrix us = qu->q;
+  for (Index i = 0; i < us.rows(); ++i) {
+    for (Index j = 0; j < us.cols(); ++j) us(i, j) *= s[j];
+  }
+  Matrix a = MatMulABt(us, qv->q);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  Matrix rank2 = SvdReconstruct(TruncateSvd(*svd, 2));
+  const double err2 = FrobeniusNormSquared(a - rank2);
+  EXPECT_NEAR(err2, 1.0 * 1.0 + 0.5 * 0.5, 1e-6);
+}
+
+TEST(SvdTest, SoftThresholdShrinks) {
+  Matrix a{{3, 0}, {0, 1}};
+  auto z = SoftThresholdSvd(a, 1.0);
+  ASSERT_TRUE(z.ok());
+  auto svd = Svd(*z);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[0], 2.0, 1e-9);
+  EXPECT_NEAR(svd->s[1], 0.0, 1e-9);
+}
+
+TEST(SvdTest, SoftThresholdAllZeroWhenTauLarge) {
+  Matrix a = RandomMatrix(4, 4, 51);
+  auto z = SoftThresholdSvd(a, 1e9);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(FrobeniusNorm(*z), 1e-12);
+}
+
+TEST(SvdTest, NuclearNorm) {
+  Matrix a{{3, 0}, {0, 4}};
+  auto nn = NuclearNorm(a);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_NEAR(*nn, 7.0, 1e-10);
+}
+
+TEST(SvdTest, RejectsEmptyAndNonFinite) {
+  EXPECT_FALSE(Svd(Matrix()).ok());
+  Matrix bad(2, 2, 1.0);
+  bad(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Svd(bad).ok());
+}
+
+}  // namespace
+}  // namespace smfl::la

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/exp/experiment.h"
+#include "src/exp/metrics.h"
+#include "src/la/ops.h"
+#include "src/exp/report.h"
+#include "src/impute/mf_imputers.h"
+#include "src/impute/simple.h"
+#include "src/repair/mf_repairers.h"
+
+namespace smfl::exp {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(RmsTest, KnownValue) {
+  Matrix estimate{{1, 2}, {3, 4}};
+  Matrix truth{{1, 0}, {3, 0}};
+  Mask psi(2, 2);
+  psi.Set(0, 1);
+  psi.Set(1, 1);
+  auto rms = RmsOverMask(estimate, truth, psi);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(*rms, std::sqrt((4.0 + 16.0) / 2.0));
+}
+
+TEST(RmsTest, ZeroWhenEqual) {
+  Matrix x{{1, 2}, {3, 4}};
+  auto rms = RmsOverMask(x, x, Mask::AllSet(2, 2));
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(*rms, 0.0);
+}
+
+TEST(RmsTest, Validation) {
+  Matrix x{{1, 2}};
+  EXPECT_FALSE(RmsOverMask(x, Matrix{{1, 2, 3}}, Mask(1, 2)).ok());
+  EXPECT_FALSE(RmsOverMask(x, x, Mask(2, 2)).ok());
+  EXPECT_FALSE(RmsOverMask(x, x, Mask(1, 2)).ok());  // empty mask
+}
+
+// ---------------------------------------------------------------- prepare
+
+TEST(PrepareDatasetTest, NormalizedToUnitInterval) {
+  auto prepared = PrepareDataset("lake", 200, 3);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->truth.rows(), 200);
+  EXPECT_EQ(prepared->spatial_cols, 2);
+  for (Index i = 0; i < prepared->truth.size(); ++i) {
+    EXPECT_GE(prepared->truth.data()[i], 0.0);
+    EXPECT_LE(prepared->truth.data()[i], 1.0);
+  }
+  // Inverse transform must recover the raw values.
+  Matrix back = prepared->normalizer.InverseTransform(prepared->truth);
+  EXPECT_LT(la::MaxAbsDiff(back, prepared->raw), 1e-8);
+}
+
+TEST(PrepareDatasetTest, UnknownNameFails) {
+  EXPECT_FALSE(PrepareDataset("pluto", 100).ok());
+}
+
+TEST(PrepareDatasetTest, DefaultRows) {
+  EXPECT_GT(DefaultRowsFor("vehicle"), DefaultRowsFor("farm"));
+  EXPECT_EQ(DefaultRowsFor("unknown"), 1000);
+}
+
+// ---------------------------------------------------------------- trials
+
+TEST(TrialsTest, ImputationRunsAndAverages) {
+  auto prepared = PrepareDataset("lake", 250, 5);
+  ASSERT_TRUE(prepared.ok());
+  TrialOptions options;
+  options.trials = 2;
+  options.missing_rate = 0.1;
+  impute::SmflImputer smfl;
+  auto result = RunImputationTrials(*prepared, smfl, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_rms, 0.0);
+  EXPECT_LT(result->mean_rms, 0.5);
+  EXPECT_GT(result->mean_seconds, 0.0);
+  EXPECT_EQ(result->failures, 0);
+}
+
+TEST(TrialsTest, ImputationDeterministicPerSeed) {
+  auto prepared = PrepareDataset("lake", 150, 7);
+  ASSERT_TRUE(prepared.ok());
+  TrialOptions options;
+  options.trials = 1;
+  options.seed = 99;
+  impute::MeanImputer mean;
+  auto a = RunImputationTrials(*prepared, mean, options);
+  auto b = RunImputationTrials(*prepared, mean, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_rms, b->mean_rms);
+}
+
+TEST(TrialsTest, MissingInSpatialIsHarder) {
+  auto prepared = PrepareDataset("lake", 300, 9);
+  ASSERT_TRUE(prepared.ok());
+  impute::SmflImputer smfl;
+  TrialOptions easy;
+  easy.trials = 2;
+  TrialOptions hard = easy;
+  hard.missing_in_spatial = true;
+  auto easy_result = RunImputationTrials(*prepared, smfl, easy);
+  auto hard_result = RunImputationTrials(*prepared, smfl, hard);
+  ASSERT_TRUE(easy_result.ok());
+  ASSERT_TRUE(hard_result.ok());
+  // Not guaranteed per-trial, but with SI missing the task cannot be
+  // dramatically easier.
+  EXPECT_GT(hard_result->mean_rms, easy_result->mean_rms * 0.8);
+}
+
+TEST(TrialsTest, RepairRunsAndBeatsDirty) {
+  auto prepared = PrepareDataset("lake", 250, 11);
+  ASSERT_TRUE(prepared.ok());
+  TrialOptions options;
+  options.trials = 2;
+  options.error_rate = 0.1;
+  repair::SmflRepairer smfl;
+  auto result = RunRepairTrials(*prepared, smfl, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_rms, 0.0);
+  EXPECT_LT(result->mean_rms, 0.4);
+}
+
+TEST(TrialsTest, RejectsZeroTrials) {
+  auto prepared = PrepareDataset("lake", 100, 13);
+  ASSERT_TRUE(prepared.ok());
+  TrialOptions options;
+  options.trials = 0;
+  impute::MeanImputer mean;
+  EXPECT_FALSE(RunImputationTrials(*prepared, mean, options).ok());
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(ReportTableTest, TextLayout) {
+  ReportTable table({"Dataset", "NMF", "SMFL"});
+  table.BeginRow("lake");
+  table.AddNumber(0.086);
+  table.AddNumber(0.048);
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("Dataset"), std::string::npos);
+  EXPECT_NE(text.find("0.086"), std::string::npos);
+  EXPECT_NE(text.find("lake"), std::string::npos);
+}
+
+TEST(ReportTableTest, CsvLayout) {
+  ReportTable table({"a", "b"});
+  table.BeginRow("r1");
+  table.AddCell("x");
+  EXPECT_EQ(table.ToCsv(), "a,b\nr1,x\n");
+}
+
+TEST(ReportTableTest, MarkdownLayout) {
+  ReportTable table({"a", "b"});
+  table.BeginRow("r1");
+  table.AddCell("x");
+  EXPECT_EQ(table.ToMarkdown(), "| a | b |\n|---|---|\n| r1 | x |\n");
+}
+
+TEST(ReportTableTest, NumberPrecision) {
+  ReportTable table({"a", "b"});
+  table.BeginRow("r");
+  table.AddNumber(1.23456, 2);
+  EXPECT_NE(table.ToCsv().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.ToCsv().find("1.235"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smfl::exp

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+
+namespace smfl {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  SMFL_CHECK(flags.ok());
+  return std::move(flags).value();
+}
+
+TEST(FlagsTest, EmptyCommandLine) {
+  Flags flags = MustParse({});
+  EXPECT_FALSE(flags.Has("rows"));
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_TRUE(flags.FlagNames().empty());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags flags = MustParse({"--rows=500", "--rate=0.25"});
+  EXPECT_EQ(*flags.GetInt("rows", 0), 500);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 0.0), 0.25);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags flags = MustParse({"--dataset", "lake", "--trials", "7"});
+  EXPECT_EQ(flags.GetString("dataset", ""), "lake");
+  EXPECT_EQ(*flags.GetInt("trials", 0), 7);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  Flags flags = MustParse({"--verbose", "--color=false", "--fast=1"});
+  EXPECT_TRUE(*flags.GetBool("verbose", false));
+  EXPECT_FALSE(*flags.GetBool("color", true));
+  EXPECT_TRUE(*flags.GetBool("fast", false));
+  EXPECT_TRUE(*flags.GetBool("absent", true));  // fallback
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags flags = MustParse({});
+  EXPECT_EQ(*flags.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("x", 2.5), 2.5);
+  EXPECT_EQ(flags.GetString("s", "default"), "default");
+}
+
+TEST(FlagsTest, TypeErrorsSurface) {
+  Flags flags = MustParse({"--rows=abc", "--flag=maybe"});
+  EXPECT_FALSE(flags.GetInt("rows", 0).ok());
+  EXPECT_FALSE(flags.GetBool("flag", false).ok());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = MustParse({"input.csv", "--rows=5", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, DoubleDashStopsParsing) {
+  Flags flags = MustParse({"--a=1", "--", "--b=2"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_FALSE(flags.Has("b"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--b=2");
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  std::vector<const char*> argv = {"prog", "--=3"};
+  EXPECT_FALSE(Flags::Parse(2, argv.data()).ok());
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags flags = MustParse({"--n=1", "--n=2"});
+  EXPECT_EQ(*flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace smfl

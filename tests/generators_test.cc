@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/generators.h"
+#include "src/la/ops.h"
+#include "src/spatial/knn.h"
+
+namespace smfl::data {
+namespace {
+
+TEST(GeneratorsTest, ShapesMatchSpecs) {
+  auto economic = MakeEconomicLike(100);
+  ASSERT_TRUE(economic.ok());
+  EXPECT_EQ(economic->table.NumRows(), 100);
+  EXPECT_EQ(economic->table.NumCols(), 13);
+  EXPECT_EQ(economic->table.SpatialCols(), 2);
+
+  auto farm = MakeFarmLike(50);
+  ASSERT_TRUE(farm.ok());
+  EXPECT_EQ(farm->table.NumCols(), 13);
+
+  auto lake = MakeLakeLike(80);
+  ASSERT_TRUE(lake.ok());
+  EXPECT_EQ(lake->table.NumCols(), 7);
+
+  auto vehicle = MakeVehicleLike(60);
+  ASSERT_TRUE(vehicle.ok());
+  EXPECT_EQ(vehicle->table.NumCols(), 7);
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  auto a = MakeLakeLike(200, 5);
+  auto b = MakeLakeLike(200, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(a->table.values(), b->table.values()), 0.0);
+  EXPECT_EQ(a->cluster_labels, b->cluster_labels);
+  auto c = MakeLakeLike(200, 6);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(la::MaxAbsDiff(a->table.values(), c->table.values()), 0.0);
+}
+
+TEST(GeneratorsTest, LabelsCoverClusters) {
+  auto lake = MakeLakeLike(500, 5);
+  ASSERT_TRUE(lake.ok());
+  std::set<la::Index> labels(lake->cluster_labels.begin(),
+                             lake->cluster_labels.end());
+  EXPECT_EQ(labels.size(), 5u);  // lake spec uses 5 clusters
+  EXPECT_EQ(lake->cluster_labels.size(), 500u);
+}
+
+TEST(GeneratorsTest, LocationsWithinRegion) {
+  auto vehicle = MakeVehicleLike(400, 7);
+  ASSERT_TRUE(vehicle.ok());
+  const Matrix& x = vehicle->table.values();
+  for (la::Index i = 0; i < x.rows(); ++i) {
+    EXPECT_GE(x(i, 0), 40.0);
+    EXPECT_LE(x(i, 0), 47.0);
+    EXPECT_GE(x(i, 1), 120.0);
+    EXPECT_LE(x(i, 1), 132.0);
+  }
+}
+
+TEST(GeneratorsTest, ValuesAreFinite) {
+  for (const char* name : {"economic", "farm", "lake", "vehicle"}) {
+    auto dataset = MakeDatasetByName(name, 200, 3);
+    ASSERT_TRUE(dataset.ok()) << name;
+    EXPECT_FALSE(dataset->table.values().HasNonFinite()) << name;
+  }
+}
+
+TEST(GeneratorsTest, ByNameIsCaseInsensitiveAndRejectsUnknown) {
+  EXPECT_TRUE(MakeDatasetByName("Vehicle", 50, 1).ok());
+  EXPECT_TRUE(MakeDatasetByName("LAKE", 50, 1).ok());
+  auto bad = MakeDatasetByName("mars", 50, 1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeneratorsTest, RejectsDegenerateSpecs) {
+  SyntheticSpec spec;
+  spec.rows = 0;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+  spec.rows = 10;
+  spec.cols = 2;  // no attribute columns
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+  spec.cols = 5;
+  spec.num_clusters = 0;
+  EXPECT_FALSE(MakeSynthetic(spec).ok());
+}
+
+// The property the whole paper rests on: the field component of the
+// attributes must be spatially smooth — near neighbors have closer values
+// than random pairs. Checked on a spec with the non-spatial components
+// (row factors, noise, visit bursts) turned off, isolating the fields.
+TEST(GeneratorsTest, SpatialSmoothnessHolds) {
+  SyntheticSpec spec;
+  spec.name = "smooth";
+  spec.rows = 600;
+  spec.cols = 7;
+  spec.num_clusters = 5;
+  spec.field_bumps = 22;
+  spec.field_scale = 0.12;
+  spec.noise = 1e-3;
+  spec.row_factors = 0;
+  spec.row_effect = 0.0;
+  spec.weak_attr_fraction = 0.0;
+  spec.visits_per_location = 1;
+  spec.seed = 21;
+  auto lake = MakeSynthetic(spec);
+  ASSERT_TRUE(lake.ok());
+  const Matrix& x = lake->table.values();
+  Matrix si = lake->table.SpatialInfo();
+  auto knn = spatial::AllKnn(si, 1);
+  ASSERT_TRUE(knn.ok());
+  double neighbor_gap = 0.0, random_gap = 0.0;
+  const la::Index attr = 3;  // arbitrary attribute column
+  for (la::Index i = 0; i < x.rows(); ++i) {
+    const la::Index nb = (*knn)[static_cast<size_t>(i)][0].index;
+    neighbor_gap += std::fabs(x(i, attr) - x(nb, attr));
+    const la::Index rnd = (i * 7919 + 13) % x.rows();
+    random_gap += std::fabs(x(i, attr) - x(rnd, attr));
+  }
+  EXPECT_LT(neighbor_gap, 0.6 * random_gap);
+}
+
+// The Vehicle generator must plant the east-west fuel gradient of Fig 1.
+TEST(GeneratorsTest, VehicleHasEastGradientInFuelColumn) {
+  auto vehicle = MakeVehicleLike(2000, 9);
+  ASSERT_TRUE(vehicle.ok());
+  const Matrix& x = vehicle->table.values();
+  const la::Index fuel = x.cols() - 1;
+  // Correlation between longitude and the fuel column must be clearly
+  // positive.
+  double mean_lon = 0.0, mean_fuel = 0.0;
+  for (la::Index i = 0; i < x.rows(); ++i) {
+    mean_lon += x(i, 1);
+    mean_fuel += x(i, fuel);
+  }
+  mean_lon /= x.rows();
+  mean_fuel /= x.rows();
+  double cov = 0.0, var_lon = 0.0, var_fuel = 0.0;
+  for (la::Index i = 0; i < x.rows(); ++i) {
+    const double a = x(i, 1) - mean_lon;
+    const double b = x(i, fuel) - mean_fuel;
+    cov += a * b;
+    var_lon += a * a;
+    var_fuel += b * b;
+  }
+  const double corr = cov / std::sqrt(var_lon * var_fuel);
+  EXPECT_GT(corr, 0.3);
+}
+
+}  // namespace
+}  // namespace smfl::data

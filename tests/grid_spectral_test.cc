@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cluster/hungarian.h"
+#include "src/cluster/spectral.h"
+#include "src/common/rng.h"
+#include "src/spatial/grid_index.h"
+#include "src/spatial/knn.h"
+
+namespace smfl {
+namespace {
+
+using la::Index;
+using la::Matrix;
+
+Matrix RandomPoints(Index n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(n, 2);
+  for (Index i = 0; i < points.size(); ++i) {
+    points.data()[i] = rng.Uniform();
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(GridIndexTest, BuildValidation) {
+  EXPECT_FALSE(spatial::GridIndex::Build(Matrix()).ok());
+  EXPECT_FALSE(spatial::GridIndex::Build(Matrix(3, 1)).ok());
+  EXPECT_TRUE(spatial::GridIndex::Build(Matrix(3, 2, 0.5)).ok());
+}
+
+class GridKnnOracleTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(GridKnnOracleTest, MatchesBruteForce) {
+  const auto [n, k] = GetParam();
+  Matrix points = RandomPoints(n, 300 + n + k);
+  auto grid = spatial::GridIndex::Build(points);
+  ASSERT_TRUE(grid.ok());
+  for (Index q = 0; q < std::min<Index>(n, 20); ++q) {
+    auto expected = spatial::BruteForceKnn(points, points.Row(q), k, q);
+    auto actual = grid->Knn(points(q, 0), points(q, 1), k, q);
+    ASSERT_EQ(actual.size(), expected.size()) << "query " << q;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(actual[i].distance, expected[i].distance, 1e-12)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridKnnOracleTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(20, 3),
+                                           std::make_pair(100, 5),
+                                           std::make_pair(500, 4),
+                                           std::make_pair(1000, 10)));
+
+TEST(GridIndexTest, RadiusQueryExact) {
+  Matrix points = RandomPoints(300, 9);
+  auto grid = spatial::GridIndex::Build(points);
+  ASSERT_TRUE(grid.ok());
+  const double radius = 0.15;
+  auto found = grid->RadiusQuery(0.5, 0.5, radius);
+  // Oracle count.
+  Index expected = 0;
+  for (Index i = 0; i < 300; ++i) {
+    if (std::hypot(points(i, 0) - 0.5, points(i, 1) - 0.5) <= radius) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(found.size()), expected);
+  // Sorted ascending, all within radius.
+  for (size_t i = 0; i < found.size(); ++i) {
+    EXPECT_LE(found[i].distance, radius);
+    if (i > 0) {
+      EXPECT_GE(found[i].distance, found[i - 1].distance);
+    }
+  }
+}
+
+TEST(GridIndexTest, RadiusZeroFindsExactPoint) {
+  Matrix points{{0.5, 0.5}, {0.6, 0.6}};
+  auto grid = spatial::GridIndex::Build(points);
+  ASSERT_TRUE(grid.ok());
+  auto found = grid->RadiusQuery(0.5, 0.5, 0.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].index, 0);
+  EXPECT_TRUE(grid->RadiusQuery(0.5, 0.5, -1.0).empty());
+}
+
+TEST(GridIndexTest, DuplicatePoints) {
+  Matrix points(50, 2, 0.3);
+  auto grid = spatial::GridIndex::Build(points);
+  ASSERT_TRUE(grid.ok());
+  auto nn = grid->Knn(0.3, 0.3, 5, 0);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const auto& n : nn) EXPECT_DOUBLE_EQ(n.distance, 0.0);
+}
+
+// ---------------------------------------------------------------- spectral
+
+TEST(SpectralTest, SeparatesTwoBlobs) {
+  Rng rng(13);
+  Matrix points(60, 2);
+  std::vector<Index> truth(60);
+  for (Index i = 0; i < 60; ++i) {
+    const bool second = i >= 30;
+    truth[static_cast<size_t>(i)] = second ? 1 : 0;
+    points(i, 0) = (second ? 10.0 : 0.0) + rng.Normal(0.0, 0.3);
+    points(i, 1) = rng.Normal(0.0, 0.3);
+  }
+  auto graph = spatial::NeighborGraph::Build(points, 4);
+  ASSERT_TRUE(graph.ok());
+  cluster::SpectralOptions options;
+  options.k = 2;
+  auto result = cluster::SpectralClustering(*graph, options);
+  ASSERT_TRUE(result.ok());
+  auto acc = cluster::ClusteringAccuracy(truth, result->assignments);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+  // Two well-separated blobs -> two (near-)zero Laplacian eigenvalues.
+  EXPECT_NEAR(result->eigenvalues[0], 0.0, 1e-9);
+  EXPECT_NEAR(result->eigenvalues[1], 0.0, 1e-9);
+}
+
+TEST(SpectralTest, EigenvaluesNonNegativeAscending) {
+  Matrix points = RandomPoints(40, 17);
+  auto graph = spatial::NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(graph.ok());
+  cluster::SpectralOptions options;
+  options.k = 5;
+  auto result = cluster::SpectralClustering(*graph, options);
+  ASSERT_TRUE(result.ok());
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_GE(result->eigenvalues[i], -1e-9);
+    if (i > 0) {
+      EXPECT_GE(result->eigenvalues[i], result->eigenvalues[i - 1]);
+    }
+  }
+}
+
+TEST(SpectralTest, Validation) {
+  Matrix points = RandomPoints(10, 19);
+  auto graph = spatial::NeighborGraph::Build(points, 2);
+  ASSERT_TRUE(graph.ok());
+  cluster::SpectralOptions options;
+  options.k = 0;
+  EXPECT_FALSE(cluster::SpectralClustering(*graph, options).ok());
+  options.k = 11;
+  EXPECT_FALSE(cluster::SpectralClustering(*graph, options).ok());
+}
+
+}  // namespace
+}  // namespace smfl

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/la/ops.h"
+
+namespace smfl::data {
+namespace {
+
+Table MakeTestTable(Index rows) {
+  auto dataset = MakeLakeLike(rows, /*seed=*/99);
+  return dataset->table;
+}
+
+// ---------------------------------------------------------- missing values
+
+TEST(InjectMissingTest, RateIsApproximatelyRespected) {
+  Table table = MakeTestTable(1000);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.2;
+  options.preserve_complete_rows = 0;
+  options.seed = 5;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  const Index eligible =
+      table.NumRows() * (table.NumCols() - table.SpatialCols());
+  const Index removed =
+      eligible - (injection->observed.Count() -
+                  table.NumRows() * table.SpatialCols());
+  const double rate = static_cast<double>(removed) /
+                      static_cast<double>(eligible);
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(InjectMissingTest, SpatialColumnsIntactByDefault) {
+  Table table = MakeTestTable(200);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.5;
+  options.seed = 6;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  for (Index i = 0; i < table.NumRows(); ++i) {
+    for (Index j = 0; j < table.SpatialCols(); ++j) {
+      EXPECT_TRUE(injection->observed.Contains(i, j));
+    }
+  }
+}
+
+TEST(InjectMissingTest, SpatialColumnsEligibleWhenRequested) {
+  Table table = MakeTestTable(500);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.3;
+  options.include_spatial_cols = true;
+  options.preserve_complete_rows = 0;
+  options.seed = 7;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  Index missing_spatial = 0;
+  for (Index i = 0; i < table.NumRows(); ++i) {
+    for (Index j = 0; j < table.SpatialCols(); ++j) {
+      missing_spatial += !injection->observed.Contains(i, j);
+    }
+  }
+  EXPECT_GT(missing_spatial, 0);
+}
+
+TEST(InjectMissingTest, PreservesCompleteRowPool) {
+  Table table = MakeTestTable(300);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.4;
+  options.preserve_complete_rows = 100;
+  options.seed = 8;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  EXPECT_GE(injection->observed.FullySetRows().size(), 100u);
+}
+
+TEST(InjectMissingTest, NoRowLosesEverything) {
+  Table table = MakeTestTable(400);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.9;  // extreme rate
+  options.preserve_complete_rows = 0;
+  options.seed = 9;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  for (Index i = 0; i < table.NumRows(); ++i) {
+    bool any = false;
+    for (Index j = table.SpatialCols(); j < table.NumCols(); ++j) {
+      any = any || injection->observed.Contains(i, j);
+    }
+    EXPECT_TRUE(any) << "row " << i << " lost all attribute values";
+  }
+}
+
+TEST(InjectMissingTest, DeterministicPerSeed) {
+  Table table = MakeTestTable(100);
+  MissingInjectionOptions options;
+  options.preserve_complete_rows = 0;
+  options.seed = 11;
+  auto a = InjectMissing(table, options);
+  auto b = InjectMissing(table, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->observed == b->observed);
+  options.seed = 12;
+  auto c = InjectMissing(table, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->observed == c->observed);
+}
+
+TEST(InjectMissingTest, RejectsBadRate) {
+  Table table = MakeTestTable(10);
+  MissingInjectionOptions options;
+  options.missing_rate = 1.0;
+  EXPECT_FALSE(InjectMissing(table, options).ok());
+  options.missing_rate = -0.1;
+  EXPECT_FALSE(InjectMissing(table, options).ok());
+}
+
+TEST(InjectMissingTest, ZeroRateLeavesEverythingObserved) {
+  Table table = MakeTestTable(50);
+  MissingInjectionOptions options;
+  options.missing_rate = 0.0;
+  auto injection = InjectMissing(table, options);
+  ASSERT_TRUE(injection.ok());
+  EXPECT_EQ(injection->observed.Count(), table.NumRows() * table.NumCols());
+}
+
+// ---------------------------------------------------------- errors
+
+TEST(InjectErrorsTest, DirtyCellsDifferAndComeFromDomain) {
+  Table table = MakeTestTable(500);
+  ErrorInjectionOptions options;
+  options.error_rate = 0.1;
+  options.preserve_complete_rows = 0;
+  options.seed = 13;
+  auto injection = InjectErrors(table, options);
+  ASSERT_TRUE(injection.ok());
+  const auto dirty_entries = injection->dirty_cells.Entries();
+  EXPECT_GT(dirty_entries.size(), 0u);
+  for (const Entry& e : dirty_entries) {
+    const double dirty_value = injection->dirty(e.row, e.col);
+    // The dirty value must exist somewhere in the column's domain.
+    bool found = false;
+    for (Index i = 0; i < table.NumRows() && !found; ++i) {
+      found = table.values()(i, e.col) == dirty_value;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(InjectErrorsTest, CleanCellsUntouched) {
+  Table table = MakeTestTable(200);
+  ErrorInjectionOptions options;
+  options.error_rate = 0.2;
+  options.seed = 14;
+  auto injection = InjectErrors(table, options);
+  ASSERT_TRUE(injection.ok());
+  for (Index i = 0; i < table.NumRows(); ++i) {
+    for (Index j = 0; j < table.NumCols(); ++j) {
+      if (!injection->dirty_cells.Contains(i, j)) {
+        EXPECT_DOUBLE_EQ(injection->dirty(i, j), table.values()(i, j));
+      }
+    }
+  }
+}
+
+TEST(InjectErrorsTest, RateApproximatelyRespected) {
+  Table table = MakeTestTable(1000);
+  ErrorInjectionOptions options;
+  options.error_rate = 0.15;
+  options.preserve_complete_rows = 0;
+  options.seed = 15;
+  auto injection = InjectErrors(table, options);
+  ASSERT_TRUE(injection.ok());
+  const double rate =
+      static_cast<double>(injection->dirty_cells.Count()) /
+      static_cast<double>(table.NumRows() * table.NumCols());
+  EXPECT_NEAR(rate, 0.15, 0.03);
+}
+
+TEST(InjectErrorsTest, Deterministic) {
+  Table table = MakeTestTable(100);
+  ErrorInjectionOptions options;
+  options.seed = 16;
+  auto a = InjectErrors(table, options);
+  auto b = InjectErrors(table, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->dirty_cells == b->dirty_cells);
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(a->dirty, b->dirty), 0.0);
+}
+
+TEST(InjectErrorsTest, SingleRowProducesNoErrors) {
+  Table table = MakeTestTable(10).Head(1);
+  ErrorInjectionOptions options;
+  options.error_rate = 0.5;
+  options.preserve_complete_rows = 0;
+  auto injection = InjectErrors(table, options);
+  ASSERT_TRUE(injection.ok());
+  EXPECT_EQ(injection->dirty_cells.Count(), 0);
+}
+
+}  // namespace
+}  // namespace smfl::data

@@ -1,0 +1,307 @@
+// End-to-end pipelines across modules: CSV -> normalize -> inject -> impute
+// -> denormalize; repair round trips; multi-dataset sweeps; the apps driven
+// from imputed matrices — the flows a downstream user of the library runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/apps/clustering_app.h"
+#include "src/apps/route.h"
+#include "src/core/fold_in.h"
+#include "src/core/model_io.h"
+#include "src/core/smfl.h"
+#include "src/data/csv.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/data/normalize.h"
+#include "src/data/quantile_normalize.h"
+#include "src/exp/experiment.h"
+#include "src/exp/metrics.h"
+#include "src/impute/registry.h"
+#include "src/la/ops.h"
+#include "src/repair/repairer.h"
+
+namespace smfl {
+namespace {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+TEST(IntegrationTest, CsvToImputationPipeline) {
+  // 1. Generate a dataset and persist it as CSV with holes.
+  auto dataset = data::MakeLakeLike(200, 3);
+  ASSERT_TRUE(dataset.ok());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "smfl_integration.csv")
+          .string();
+  std::vector<std::string> names;
+  for (Index j = 0; j < dataset->table.NumCols(); ++j) {
+    names.push_back("c" + std::to_string(j));
+  }
+  auto table = data::Table::Create(names, dataset->table.values(), 2);
+  ASSERT_TRUE(table.ok());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.15;
+  inject.seed = 5;
+  auto injection = data::InjectMissing(*table, inject);
+  ASSERT_TRUE(injection.ok());
+  ASSERT_TRUE(data::WriteCsv(path, *table, injection->observed).ok());
+
+  // 2. Read it back: the mask must match what we wrote.
+  data::CsvReadOptions read_options;
+  read_options.spatial_cols = 2;
+  auto csv = data::ReadCsv(path, read_options);
+  std::remove(path.c_str());
+  ASSERT_TRUE(csv.ok());
+  ASSERT_TRUE(csv->observed == injection->observed);
+
+  // 3. Normalize from observed entries only, impute, denormalize.
+  auto normalizer =
+      data::MinMaxNormalizer::Fit(csv->table.values(), csv->observed);
+  ASSERT_TRUE(normalizer.ok());
+  Matrix normalized = data::ApplyMask(
+      normalizer->Transform(csv->table.values()), csv->observed);
+  core::SmflOptions options;
+  options.rank = 5;
+  auto imputed = core::SmflImpute(normalized, csv->observed, 2, options);
+  ASSERT_TRUE(imputed.ok());
+  Matrix restored = normalizer->InverseTransform(*imputed);
+
+  // 4. Against the generator's ground truth, imputation must beat a
+  //    mean-fill of the raw values.
+  Matrix truth = dataset->table.values();
+  Mask psi = injection->observed.Complement();
+  auto rms_smfl = exp::RmsOverMask(restored, truth, psi);
+  Matrix mean_filled =
+      data::FillWithColumnMeans(data::ApplyMask(truth, injection->observed),
+                                injection->observed);
+  auto rms_mean = exp::RmsOverMask(mean_filled, truth, psi);
+  ASSERT_TRUE(rms_smfl.ok());
+  ASSERT_TRUE(rms_mean.ok());
+  EXPECT_LT(*rms_smfl, *rms_mean);
+}
+
+TEST(IntegrationTest, AllImputersOnAllDatasetsSmall) {
+  // A miniature Table IV: every registered imputer on every dataset,
+  // tiny sizes — validates the whole harness wiring.
+  for (const char* name : {"economic", "farm", "lake", "vehicle"}) {
+    auto prepared = exp::PrepareDataset(name, 120, 17);
+    ASSERT_TRUE(prepared.ok()) << name;
+    exp::TrialOptions trial;
+    trial.trials = 1;
+    trial.missing_rate = 0.1;
+    for (const char* method : {"Mean", "kNN", "DLM", "SoftImpute",
+                               "Iterative", "NMF", "SMF", "SMFL"}) {
+      auto imputer = impute::MakeImputer(method);
+      ASSERT_TRUE(imputer.ok());
+      auto result = exp::RunImputationTrials(*prepared, **imputer, trial);
+      ASSERT_TRUE(result.ok()) << name << "/" << method << ": "
+                               << result.status().ToString();
+      EXPECT_LT(result->mean_rms, 0.6) << name << "/" << method;
+    }
+  }
+}
+
+TEST(IntegrationTest, RepairThenClusterPipeline) {
+  auto prepared = exp::PrepareDataset("lake", 250, 19);
+  ASSERT_TRUE(prepared.ok());
+  std::vector<std::string> names;
+  for (Index j = 0; j < prepared->truth.cols(); ++j) {
+    names.push_back("c" + std::to_string(j));
+  }
+  auto table = data::Table::Create(names, prepared->truth, 2);
+  ASSERT_TRUE(table.ok());
+  data::ErrorInjectionOptions inject;
+  inject.error_rate = 0.1;
+  inject.seed = 23;
+  auto injection = data::InjectErrors(*table, inject);
+  ASSERT_TRUE(injection.ok());
+
+  auto repairer = repair::MakeRepairer("SMFL");
+  ASSERT_TRUE(repairer.ok());
+  auto repaired =
+      (*repairer)->Repair(injection->dirty, injection->dirty_cells, 2);
+  ASSERT_TRUE(repaired.ok());
+
+  // Cluster the repaired matrix; accuracy must beat chance (5 clusters).
+  apps::ClusterAppOptions cluster_options;
+  cluster_options.num_clusters = 5;
+  cluster_options.rank = 5;
+  auto acc = apps::ClusteringAccuracyOnIncomplete(
+      apps::ClusterMethod::kSmfl, *repaired,
+      Mask::AllSet(repaired->rows(), repaired->cols()), 2,
+      prepared->cluster_labels, cluster_options);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.35);
+}
+
+TEST(IntegrationTest, RouteAppWithRealImputer) {
+  auto prepared = exp::PrepareDataset("vehicle", 300, 29);
+  ASSERT_TRUE(prepared.ok());
+  std::vector<std::string> names;
+  for (Index j = 0; j < prepared->truth.cols(); ++j) {
+    names.push_back("c" + std::to_string(j));
+  }
+  auto table = data::Table::Create(names, prepared->truth, 2);
+  ASSERT_TRUE(table.ok());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.2;
+  inject.seed = 31;
+  auto injection = data::InjectMissing(*table, inject);
+  ASSERT_TRUE(injection.ok());
+  Matrix input = data::ApplyMask(prepared->truth, injection->observed);
+
+  core::SmflOptions options;
+  options.rank = 5;
+  auto imputed = core::SmflImpute(input, injection->observed, 2, options);
+  ASSERT_TRUE(imputed.ok());
+
+  // Fuel rates in original units via the inverse transform.
+  const Index fuel_col = prepared->truth.cols() - 1;
+  Matrix si = prepared->raw.Block(0, 0, prepared->raw.rows(), 2);
+  std::vector<double> fuel_truth(static_cast<size_t>(prepared->raw.rows()));
+  std::vector<double> fuel_imputed(fuel_truth.size());
+  for (Index i = 0; i < prepared->raw.rows(); ++i) {
+    fuel_truth[static_cast<size_t>(i)] = prepared->raw(i, fuel_col);
+    fuel_imputed[static_cast<size_t>(i)] =
+        prepared->normalizer.InverseTransformCell((*imputed)(i, fuel_col),
+                                                  fuel_col);
+  }
+  std::vector<apps::Route> routes;
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto route = apps::SampleRoute(si, 15, 400 + s);
+    ASSERT_TRUE(route.ok());
+    routes.push_back(*route);
+  }
+  auto err = apps::MeanRouteFuelError(si, fuel_truth, fuel_imputed, routes);
+  ASSERT_TRUE(err.ok());
+  EXPECT_GE(*err, 0.0);
+  // A constant-zero "imputation" must be much worse.
+  std::vector<double> zeros(fuel_truth.size(), 0.0);
+  auto err_zero = apps::MeanRouteFuelError(si, fuel_truth, zeros, routes);
+  ASSERT_TRUE(err_zero.ok());
+  EXPECT_LT(*err, *err_zero);
+}
+
+TEST(IntegrationTest, SaveLoadFoldInPipeline) {
+  // Fit -> serialize -> deserialize -> fold fresh rows: the full serving
+  // path across core modules.
+  auto prepared = exp::PrepareDataset("vehicle", 500, 41);
+  ASSERT_TRUE(prepared.ok());
+  const Index train_rows = 400;
+  Matrix train = prepared->truth.Block(0, 0, train_rows,
+                                       prepared->truth.cols());
+  core::SmflOptions options;
+  options.rank = 8;
+  options.max_iterations = 120;
+  auto model = core::FitSmfl(
+      train, Mask::AllSet(train_rows, train.cols()), 2, options);
+  ASSERT_TRUE(model.ok());
+  auto reloaded = core::DeserializeModel(core::SerializeModel(*model));
+  ASSERT_TRUE(reloaded.ok());
+
+  const Index fresh = prepared->truth.rows() - train_rows;
+  Matrix x(fresh, prepared->truth.cols());
+  Mask observed(fresh, prepared->truth.cols());
+  Mask psi(fresh, prepared->truth.cols());
+  for (Index i = 0; i < fresh; ++i) {
+    for (Index j = 0; j < prepared->truth.cols(); ++j) {
+      x(i, j) = prepared->truth(train_rows + i, j);
+      const bool hide = j == 4;
+      observed.Set(i, j, !hide);
+      if (hide) {
+        psi.Set(i, j);
+        x(i, j) = 0.0;
+      }
+    }
+  }
+  auto from_original = core::FoldIn(*model, x, observed);
+  auto from_reloaded = core::FoldIn(*reloaded, x, observed);
+  ASSERT_TRUE(from_original.ok());
+  ASSERT_TRUE(from_reloaded.ok());
+  // Serialization must not change serving results at all.
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(*from_original, *from_reloaded), 0.0);
+  // And serving must beat the trivial 0.5 constant on the hidden column.
+  Matrix truth_block =
+      prepared->truth.Block(train_rows, 0, fresh, prepared->truth.cols());
+  Matrix constant = x;
+  for (const auto& entry : psi.Entries()) {
+    constant(entry.row, entry.col) = 0.5;
+  }
+  auto rms_fold = exp::RmsOverMask(*from_reloaded, truth_block, psi);
+  auto rms_const = exp::RmsOverMask(constant, truth_block, psi);
+  ASSERT_TRUE(rms_fold.ok());
+  ASSERT_TRUE(rms_const.ok());
+  EXPECT_LT(*rms_fold, *rms_const);
+}
+
+TEST(IntegrationTest, QuantileNormalizedPipeline) {
+  // The SMFL pipeline on quantile-normalized data with planted outliers:
+  // the robust band keeps imputation usable where min-max would collapse.
+  auto dataset = data::MakeLakeLike(300, 43);
+  ASSERT_TRUE(dataset.ok());
+  Matrix raw = dataset->table.values();
+  // Plant gross outliers in one attribute column.
+  raw(5, 3) = 1e7;
+  raw(17, 3) = -1e7;
+  auto table = data::Table::Create(dataset->table.column_names(), raw, 2);
+  ASSERT_TRUE(table.ok());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.1;
+  inject.preserve_complete_rows = 20;
+  inject.seed = 45;
+  auto injection = data::InjectMissing(*table, inject);
+  ASSERT_TRUE(injection.ok());
+
+  auto quantile = data::QuantileNormalizer::Fit(raw, injection->observed);
+  ASSERT_TRUE(quantile.ok());
+  Matrix x = data::ApplyMask(quantile->Transform(raw), injection->observed);
+  core::SmflOptions options;
+  options.max_iterations = 80;
+  auto completed = core::SmflImpute(x, injection->observed, 2, options);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_FALSE(completed->HasNonFinite());
+
+  // Against the clean generator truth (outlier cells excluded), the
+  // quantile pipeline must beat the min-max pipeline distorted by the
+  // planted outliers.
+  Matrix clean_truth = dataset->table.values();
+  Mask eval = injection->observed.Complement();
+  eval.Set(5, 3, false);
+  eval.Set(17, 3, false);
+  Matrix restored_q = quantile->InverseTransform(*completed);
+  auto rms_quantile = exp::RmsOverMask(restored_q, clean_truth, eval);
+  ASSERT_TRUE(rms_quantile.ok());
+
+  auto minmax = data::MinMaxNormalizer::Fit(raw, injection->observed);
+  ASSERT_TRUE(minmax.ok());
+  Matrix x2 = data::ApplyMask(minmax->Transform(raw), injection->observed);
+  auto completed2 = core::SmflImpute(x2, injection->observed, 2, options);
+  ASSERT_TRUE(completed2.ok());
+  Matrix restored_m = minmax->InverseTransform(*completed2);
+  auto rms_minmax = exp::RmsOverMask(restored_m, clean_truth, eval);
+  ASSERT_TRUE(rms_minmax.ok());
+  EXPECT_LT(*rms_quantile, *rms_minmax);
+}
+
+TEST(IntegrationTest, Table5SettingSmflStillWorks) {
+  // Missing values in the spatial columns too (Table V): the pipeline must
+  // mean-fill SI for graph construction and still produce sane output.
+  auto prepared = exp::PrepareDataset("economic", 200, 37);
+  ASSERT_TRUE(prepared.ok());
+  exp::TrialOptions trial;
+  trial.trials = 1;
+  trial.missing_rate = 0.1;
+  trial.missing_in_spatial = true;
+  auto imputer = impute::MakeImputer("SMFL");
+  ASSERT_TRUE(imputer.ok());
+  auto result = exp::RunImputationTrials(*prepared, **imputer, trial);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->mean_rms, 0.5);
+}
+
+}  // namespace
+}  // namespace smfl

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/apps/field_raster.h"
+#include "src/common/rng.h"
+#include "src/data/quantile_normalize.h"
+#include "src/la/ops.h"
+
+namespace smfl {
+namespace {
+
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+// ------------------------------------------------------ quantile normalize
+
+TEST(QuantileNormalizerTest, RoundTripInsideBand) {
+  Rng rng(3);
+  Matrix x(200, 3);
+  for (Index i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform(-5.0, 5.0);
+  auto n = data::QuantileNormalizer::Fit(x, 0.0, 1.0);  // full band
+  ASSERT_TRUE(n.ok());
+  Matrix y = n->Transform(x);
+  for (Index i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y.data()[i], 0.0);
+    EXPECT_LE(y.data()[i], 1.0);
+  }
+  EXPECT_LT(la::MaxAbsDiff(n->InverseTransform(y), x), 1e-9);
+}
+
+TEST(QuantileNormalizerTest, OutliersClampedNotStretching) {
+  // A column whose bulk is in [0, 1] plus a single outlier at 1e6: min-max
+  // crushes the bulk to ~1e-6 of the range; the quantile band ignores it.
+  Matrix x(101, 1);
+  for (Index i = 0; i < 100; ++i) x(i, 0) = static_cast<double>(i) / 100.0;
+  x(100, 0) = 1e6;
+  auto n = data::QuantileNormalizer::Fit(x, 0.01, 0.99);
+  ASSERT_TRUE(n.ok());
+  Matrix y = n->Transform(x);
+  // The bulk spans nearly the full unit interval...
+  EXPECT_GT(y(99, 0) - y(0, 0), 0.9);
+  // ...and the outlier sits clamped at 1.
+  EXPECT_DOUBLE_EQ(y(100, 0), 1.0);
+}
+
+TEST(QuantileNormalizerTest, MaskAware) {
+  Matrix x{{1, 0}, {2, 0}, {3, 999}};
+  Mask observed = Mask::AllSet(3, 2);
+  observed.Set(2, 1, false);  // hide the 999
+  auto n = data::QuantileNormalizer::Fit(x, observed, 0.0, 1.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(n->BandLo(1), 0.0);
+  EXPECT_DOUBLE_EQ(n->BandHi(1), 1.0);  // constant column rule
+}
+
+TEST(QuantileNormalizerTest, Validation) {
+  Matrix x(3, 2, 1.0);
+  EXPECT_FALSE(data::QuantileNormalizer::Fit(x, 0.9, 0.1).ok());
+  EXPECT_FALSE(data::QuantileNormalizer::Fit(x, -0.1, 0.5).ok());
+  EXPECT_FALSE(data::QuantileNormalizer::Fit(x, 0.1, 1.5).ok());
+  Matrix bad = x;
+  bad(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(data::QuantileNormalizer::Fit(bad).ok());
+  EXPECT_FALSE(data::QuantileNormalizer::Fit(x, Mask(1, 1)).ok());
+}
+
+TEST(QuantileNormalizerTest, MedianBandIsExactQuantiles) {
+  Matrix x(5, 1);
+  for (Index i = 0; i < 5; ++i) x(i, 0) = static_cast<double>(i);  // 0..4
+  auto n = data::QuantileNormalizer::Fit(x, 0.25, 0.75);
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(n->BandLo(0), 1.0);
+  EXPECT_DOUBLE_EQ(n->BandHi(0), 3.0);
+}
+
+// ------------------------------------------------------------- raster
+
+TEST(FieldRasterTest, AveragesCellValues) {
+  // Four points in the four quadrants of a 2x2 grid, known values.
+  Matrix si{{0.0, 0.0}, {0.0, 1.0}, {1.0, 0.0}, {1.0, 1.0}};
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  apps::RasterOptions options;
+  options.grid_rows = 2;
+  options.grid_cols = 2;
+  auto raster = apps::RasterizeField(si, values, options);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_DOUBLE_EQ(raster->grid(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(raster->grid(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(raster->grid(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(raster->grid(1, 1), 4.0);
+}
+
+TEST(FieldRasterTest, MultiplePointsPerCellAveraged) {
+  Matrix si{{0.1, 0.1}, {0.2, 0.2}, {0.9, 0.9}};
+  std::vector<double> values{2.0, 4.0, 10.0};
+  apps::RasterOptions options;
+  options.grid_rows = 2;
+  options.grid_cols = 2;
+  auto raster = apps::RasterizeField(si, values, options);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_DOUBLE_EQ(raster->grid(0, 0), 3.0);  // (2+4)/2
+  EXPECT_DOUBLE_EQ(raster->grid(1, 1), 10.0);
+}
+
+TEST(FieldRasterTest, EmptyCellsFilledFromNeighbors) {
+  // Points only along one edge: every cell must still carry a finite
+  // value in the observed range.
+  Rng rng(7);
+  Matrix si(30, 2);
+  std::vector<double> values(30);
+  for (Index i = 0; i < 30; ++i) {
+    si(i, 0) = rng.Uniform();
+    si(i, 1) = 0.05;  // all on the western edge
+    values[static_cast<size_t>(i)] = rng.Uniform(5.0, 6.0);
+  }
+  si(0, 1) = 1.0;  // one point far east so the lon extent is nontrivial
+  auto raster = apps::RasterizeField(si, values);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_FALSE(raster->grid.HasNonFinite());
+  for (Index r = 0; r < raster->grid.rows(); ++r) {
+    for (Index c = 0; c < raster->grid.cols(); ++c) {
+      EXPECT_GE(raster->grid(r, c), 5.0 - 1e-9);
+      EXPECT_LE(raster->grid(r, c), 6.0 + 1e-9);
+    }
+  }
+}
+
+TEST(FieldRasterTest, CellCentersInsideExtent) {
+  Matrix si{{10.0, 100.0}, {20.0, 120.0}};
+  std::vector<double> values{1.0, 2.0};
+  auto raster = apps::RasterizeField(si, values);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_GT(raster->CellLat(0), 10.0);
+  EXPECT_LT(raster->CellLat(raster->grid.rows() - 1), 20.0);
+  EXPECT_GT(raster->CellLon(0), 100.0);
+  EXPECT_LT(raster->CellLon(raster->grid.cols() - 1), 120.0);
+}
+
+TEST(FieldRasterTest, WriteCsvHasOneLinePerCell) {
+  Matrix si{{0.0, 0.0}, {1.0, 1.0}};
+  std::vector<double> values{1.0, 2.0};
+  apps::RasterOptions options;
+  options.grid_rows = 3;
+  options.grid_cols = 4;
+  auto raster = apps::RasterizeField(si, values, options);
+  ASSERT_TRUE(raster.ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "smfl_raster_test.csv")
+          .string();
+  ASSERT_TRUE(apps::WriteRasterCsv(*raster, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 1 + 3 * 4);  // header + cells
+}
+
+TEST(FieldRasterTest, Validation) {
+  EXPECT_FALSE(apps::RasterizeField(Matrix(), {}).ok());
+  Matrix si{{0.0, 0.0}};
+  EXPECT_FALSE(apps::RasterizeField(si, {1.0, 2.0}).ok());  // count mismatch
+  apps::RasterOptions options;
+  options.grid_rows = 0;
+  EXPECT_FALSE(apps::RasterizeField(si, {1.0}, options).ok());
+}
+
+}  // namespace
+}  // namespace smfl

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/la/ops.h"
+#include "src/spatial/graph.h"
+#include "src/spatial/knn.h"
+#include "src/spatial/metrics.h"
+
+namespace smfl::spatial {
+namespace {
+
+Matrix RandomPoints(Index n, Index dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dims);
+  for (Index i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform();
+  return m;
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, Euclidean) {
+  std::vector<double> a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(MetricsTest, HaversineZeroForSamePoint) {
+  EXPECT_NEAR(HaversineKm(45.0, 130.0, 45.0, 130.0), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, HaversineKnownDistance) {
+  // One degree of latitude ~ 111.2 km.
+  EXPECT_NEAR(HaversineKm(45.0, 130.0, 46.0, 130.0), 111.2, 1.0);
+}
+
+TEST(MetricsTest, HaversineSymmetric) {
+  const double d1 = HaversineKm(40.7, -74.0, 51.5, -0.1);
+  const double d2 = HaversineKm(51.5, -0.1, 40.7, -74.0);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_NEAR(d1, 5570.0, 60.0);  // NYC-London
+}
+
+TEST(MetricsTest, RowDistance) {
+  Matrix points{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(RowDistance(points, 0, 1), 5.0);
+}
+
+// ---------------------------------------------------------------- kNN
+
+TEST(BruteForceKnnTest, FindsExactNeighbors) {
+  Matrix points{{0, 0}, {1, 0}, {5, 0}, {0.5, 0}};
+  std::vector<double> query{0.0, 0.0};
+  auto nn = BruteForceKnn(points, query, 2, /*exclude=*/0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].index, 3);
+  EXPECT_EQ(nn[1].index, 1);
+}
+
+TEST(BruteForceKnnTest, KLargerThanPoints) {
+  Matrix points{{0, 0}, {1, 1}};
+  auto nn = BruteForceKnn(points, points.Row(0), 10, 0);
+  EXPECT_EQ(nn.size(), 1u);
+}
+
+// Parameterized oracle check: KdTree must agree with brute force over many
+// sizes, dimensions, and k.
+class KdTreeOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KdTreeOracleTest, MatchesBruteForce) {
+  const auto [n, dims, k] = GetParam();
+  Matrix points = RandomPoints(n, dims, 1000 + n + dims * 31 + k);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  for (Index q = 0; q < std::min<Index>(n, 25); ++q) {
+    auto expected = BruteForceKnn(points, points.Row(q), k, q);
+    auto actual = tree->QueryRow(q, k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(actual[i].distance, expected[i].distance, 1e-12)
+          << "query " << q << " neighbor " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KdTreeOracleTest,
+    ::testing::Values(std::make_tuple(1, 2, 1), std::make_tuple(10, 2, 3),
+                      std::make_tuple(100, 2, 5), std::make_tuple(500, 2, 3),
+                      std::make_tuple(100, 3, 4), std::make_tuple(300, 5, 7),
+                      std::make_tuple(50, 1, 2),
+                      std::make_tuple(1000, 2, 10)));
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  Matrix points(20, 2, 0.5);  // all identical
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  auto nn = tree->QueryRow(0, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const auto& n : nn) {
+    EXPECT_DOUBLE_EQ(n.distance, 0.0);
+    EXPECT_NE(n.index, 0);
+  }
+}
+
+TEST(KdTreeTest, RejectsEmpty) { EXPECT_FALSE(KdTree::Build(Matrix()).ok()); }
+
+TEST(KdTreeTest, RadiusQueryMatchesOracle) {
+  Matrix points = RandomPoints(200, 2, 91);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  const double radius = 0.2;
+  for (Index q = 0; q < 10; ++q) {
+    auto found = tree->RadiusQuery(points.Row(q), radius, q);
+    // Oracle.
+    Index expected = 0;
+    for (Index i = 0; i < 200; ++i) {
+      if (i == q) continue;
+      if (RowDistance(points, q, i) <= radius) ++expected;
+    }
+    EXPECT_EQ(static_cast<Index>(found.size()), expected) << "query " << q;
+    for (size_t i = 0; i < found.size(); ++i) {
+      EXPECT_LE(found[i].distance, radius);
+      if (i > 0) {
+        EXPECT_GE(found[i].distance, found[i - 1].distance);
+      }
+    }
+  }
+  // Negative radius: empty.
+  EXPECT_TRUE(tree->RadiusQuery(points.Row(0), -1.0).empty());
+}
+
+TEST(AllKnnTest, SmallAndLargeAgree) {
+  // Cross-check the brute-force path (n <= 256) and the kd-tree path
+  // (n > 256) against each other on overlapping data.
+  Matrix points = RandomPoints(300, 2, 77);
+  auto all = AllKnn(points, 3);
+  ASSERT_TRUE(all.ok());
+  for (Index i = 0; i < 20; ++i) {
+    auto expected = BruteForceKnn(points, points.Row(i), 3, i);
+    ASSERT_EQ((*all)[static_cast<size_t>(i)].size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_NEAR((*all)[static_cast<size_t>(i)][j].distance,
+                  expected[j].distance, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- graph
+
+TEST(NeighborGraphTest, RejectsBadP) {
+  Matrix points = RandomPoints(10, 2, 5);
+  EXPECT_FALSE(NeighborGraph::Build(points, 0).ok());
+  EXPECT_FALSE(NeighborGraph::Build(points, 10).ok());
+  EXPECT_TRUE(NeighborGraph::Build(points, 9).ok());
+}
+
+TEST(NeighborGraphTest, SymmetricNoSelfLoops) {
+  Matrix points = RandomPoints(50, 2, 9);
+  auto g = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(g.ok());
+  Matrix d = g->DenseD();
+  for (Index i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (Index j = 0; j < 50; ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(NeighborGraphTest, ImplementsFormula3) {
+  // d_ij = 1 iff i in NN_p(j) or j in NN_p(i).
+  Matrix points = RandomPoints(40, 2, 11);
+  const Index p = 3;
+  auto g = NeighborGraph::Build(points, p);
+  ASSERT_TRUE(g.ok());
+  auto knn = AllKnn(points, p);
+  ASSERT_TRUE(knn.ok());
+  Matrix expected(40, 40);
+  for (Index i = 0; i < 40; ++i) {
+    for (const Neighbor& nb : (*knn)[static_cast<size_t>(i)]) {
+      expected(i, nb.index) = 1.0;
+      expected(nb.index, i) = 1.0;
+    }
+  }
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(g->DenseD(), expected), 0.0);
+}
+
+TEST(NeighborGraphTest, DegreeMatchesAdjacency) {
+  Matrix points = RandomPoints(30, 2, 13);
+  auto g = NeighborGraph::Build(points, 2);
+  ASSERT_TRUE(g.ok());
+  Matrix d = g->DenseD();
+  for (Index i = 0; i < 30; ++i) {
+    double row_sum = 0.0;
+    for (Index j = 0; j < 30; ++j) row_sum += d(i, j);
+    EXPECT_DOUBLE_EQ(g->Degree(i), row_sum);
+  }
+}
+
+TEST(NeighborGraphTest, SparseProductsMatchDense) {
+  Matrix points = RandomPoints(60, 2, 17);
+  auto g = NeighborGraph::Build(points, 4);
+  ASSERT_TRUE(g.ok());
+  Matrix u = RandomPoints(60, 5, 19);
+  EXPECT_LT(la::MaxAbsDiff(g->MultiplyD(u), g->DenseD() * u), 1e-10);
+  EXPECT_LT(la::MaxAbsDiff(g->MultiplyW(u), g->DenseW() * u), 1e-10);
+}
+
+TEST(NeighborGraphTest, LaplacianQuadraticFormMatchesTrace) {
+  Matrix points = RandomPoints(40, 2, 23);
+  auto g = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(g.ok());
+  Matrix u = RandomPoints(40, 4, 29);
+  const double via_edges = g->LaplacianQuadraticForm(u);
+  const double via_trace = la::Trace(la::MatMulAtB(u, g->DenseL() * u));
+  EXPECT_NEAR(via_edges, via_trace, 1e-8);
+}
+
+TEST(NeighborGraphTest, LaplacianPsd) {
+  // Tr(UᵀLU) >= 0 for any U, and 0 for constant U (rows all equal).
+  Matrix points = RandomPoints(25, 2, 31);
+  auto g = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(g.ok());
+  Matrix random_u = RandomPoints(25, 3, 37);
+  EXPECT_GE(g->LaplacianQuadraticForm(random_u), 0.0);
+  Matrix constant_u(25, 3, 1.0);
+  EXPECT_NEAR(g->LaplacianQuadraticForm(constant_u), 0.0, 1e-12);
+}
+
+TEST(NeighborGraphTest, EdgeCountConsistent) {
+  Matrix points = RandomPoints(35, 2, 41);
+  auto g = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(g.ok());
+  Index total_degree = 0;
+  for (Index i = 0; i < 35; ++i) {
+    total_degree += static_cast<Index>(g->Degree(i));
+  }
+  EXPECT_EQ(total_degree, 2 * g->num_edges());
+}
+
+TEST(NeighborGraphTest, TwoPointsGraph) {
+  Matrix points{{0.0, 0.0}, {1.0, 1.0}};
+  auto g = NeighborGraph::Build(points, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->Degree(0), 1.0);
+}
+
+}  // namespace
+}  // namespace smfl::spatial

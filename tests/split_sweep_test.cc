@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/split.h"
+#include "src/exp/sweep.h"
+
+namespace smfl {
+namespace {
+
+using la::Index;
+
+// ---------------------------------------------------------------- splits
+
+TEST(SplitTest, PartitionCoversAllRowsExactlyOnce) {
+  auto split = data::SplitTrainTest(100, 0.25, 3);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test_rows.size(), 25u);
+  EXPECT_EQ(split->train_rows.size(), 75u);
+  std::set<Index> all(split->train_rows.begin(), split->train_rows.end());
+  all.insert(split->test_rows.begin(), split->test_rows.end());
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), 99);
+}
+
+TEST(SplitTest, RowsAscending) {
+  auto split = data::SplitTrainTest(50, 0.4, 5);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(std::is_sorted(split->train_rows.begin(),
+                             split->train_rows.end()));
+  EXPECT_TRUE(std::is_sorted(split->test_rows.begin(),
+                             split->test_rows.end()));
+}
+
+TEST(SplitTest, DeterministicPerSeed) {
+  auto a = data::SplitTrainTest(60, 0.3, 7);
+  auto b = data::SplitTrainTest(60, 0.3, 7);
+  auto c = data::SplitTrainTest(60, 0.3, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->test_rows, b->test_rows);
+  EXPECT_NE(a->test_rows, c->test_rows);
+}
+
+TEST(SplitTest, ExtremeFractionsClampedToNonEmptySides) {
+  auto tiny = data::SplitTrainTest(10, 0.01, 9);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->test_rows.size(), 1u);
+  auto huge = data::SplitTrainTest(10, 0.99, 9);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->train_rows.size(), 1u);
+}
+
+TEST(SplitTest, Validation) {
+  EXPECT_FALSE(data::SplitTrainTest(1, 0.5, 1).ok());
+  EXPECT_FALSE(data::SplitTrainTest(10, 0.0, 1).ok());
+  EXPECT_FALSE(data::SplitTrainTest(10, 1.0, 1).ok());
+}
+
+TEST(KFoldTest, BalancedAndComplete) {
+  auto folds = data::AssignKFolds(23, 5, 11);
+  ASSERT_TRUE(folds.ok());
+  std::vector<Index> counts(5, 0);
+  for (Index f : *folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    ++counts[static_cast<size_t>(f)];
+  }
+  // 23 = 5*4 + 3: folds of size 4 or 5.
+  for (Index c : counts) EXPECT_TRUE(c == 4 || c == 5);
+}
+
+TEST(KFoldTest, FoldRowsPartition) {
+  auto folds = data::AssignKFolds(30, 3, 13);
+  ASSERT_TRUE(folds.ok());
+  for (Index f = 0; f < 3; ++f) {
+    auto in_fold = data::FoldRows(*folds, f);
+    auto out_fold = data::NonFoldRows(*folds, f);
+    EXPECT_EQ(in_fold.size() + out_fold.size(), 30u);
+    EXPECT_TRUE(std::is_sorted(in_fold.begin(), in_fold.end()));
+    std::set<Index> overlap;
+    std::set_intersection(in_fold.begin(), in_fold.end(), out_fold.begin(),
+                          out_fold.end(),
+                          std::inserter(overlap, overlap.begin()));
+    EXPECT_TRUE(overlap.empty());
+  }
+}
+
+TEST(KFoldTest, Validation) {
+  EXPECT_FALSE(data::AssignKFolds(10, 1, 1).ok());
+  EXPECT_FALSE(data::AssignKFolds(3, 5, 1).ok());
+}
+
+// ---------------------------------------------------------------- sweep
+
+TEST(SweepTest, RunsAndShapesTable) {
+  exp::SweepSpec spec;
+  spec.datasets = {"lake"};
+  spec.value_labels = {"a", "b"};
+  std::vector<double> lambdas = {0.1, 0.5};
+  spec.apply = [&](size_t v, core::SmflOptions* options) {
+    options->lambda = lambdas[v];
+    options->max_iterations = 30;
+  };
+  spec.trial.trials = 1;
+  spec.rows_override = 150;
+  auto table = exp::RunSmflSweep(spec);
+  ASSERT_TRUE(table.ok());
+  const std::string csv = table->ToCsv();
+  // Header + 2 rows (SMF, SMFL) for the single dataset.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("Dataset,Method,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("lake,SMF"), std::string::npos);
+  EXPECT_NE(csv.find("lake,SMFL"), std::string::npos);
+}
+
+TEST(SweepTest, MethodSelection) {
+  exp::SweepSpec spec;
+  spec.datasets = {"lake"};
+  spec.value_labels = {"x"};
+  spec.apply = [](size_t, core::SmflOptions* options) {
+    options->max_iterations = 10;
+  };
+  spec.trial.trials = 1;
+  spec.rows_override = 100;
+  spec.include_smf = false;
+  auto table = exp::RunSmflSweep(spec);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ToCsv().find("lake,SMF,"), std::string::npos);
+  EXPECT_NE(table->ToCsv().find("lake,SMFL"), std::string::npos);
+}
+
+TEST(SweepTest, Validation) {
+  exp::SweepSpec spec;
+  spec.datasets = {};
+  EXPECT_FALSE(exp::RunSmflSweep(spec).ok());
+  spec = exp::SweepSpec{};
+  spec.value_labels = {"a"};
+  spec.apply = nullptr;
+  EXPECT_FALSE(exp::RunSmflSweep(spec).ok());
+  spec.apply = [](size_t, core::SmflOptions*) {};
+  spec.include_smf = spec.include_smfl = false;
+  EXPECT_FALSE(exp::RunSmflSweep(spec).ok());
+}
+
+}  // namespace
+}  // namespace smfl

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/core/smfl.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/data/normalize.h"
+#include "src/la/ops.h"
+#include "src/spatial/graph.h"
+
+namespace smfl::spatial {
+namespace {
+
+Matrix RandomPoints(Index n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(n, 2);
+  for (Index i = 0; i < points.size(); ++i) {
+    points.data()[i] = rng.Uniform();
+  }
+  return points;
+}
+
+TEST(WeightedGraphTest, BinaryBuildHasUnitWeights) {
+  Matrix points = RandomPoints(30, 3);
+  auto graph = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(graph.ok());
+  for (Index i = 0; i < 30; ++i) {
+    for (const auto& e : graph->NeighborsOf(i)) {
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    }
+  }
+}
+
+TEST(WeightedGraphTest, HeatKernelWeightsInUnitIntervalAndSymmetric) {
+  Matrix points = RandomPoints(40, 5);
+  auto graph = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->ApplyHeatKernelWeights(points).ok());
+  Matrix d = graph->DenseD();
+  for (Index i = 0; i < 40; ++i) {
+    for (Index j = 0; j < 40; ++j) {
+      EXPECT_GE(d(i, j), 0.0);
+      EXPECT_LE(d(i, j), 1.0);
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(WeightedGraphTest, CloserEdgesGetLargerWeights) {
+  // A line of points with uneven gaps: the short edge must outweigh the
+  // long one.
+  Matrix points{{0.0, 0.0}, {0.1, 0.0}, {1.0, 0.0}};
+  auto graph = NeighborGraph::Build(points, 1);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->ApplyHeatKernelWeights(points).ok());
+  Matrix d = graph->DenseD();
+  EXPECT_GT(d(0, 1), d(1, 2));
+}
+
+TEST(WeightedGraphTest, DegreeIsWeightSumAndOperatorsConsistent) {
+  Matrix points = RandomPoints(35, 7);
+  auto graph = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->ApplyHeatKernelWeights(points, 0.2).ok());
+  Matrix d = graph->DenseD();
+  for (Index i = 0; i < 35; ++i) {
+    double row_sum = 0.0;
+    for (Index j = 0; j < 35; ++j) row_sum += d(i, j);
+    EXPECT_NEAR(graph->Degree(i), row_sum, 1e-12);
+  }
+  // Sparse ops still agree with dense under weights.
+  Matrix u = RandomPoints(35, 9);
+  EXPECT_LT(la::MaxAbsDiff(graph->MultiplyD(u), d * u), 1e-10);
+  EXPECT_LT(la::MaxAbsDiff(graph->MultiplyW(u), graph->DenseW() * u), 1e-10);
+  const double via_edges = graph->LaplacianQuadraticForm(u);
+  const double via_trace = la::Trace(la::MatMulAtB(u, graph->DenseL() * u));
+  EXPECT_NEAR(via_edges, via_trace, 1e-8);
+  EXPECT_LT(la::MaxAbsDiff(graph->SparseLaplacian().ToDense(),
+                           graph->DenseL()),
+            1e-12);
+}
+
+TEST(WeightedGraphTest, WeightedLaplacianStillPsd) {
+  Matrix points = RandomPoints(25, 11);
+  auto graph = NeighborGraph::Build(points, 3);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->ApplyHeatKernelWeights(points).ok());
+  Matrix u = RandomPoints(25, 13);
+  EXPECT_GE(graph->LaplacianQuadraticForm(u), 0.0);
+  Matrix constant_u(25, 2, 1.0);
+  EXPECT_NEAR(graph->LaplacianQuadraticForm(constant_u), 0.0, 1e-12);
+}
+
+TEST(WeightedGraphTest, Validation) {
+  Matrix points = RandomPoints(10, 15);
+  auto graph = NeighborGraph::Build(points, 2);
+  ASSERT_TRUE(graph.ok());
+  Matrix wrong(5, 2);
+  EXPECT_FALSE(graph->ApplyHeatKernelWeights(wrong).ok());
+}
+
+TEST(WeightedGraphTest, SmflRunsWithHeatKernelWeighting) {
+  auto dataset = data::MakeLakeLike(150, 17);
+  ASSERT_TRUE(dataset.ok());
+  auto normalizer = data::MinMaxNormalizer::Fit(dataset->table.values());
+  Matrix truth = normalizer->Transform(dataset->table.values());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.1;
+  inject.seed = 19;
+  auto injection = data::InjectMissing(dataset->table, inject);
+  ASSERT_TRUE(injection.ok());
+  Matrix input = data::ApplyMask(truth, injection->observed);
+
+  core::SmflOptions options;
+  options.graph_weighting = core::GraphWeighting::kHeatKernel;
+  options.max_iterations = 60;
+  options.tolerance = 0.0;
+  auto model = core::FitSmfl(input, injection->observed, 2, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Reconstruct().HasNonFinite());
+  // Monotonicity must hold for weighted Laplacians too (the convergence
+  // proof only needs D nonnegative and W the degree matrix).
+  const auto& trace = model->report.objective_trace;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace smfl::spatial
