@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_detector.cpp" "bench/CMakeFiles/bench_ablation_detector.dir/bench_ablation_detector.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_detector.dir/bench_ablation_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/smfl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/smfl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/smfl_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/impute/CMakeFiles/smfl_impute.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/smfl_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/smfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smfl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/smfl_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/smfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

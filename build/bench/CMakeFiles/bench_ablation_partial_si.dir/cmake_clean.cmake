@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial_si.dir/bench_ablation_partial_si.cpp.o"
+  "CMakeFiles/bench_ablation_partial_si.dir/bench_ablation_partial_si.cpp.o.d"
+  "bench_ablation_partial_si"
+  "bench_ablation_partial_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_route.dir/bench_fig4a_route.cpp.o"
+  "CMakeFiles/bench_fig4a_route.dir/bench_fig4a_route.cpp.o.d"
+  "bench_fig4a_route"
+  "bench_fig4a_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_feature_locations.dir/bench_fig5_feature_locations.cpp.o"
+  "CMakeFiles/bench_fig5_feature_locations.dir/bench_fig5_feature_locations.cpp.o.d"
+  "bench_fig5_feature_locations"
+  "bench_fig5_feature_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_feature_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lambda.dir/bench_fig6_lambda.cpp.o"
+  "CMakeFiles/bench_fig6_lambda.dir/bench_fig6_lambda.cpp.o.d"
+  "bench_fig6_lambda"
+  "bench_fig6_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_foldin_serving.dir/bench_foldin_serving.cpp.o"
+  "CMakeFiles/bench_foldin_serving.dir/bench_foldin_serving.cpp.o.d"
+  "bench_foldin_serving"
+  "bench_foldin_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_foldin_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_missing_si.dir/bench_table5_missing_si.cpp.o"
+  "CMakeFiles/bench_table5_missing_si.dir/bench_table5_missing_si.cpp.o.d"
+  "bench_table5_missing_si"
+  "bench_table5_missing_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_missing_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_repair.dir/bench_table6_repair.cpp.o"
+  "CMakeFiles/bench_table6_repair.dir/bench_table6_repair.cpp.o.d"
+  "bench_table6_repair"
+  "bench_table6_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

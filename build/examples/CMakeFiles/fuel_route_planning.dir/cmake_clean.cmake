@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuel_route_planning.dir/fuel_route_planning.cpp.o"
+  "CMakeFiles/fuel_route_planning.dir/fuel_route_planning.cpp.o.d"
+  "fuel_route_planning"
+  "fuel_route_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuel_route_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_clustering.dir/lake_clustering.cpp.o"
+  "CMakeFiles/lake_clustering.dir/lake_clustering.cpp.o.d"
+  "lake_clustering"
+  "lake_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("data")
+subdirs("spatial")
+subdirs("cluster")
+subdirs("nn")
+subdirs("mf")
+subdirs("core")
+subdirs("impute")
+subdirs("repair")
+subdirs("apps")
+subdirs("exp")
+subdirs("cli")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_apps.dir/clustering_app.cc.o"
+  "CMakeFiles/smfl_apps.dir/clustering_app.cc.o.d"
+  "CMakeFiles/smfl_apps.dir/field_raster.cc.o"
+  "CMakeFiles/smfl_apps.dir/field_raster.cc.o.d"
+  "CMakeFiles/smfl_apps.dir/route.cc.o"
+  "CMakeFiles/smfl_apps.dir/route.cc.o.d"
+  "libsmfl_apps.a"
+  "libsmfl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

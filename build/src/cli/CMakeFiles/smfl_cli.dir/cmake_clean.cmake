@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_cli.dir/commands.cc.o"
+  "CMakeFiles/smfl_cli.dir/commands.cc.o.d"
+  "libsmfl_cli.a"
+  "libsmfl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hungarian.cc" "src/cluster/CMakeFiles/smfl_cluster.dir/hungarian.cc.o" "gcc" "src/cluster/CMakeFiles/smfl_cluster.dir/hungarian.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/smfl_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/smfl_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/spectral.cc" "src/cluster/CMakeFiles/smfl_cluster.dir/spectral.cc.o" "gcc" "src/cluster/CMakeFiles/smfl_cluster.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spatial/CMakeFiles/smfl_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_cluster.dir/hungarian.cc.o"
+  "CMakeFiles/smfl_cluster.dir/hungarian.cc.o.d"
+  "CMakeFiles/smfl_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/smfl_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/smfl_cluster.dir/spectral.cc.o"
+  "CMakeFiles/smfl_cluster.dir/spectral.cc.o.d"
+  "libsmfl_cluster.a"
+  "libsmfl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

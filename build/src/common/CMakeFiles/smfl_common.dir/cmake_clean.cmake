@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_common.dir/flags.cc.o"
+  "CMakeFiles/smfl_common.dir/flags.cc.o.d"
+  "CMakeFiles/smfl_common.dir/logging.cc.o"
+  "CMakeFiles/smfl_common.dir/logging.cc.o.d"
+  "CMakeFiles/smfl_common.dir/rng.cc.o"
+  "CMakeFiles/smfl_common.dir/rng.cc.o.d"
+  "CMakeFiles/smfl_common.dir/status.cc.o"
+  "CMakeFiles/smfl_common.dir/status.cc.o.d"
+  "CMakeFiles/smfl_common.dir/strings.cc.o"
+  "CMakeFiles/smfl_common.dir/strings.cc.o.d"
+  "libsmfl_common.a"
+  "libsmfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

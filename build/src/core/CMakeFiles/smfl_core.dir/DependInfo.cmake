@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_geometry.cc" "src/core/CMakeFiles/smfl_core.dir/feature_geometry.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/feature_geometry.cc.o.d"
+  "/root/repo/src/core/fold_in.cc" "src/core/CMakeFiles/smfl_core.dir/fold_in.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/fold_in.cc.o.d"
+  "/root/repo/src/core/landmarks.cc" "src/core/CMakeFiles/smfl_core.dir/landmarks.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/landmarks.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/smfl_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/model_selection.cc" "src/core/CMakeFiles/smfl_core.dir/model_selection.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/model_selection.cc.o.d"
+  "/root/repo/src/core/smfl.cc" "src/core/CMakeFiles/smfl_core.dir/smfl.cc.o" "gcc" "src/core/CMakeFiles/smfl_core.dir/smfl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/smfl_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/smfl_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smfl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/smfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_core.dir/feature_geometry.cc.o"
+  "CMakeFiles/smfl_core.dir/feature_geometry.cc.o.d"
+  "CMakeFiles/smfl_core.dir/fold_in.cc.o"
+  "CMakeFiles/smfl_core.dir/fold_in.cc.o.d"
+  "CMakeFiles/smfl_core.dir/landmarks.cc.o"
+  "CMakeFiles/smfl_core.dir/landmarks.cc.o.d"
+  "CMakeFiles/smfl_core.dir/model_io.cc.o"
+  "CMakeFiles/smfl_core.dir/model_io.cc.o.d"
+  "CMakeFiles/smfl_core.dir/model_selection.cc.o"
+  "CMakeFiles/smfl_core.dir/model_selection.cc.o.d"
+  "CMakeFiles/smfl_core.dir/smfl.cc.o"
+  "CMakeFiles/smfl_core.dir/smfl.cc.o.d"
+  "libsmfl_core.a"
+  "libsmfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/smfl_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/smfl_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/inject.cc" "src/data/CMakeFiles/smfl_data.dir/inject.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/inject.cc.o.d"
+  "/root/repo/src/data/mask.cc" "src/data/CMakeFiles/smfl_data.dir/mask.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/mask.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/data/CMakeFiles/smfl_data.dir/normalize.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/normalize.cc.o.d"
+  "/root/repo/src/data/quantile_normalize.cc" "src/data/CMakeFiles/smfl_data.dir/quantile_normalize.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/quantile_normalize.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/smfl_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/smfl_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/smfl_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/smfl_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

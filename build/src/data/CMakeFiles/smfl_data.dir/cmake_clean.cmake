@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_data.dir/csv.cc.o"
+  "CMakeFiles/smfl_data.dir/csv.cc.o.d"
+  "CMakeFiles/smfl_data.dir/generators.cc.o"
+  "CMakeFiles/smfl_data.dir/generators.cc.o.d"
+  "CMakeFiles/smfl_data.dir/inject.cc.o"
+  "CMakeFiles/smfl_data.dir/inject.cc.o.d"
+  "CMakeFiles/smfl_data.dir/mask.cc.o"
+  "CMakeFiles/smfl_data.dir/mask.cc.o.d"
+  "CMakeFiles/smfl_data.dir/normalize.cc.o"
+  "CMakeFiles/smfl_data.dir/normalize.cc.o.d"
+  "CMakeFiles/smfl_data.dir/quantile_normalize.cc.o"
+  "CMakeFiles/smfl_data.dir/quantile_normalize.cc.o.d"
+  "CMakeFiles/smfl_data.dir/split.cc.o"
+  "CMakeFiles/smfl_data.dir/split.cc.o.d"
+  "CMakeFiles/smfl_data.dir/stats.cc.o"
+  "CMakeFiles/smfl_data.dir/stats.cc.o.d"
+  "CMakeFiles/smfl_data.dir/table.cc.o"
+  "CMakeFiles/smfl_data.dir/table.cc.o.d"
+  "libsmfl_data.a"
+  "libsmfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_exp.dir/experiment.cc.o"
+  "CMakeFiles/smfl_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/smfl_exp.dir/metrics.cc.o"
+  "CMakeFiles/smfl_exp.dir/metrics.cc.o.d"
+  "CMakeFiles/smfl_exp.dir/report.cc.o"
+  "CMakeFiles/smfl_exp.dir/report.cc.o.d"
+  "CMakeFiles/smfl_exp.dir/sweep.cc.o"
+  "CMakeFiles/smfl_exp.dir/sweep.cc.o.d"
+  "libsmfl_exp.a"
+  "libsmfl_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

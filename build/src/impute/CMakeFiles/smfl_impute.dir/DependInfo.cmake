@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impute/eracer.cc" "src/impute/CMakeFiles/smfl_impute.dir/eracer.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/eracer.cc.o.d"
+  "/root/repo/src/impute/gan.cc" "src/impute/CMakeFiles/smfl_impute.dir/gan.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/gan.cc.o.d"
+  "/root/repo/src/impute/mf_imputers.cc" "src/impute/CMakeFiles/smfl_impute.dir/mf_imputers.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/mf_imputers.cc.o.d"
+  "/root/repo/src/impute/neighbor_util.cc" "src/impute/CMakeFiles/smfl_impute.dir/neighbor_util.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/neighbor_util.cc.o.d"
+  "/root/repo/src/impute/registry.cc" "src/impute/CMakeFiles/smfl_impute.dir/registry.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/registry.cc.o.d"
+  "/root/repo/src/impute/regression.cc" "src/impute/CMakeFiles/smfl_impute.dir/regression.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/regression.cc.o.d"
+  "/root/repo/src/impute/simple.cc" "src/impute/CMakeFiles/smfl_impute.dir/simple.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/simple.cc.o.d"
+  "/root/repo/src/impute/statistical.cc" "src/impute/CMakeFiles/smfl_impute.dir/statistical.cc.o" "gcc" "src/impute/CMakeFiles/smfl_impute.dir/statistical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/smfl_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/smfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smfl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/smfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/smfl_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

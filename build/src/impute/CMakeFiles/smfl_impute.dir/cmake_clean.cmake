@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_impute.dir/eracer.cc.o"
+  "CMakeFiles/smfl_impute.dir/eracer.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/gan.cc.o"
+  "CMakeFiles/smfl_impute.dir/gan.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/mf_imputers.cc.o"
+  "CMakeFiles/smfl_impute.dir/mf_imputers.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/neighbor_util.cc.o"
+  "CMakeFiles/smfl_impute.dir/neighbor_util.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/registry.cc.o"
+  "CMakeFiles/smfl_impute.dir/registry.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/regression.cc.o"
+  "CMakeFiles/smfl_impute.dir/regression.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/simple.cc.o"
+  "CMakeFiles/smfl_impute.dir/simple.cc.o.d"
+  "CMakeFiles/smfl_impute.dir/statistical.cc.o"
+  "CMakeFiles/smfl_impute.dir/statistical.cc.o.d"
+  "libsmfl_impute.a"
+  "libsmfl_impute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_impute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmfl_impute.a"
+)

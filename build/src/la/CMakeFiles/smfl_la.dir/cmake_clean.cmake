@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_la.dir/cholesky.cc.o"
+  "CMakeFiles/smfl_la.dir/cholesky.cc.o.d"
+  "CMakeFiles/smfl_la.dir/eigen.cc.o"
+  "CMakeFiles/smfl_la.dir/eigen.cc.o.d"
+  "CMakeFiles/smfl_la.dir/matrix.cc.o"
+  "CMakeFiles/smfl_la.dir/matrix.cc.o.d"
+  "CMakeFiles/smfl_la.dir/ops.cc.o"
+  "CMakeFiles/smfl_la.dir/ops.cc.o.d"
+  "CMakeFiles/smfl_la.dir/qr.cc.o"
+  "CMakeFiles/smfl_la.dir/qr.cc.o.d"
+  "CMakeFiles/smfl_la.dir/sparse.cc.o"
+  "CMakeFiles/smfl_la.dir/sparse.cc.o.d"
+  "CMakeFiles/smfl_la.dir/svd.cc.o"
+  "CMakeFiles/smfl_la.dir/svd.cc.o.d"
+  "libsmfl_la.a"
+  "libsmfl_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mf/nmf.cc" "src/mf/CMakeFiles/smfl_mf.dir/nmf.cc.o" "gcc" "src/mf/CMakeFiles/smfl_mf.dir/nmf.cc.o.d"
+  "/root/repo/src/mf/pca.cc" "src/mf/CMakeFiles/smfl_mf.dir/pca.cc.o" "gcc" "src/mf/CMakeFiles/smfl_mf.dir/pca.cc.o.d"
+  "/root/repo/src/mf/softimpute.cc" "src/mf/CMakeFiles/smfl_mf.dir/softimpute.cc.o" "gcc" "src/mf/CMakeFiles/smfl_mf.dir/softimpute.cc.o.d"
+  "/root/repo/src/mf/svt.cc" "src/mf/CMakeFiles/smfl_mf.dir/svt.cc.o" "gcc" "src/mf/CMakeFiles/smfl_mf.dir/svt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/smfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

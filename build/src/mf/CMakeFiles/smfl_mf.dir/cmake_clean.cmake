@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_mf.dir/nmf.cc.o"
+  "CMakeFiles/smfl_mf.dir/nmf.cc.o.d"
+  "CMakeFiles/smfl_mf.dir/pca.cc.o"
+  "CMakeFiles/smfl_mf.dir/pca.cc.o.d"
+  "CMakeFiles/smfl_mf.dir/softimpute.cc.o"
+  "CMakeFiles/smfl_mf.dir/softimpute.cc.o.d"
+  "CMakeFiles/smfl_mf.dir/svt.cc.o"
+  "CMakeFiles/smfl_mf.dir/svt.cc.o.d"
+  "libsmfl_mf.a"
+  "libsmfl_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

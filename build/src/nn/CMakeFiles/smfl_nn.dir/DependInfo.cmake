@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/smfl_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/smfl_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/smfl_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/smfl_nn.dir/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

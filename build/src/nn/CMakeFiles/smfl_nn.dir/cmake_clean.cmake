@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_nn.dir/activations.cc.o"
+  "CMakeFiles/smfl_nn.dir/activations.cc.o.d"
+  "CMakeFiles/smfl_nn.dir/mlp.cc.o"
+  "CMakeFiles/smfl_nn.dir/mlp.cc.o.d"
+  "libsmfl_nn.a"
+  "libsmfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_repair.dir/baseline_repairers.cc.o"
+  "CMakeFiles/smfl_repair.dir/baseline_repairers.cc.o.d"
+  "CMakeFiles/smfl_repair.dir/detector.cc.o"
+  "CMakeFiles/smfl_repair.dir/detector.cc.o.d"
+  "CMakeFiles/smfl_repair.dir/mf_repairers.cc.o"
+  "CMakeFiles/smfl_repair.dir/mf_repairers.cc.o.d"
+  "CMakeFiles/smfl_repair.dir/registry.cc.o"
+  "CMakeFiles/smfl_repair.dir/registry.cc.o.d"
+  "libsmfl_repair.a"
+  "libsmfl_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/graph.cc" "src/spatial/CMakeFiles/smfl_spatial.dir/graph.cc.o" "gcc" "src/spatial/CMakeFiles/smfl_spatial.dir/graph.cc.o.d"
+  "/root/repo/src/spatial/grid_index.cc" "src/spatial/CMakeFiles/smfl_spatial.dir/grid_index.cc.o" "gcc" "src/spatial/CMakeFiles/smfl_spatial.dir/grid_index.cc.o.d"
+  "/root/repo/src/spatial/knn.cc" "src/spatial/CMakeFiles/smfl_spatial.dir/knn.cc.o" "gcc" "src/spatial/CMakeFiles/smfl_spatial.dir/knn.cc.o.d"
+  "/root/repo/src/spatial/metrics.cc" "src/spatial/CMakeFiles/smfl_spatial.dir/metrics.cc.o" "gcc" "src/spatial/CMakeFiles/smfl_spatial.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/smfl_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

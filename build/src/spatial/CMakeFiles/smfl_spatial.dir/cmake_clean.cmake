@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl_spatial.dir/graph.cc.o"
+  "CMakeFiles/smfl_spatial.dir/graph.cc.o.d"
+  "CMakeFiles/smfl_spatial.dir/grid_index.cc.o"
+  "CMakeFiles/smfl_spatial.dir/grid_index.cc.o.d"
+  "CMakeFiles/smfl_spatial.dir/knn.cc.o"
+  "CMakeFiles/smfl_spatial.dir/knn.cc.o.d"
+  "CMakeFiles/smfl_spatial.dir/metrics.cc.o"
+  "CMakeFiles/smfl_spatial.dir/metrics.cc.o.d"
+  "libsmfl_spatial.a"
+  "libsmfl_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

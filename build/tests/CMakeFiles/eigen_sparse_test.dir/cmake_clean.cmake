@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_sparse_test.dir/eigen_sparse_test.cc.o"
+  "CMakeFiles/eigen_sparse_test.dir/eigen_sparse_test.cc.o.d"
+  "eigen_sparse_test"
+  "eigen_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haversine_property_test.dir/haversine_property_test.cc.o"
+  "CMakeFiles/haversine_property_test.dir/haversine_property_test.cc.o.d"
+  "haversine_property_test"
+  "haversine_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haversine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

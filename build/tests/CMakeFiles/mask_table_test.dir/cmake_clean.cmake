@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_table_test.dir/mask_table_test.cc.o"
+  "CMakeFiles/mask_table_test.dir/mask_table_test.cc.o.d"
+  "mask_table_test"
+  "mask_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

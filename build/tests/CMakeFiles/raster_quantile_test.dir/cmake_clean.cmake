@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_quantile_test.dir/raster_quantile_test.cc.o"
+  "CMakeFiles/raster_quantile_test.dir/raster_quantile_test.cc.o.d"
+  "raster_quantile_test"
+  "raster_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_sweep_test.dir/split_sweep_test.cc.o"
+  "CMakeFiles/split_sweep_test.dir/split_sweep_test.cc.o.d"
+  "split_sweep_test"
+  "split_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smfl.dir/smfl_main.cpp.o"
+  "CMakeFiles/smfl.dir/smfl_main.cpp.o.d"
+  "smfl"
+  "smfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
