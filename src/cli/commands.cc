@@ -9,9 +9,11 @@
 #include "src/data/normalize.h"
 #include "src/data/quantile_normalize.h"
 #include "src/data/stats.h"
+#include "src/impute/fallback.h"
 #include "src/impute/mf_imputers.h"
 #include "src/impute/registry.h"
 #include "src/repair/detector.h"
+#include "src/repair/fallback.h"
 #include "src/repair/repairer.h"
 
 namespace smfl::cli {
@@ -32,8 +34,10 @@ struct LoadedCsv {
   Index spatial_cols = 0;
 };
 
-// Shared --in / --spatial handling.
-Result<LoadedCsv> LoadInput(const Flags& flags) {
+// Shared --in / --spatial / --lenient handling. With --lenient, malformed
+// rows are quarantined instead of failing the file; the quarantine summary
+// is appended to *output.
+Result<LoadedCsv> LoadInput(const Flags& flags, std::string* output) {
   const std::string in_path = flags.GetString("in", "");
   if (in_path.empty()) {
     return Status::InvalidArgument("--in=<file.csv> is required");
@@ -42,9 +46,17 @@ Result<LoadedCsv> LoadInput(const Flags& flags) {
   if (spatial < 1) {
     return Status::InvalidArgument("--spatial must be >= 1");
   }
+  ASSIGN_OR_RETURN(bool lenient, flags.GetBool("lenient", false));
   data::CsvReadOptions read_options;
   read_options.spatial_cols = static_cast<Index>(spatial);
+  read_options.mode =
+      lenient ? data::CsvMode::kLenient : data::CsvMode::kStrict;
   ASSIGN_OR_RETURN(data::CsvTable csv, data::ReadCsv(in_path, read_options));
+  if (!csv.row_errors.empty()) {
+    *output += StrFormat("quarantined %zu malformed row(s) of '%s':\n",
+                         csv.row_errors.size(), in_path.c_str());
+    *output += data::FormatRowErrors(csv.row_errors);
+  }
   if (csv.table.NumCols() <= read_options.spatial_cols) {
     return Status::InvalidArgument(
         "--spatial leaves no attribute columns in '" + in_path + "'");
@@ -53,12 +65,42 @@ Result<LoadedCsv> LoadInput(const Flags& flags) {
                    read_options.spatial_cols};
 }
 
+// Parses --fallback=a,b,c into a degradation chain (empty flag = absent).
+std::vector<std::string> FallbackChainFromFlags(const Flags& flags,
+                                                std::vector<std::string> dflt) {
+  const std::string spec = flags.GetString("fallback", "");
+  if (spec.empty()) return dflt;
+  std::vector<std::string> chain;
+  for (const std::string& tier : Split(spec, ',')) {
+    std::string trimmed(Trim(tier));
+    if (!trimmed.empty()) chain.push_back(std::move(trimmed));
+  }
+  return chain;
+}
+
+// Appends the degradation-chain outcome to the report.
+void AppendDegradation(const mf::DegradationReport& report,
+                       std::string* output) {
+  if (report.attempts.empty()) return;
+  *output += StrFormat("degradation chain: %s\n", report.ToString().c_str());
+  if (report.degraded()) {
+    *output += StrFormat(
+        "WARNING: primary method failed; result served by fallback tier "
+        "'%s'\n",
+        report.served_by.c_str());
+  }
+}
+
 // Applies the SMFL-family tuning flags to an imputer choice. Non-SMFL
 // methods ignore them (they are registry defaults).
 Result<std::unique_ptr<impute::Imputer>> MakeTunedImputer(
     const Flags& flags) {
   const std::string method = flags.GetString("method", "SMFL");
   const std::string key = ToLower(method);
+  if (key == "fallback" || flags.Has("fallback")) {
+    return std::unique_ptr<impute::Imputer>(new impute::FallbackImputer(
+        FallbackChainFromFlags(flags, impute::DefaultFallbackChain())));
+  }
   if (key == "smfl" || key == "smf") {
     core::SmflOptions options;
     ASSIGN_OR_RETURN(int64_t rank, flags.GetInt("rank", options.rank));
@@ -89,9 +131,10 @@ std::string UsageText() {
       "  impute  --in=data.csv --out=completed.csv [--method=SMFL]\n"
       "          [--spatial=2] [--rank=10] [--lambda=0.5] [--neighbors=3]\n"
       "          [--normalizer=minmax|quantile]\n"
+      "          [--fallback=SMFL,SMF,NMF,Mean]\n"
       "          fill the empty cells of a CSV\n"
       "  repair  --in=data.csv --out=repaired.csv [--method=SMFL]\n"
-      "          [--spatial=2]\n"
+      "          [--spatial=2] [--fallback=SMFL,SMF,NMF,HoloClean]\n"
       "          detect suspicious cells statistically and repair them\n"
       "  stats   --in=data.csv [--spatial=2]\n"
       "          print column statistics and missing-data summary\n"
@@ -104,6 +147,12 @@ std::string UsageText() {
       "          grid-search lambda/K on a validation holdout and print\n"
       "          the recommended flags\n"
       "\n"
+      "shared flags:\n"
+      "  --lenient   quarantine malformed CSV rows instead of failing the\n"
+      "              file; the quarantine report is printed per row\n"
+      "  --fallback=a,b,c   graceful degradation: try each method in order\n"
+      "              until one serves, and report the serving tier\n"
+      "\n"
       "imputation methods: " +
       MethodList(impute::RegisteredImputers()) +
       "\n"
@@ -112,7 +161,7 @@ std::string UsageText() {
 }
 
 Status RunImputeCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const std::string out_path = flags.GetString("out", "");
   if (out_path.empty()) {
     return Status::InvalidArgument("--out=<file.csv> is required");
@@ -123,6 +172,17 @@ Status RunImputeCommand(const Flags& flags, std::string* output) {
     return data::WriteCsv(out_path, input.table);
   }
   ASSIGN_OR_RETURN(auto imputer, MakeTunedImputer(flags));
+  // Degradation chains report which tier actually served the result.
+  mf::DegradationReport degradation;
+  const auto* fallback =
+      dynamic_cast<const impute::FallbackImputer*>(imputer.get());
+  const auto run_imputer = [&](const Matrix& normalized) {
+    return fallback ? fallback->ImputeWithReport(normalized, input.observed,
+                                                 input.spatial_cols,
+                                                 &degradation)
+                    : imputer->Impute(normalized, input.observed,
+                                      input.spatial_cols);
+  };
 
   // Normalize from observed cells, impute, restore units. The quantile
   // normalizer is the robust choice when columns carry outliers.
@@ -136,9 +196,7 @@ Status RunImputeCommand(const Flags& flags, std::string* output) {
                                                    input.observed));
     normalized = data::ApplyMask(normalizer.Transform(input.table.values()),
                                  input.observed);
-    ASSIGN_OR_RETURN(Matrix completed,
-                     imputer->Impute(normalized, input.observed,
-                                     input.spatial_cols));
+    ASSIGN_OR_RETURN(Matrix completed, run_imputer(normalized));
     restored = normalizer.InverseTransform(completed);
   } else if (normalizer_name == "minmax") {
     ASSIGN_OR_RETURN(
@@ -146,9 +204,7 @@ Status RunImputeCommand(const Flags& flags, std::string* output) {
         data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
     normalized = data::ApplyMask(normalizer.Transform(input.table.values()),
                                  input.observed);
-    ASSIGN_OR_RETURN(Matrix completed,
-                     imputer->Impute(normalized, input.observed,
-                                     input.spatial_cols));
+    ASSIGN_OR_RETURN(Matrix completed, run_imputer(normalized));
     restored = normalizer.InverseTransform(completed);
   } else {
     return Status::InvalidArgument(
@@ -162,6 +218,7 @@ Status RunImputeCommand(const Flags& flags, std::string* output) {
       data::Table::Create(input.table.column_names(), std::move(restored),
                           input.spatial_cols));
   RETURN_NOT_OK(data::WriteCsv(out_path, out_table));
+  AppendDegradation(degradation, output);
   *output += StrFormat("imputed %lld cells with %s -> %s\n",
                        static_cast<long long>(missing),
                        imputer->name().c_str(), out_path.c_str());
@@ -169,7 +226,7 @@ Status RunImputeCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunRepairCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const std::string out_path = flags.GetString("out", "");
   if (out_path.empty()) {
     return Status::InvalidArgument("--out=<file.csv> is required");
@@ -178,8 +235,15 @@ Status RunRepairCommand(const Flags& flags, std::string* output) {
     return Status::FailedPrecondition(
         "repair expects a complete CSV (run `smfl impute` first)");
   }
-  const std::string method = flags.GetString("method", "SMFL");
-  ASSIGN_OR_RETURN(auto repairer, repair::MakeRepairer(method));
+  std::string method = flags.GetString("method", "SMFL");
+  if (flags.Has("fallback")) method = "Fallback";
+  std::unique_ptr<repair::Repairer> repairer;
+  if (ToLower(method) == "fallback") {
+    repairer = std::make_unique<repair::FallbackRepairer>(
+        FallbackChainFromFlags(flags, repair::DefaultRepairFallbackChain()));
+  } else {
+    ASSIGN_OR_RETURN(repairer, repair::MakeRepairer(method));
+  }
 
   ASSIGN_OR_RETURN(data::MinMaxNormalizer normalizer,
                    data::MinMaxNormalizer::Fit(input.table.values()));
@@ -190,9 +254,20 @@ Status RunRepairCommand(const Flags& flags, std::string* output) {
     *output += "no suspicious cells detected; writing input unchanged\n";
     return data::WriteCsv(out_path, input.table);
   }
-  ASSIGN_OR_RETURN(Matrix repaired,
-                   repairer->Repair(normalized, detection.flagged,
-                                    input.spatial_cols));
+  mf::DegradationReport degradation;
+  const auto* fallback =
+      dynamic_cast<const repair::FallbackRepairer*>(repairer.get());
+  Matrix repaired;
+  if (fallback) {
+    ASSIGN_OR_RETURN(repaired, fallback->RepairWithReport(
+                                   normalized, detection.flagged,
+                                   input.spatial_cols, &degradation));
+  } else {
+    ASSIGN_OR_RETURN(repaired,
+                     repairer->Repair(normalized, detection.flagged,
+                                      input.spatial_cols));
+  }
+  AppendDegradation(degradation, output);
   Matrix restored = normalizer.InverseTransform(repaired);
   restored = data::CombineByMask(input.table.values(), restored,
                                  detection.flagged.Complement());
@@ -213,7 +288,7 @@ Status RunRepairCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunStatsCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const Index total = input.table.NumRows() * input.table.NumCols();
   *output += StrFormat(
       "%lld rows x %lld columns (%lld spatial); %lld of %lld cells "
@@ -231,7 +306,7 @@ Status RunStatsCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunFitCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) {
     return Status::InvalidArgument("--model=<file> is required");
@@ -268,7 +343,7 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunApplyCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const std::string model_path = flags.GetString("model", "");
   const std::string out_path = flags.GetString("out", "");
   if (model_path.empty() || out_path.empty()) {
@@ -305,7 +380,7 @@ Status RunApplyCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunSelectCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags));
+  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   ASSIGN_OR_RETURN(
       data::MinMaxNormalizer normalizer,
       data::MinMaxNormalizer::Fit(input.table.values(), input.observed));

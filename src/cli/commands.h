@@ -3,8 +3,14 @@
 //
 //   smfl impute --in=data.csv --out=completed.csv [--method=SMFL]
 //               [--spatial=2] [--rank=10] [--lambda=0.5] [--neighbors=3]
+//               [--fallback=SMFL,SMF,NMF,Mean]
 //   smfl repair --in=data.csv --out=repaired.csv [--method=SMFL]
 //               [--spatial=2] (detects errors statistically, then repairs)
+//
+// Robustness flags shared by the CSV-reading commands (docs/robustness.md):
+//   --lenient          quarantine malformed rows instead of failing the file
+//   --fallback=a,b,c   graceful degradation chain; the report names the
+//                      tier that served
 //   smfl stats  --in=data.csv [--spatial=2]
 //   smfl fit    --in=train.csv --model=model.txt [--spatial=2] [--rank=10]
 //               [--lambda=0.5] [--neighbors=3]

@@ -1,0 +1,68 @@
+#include "src/common/fault.h"
+
+namespace smfl {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) state.armed = false;
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FaultRegistry::SeedRng(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+bool FaultRegistry::Fire(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  const int eligible = state.hits - state.spec.skip;
+  if (eligible <= 0) return false;
+  if (state.spec.count >= 0 && state.fires >= state.spec.count) return false;
+  if (state.spec.probability < 1.0 &&
+      !rng_.Bernoulli(state.spec.probability)) {
+    return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+int FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace smfl

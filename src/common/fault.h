@@ -1,0 +1,116 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks recoverable failure sites with named fault points:
+//
+//   if (SMFL_FAULT_FIRED("io.write.fail")) {
+//     return Status::IoError("injected write failure");
+//   }
+//
+// Tests arm points through the global FaultRegistry (usually via ScopedFault)
+// with trigger counts and probabilities; everything draws from the
+// registry's deterministic Rng, so a failing run replays exactly. When no
+// point is armed the macro is a single relaxed atomic load, and defining
+// SMFL_DISABLE_FAULT_INJECTION compiles every fault point to a constant
+// `false` with no registry reference at all.
+//
+// Naming convention (see docs/robustness.md): dot-separated
+// `<subsystem>.<operation>.<failure>`, e.g. "smfl.update.nan",
+// "csv.row.corrupt", "io.write.fail".
+
+#ifndef SMFL_COMMON_FAULT_H_
+#define SMFL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace smfl {
+
+// How an armed fault point fires. Hits are counted per point; a hit is
+// "eligible" once `skip` earlier hits have passed.
+struct FaultSpec {
+  // Number of eligible hits to let through before the first fire.
+  int skip = 0;
+  // How many times to fire after the skip window; negative = forever.
+  int count = 1;
+  // Probability that an eligible hit actually fires (deterministic Rng).
+  double probability = 1.0;
+};
+
+class FaultRegistry {
+ public:
+  // The process-wide registry used by SMFL_FAULT_FIRED.
+  static FaultRegistry& Global();
+
+  // Arms `point` with `spec`; re-arming replaces the spec and resets the
+  // point's hit/fire counters.
+  void Arm(const std::string& point, FaultSpec spec = {});
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Re-seeds the stream behind probabilistic specs (default seed 23).
+  void SeedRng(uint64_t seed);
+
+  // True when the named point should fail now. Counts the hit either way.
+  // Points that were never armed always return false.
+  bool Fire(const std::string& point);
+
+  // Observability for tests: how often a point was reached / actually fired
+  // since it was (re-)armed. Zero for unknown points.
+  int hits(const std::string& point) const;
+  int fires(const std::string& point) const;
+
+  // Fast path: false when no point is armed anywhere.
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FaultRegistry() : rng_(23) {}
+
+  struct PointState {
+    FaultSpec spec;
+    bool armed = false;
+    int hits = 0;
+    int fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+  Rng rng_;
+  std::atomic<int> armed_count_{0};
+};
+
+// RAII arming for tests: disarms the point (and only it) on scope exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point, FaultSpec spec = {})
+      : point_(std::move(point)) {
+    FaultRegistry::Global().Arm(point_, spec);
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace smfl
+
+#ifdef SMFL_DISABLE_FAULT_INJECTION
+#define SMFL_FAULT_FIRED(point) false
+#else
+// Short-circuits on the armed count so unarmed builds pay one atomic load.
+#define SMFL_FAULT_FIRED(point)                 \
+  (::smfl::FaultRegistry::Global().AnyArmed() && \
+   ::smfl::FaultRegistry::Global().Fire(point))
+#endif
+
+#endif  // SMFL_COMMON_FAULT_H_

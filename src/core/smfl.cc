@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "src/common/fault.h"
 #include "src/common/rng.h"
+#include "src/common/strings.h"
 #include "src/core/landmarks.h"
+#include "src/core/training_guard.h"
 #include "src/data/normalize.h"
 #include "src/la/ops.h"
 #include "src/mf/nmf.h"
@@ -86,9 +90,11 @@ Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
 
 // One multiplicative U update (Formula 13):
 // U ← U ⊙ (R_Ω(X)Vᵀ + λ D U) / (R_Ω(UV)Vᵀ + λ W U)
+// `div_eps` is the denominator floor; the TrainingGuard widens it when a
+// near-zero denominator has already caused a rollback.
 void UpdateUMultiplicative(const Matrix& x_observed, const Mask& observed,
                            const NeighborGraph& graph, double lambda,
-                           Matrix& u, const Matrix& v) {
+                           double div_eps, Matrix& u, const Matrix& v) {
   Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
   Matrix num = la::MatMulABt(x_observed, v);
   Matrix den = la::MatMulABt(uv_masked, v);
@@ -100,13 +106,14 @@ void UpdateUMultiplicative(const Matrix& x_observed, const Mask& observed,
     num += du;
     den += wu;
   }
-  u = la::Hadamard(u, la::SafeDivide(num, den, kDivEps));
+  u = la::Hadamard(u, la::SafeDivide(num, den, div_eps));
 }
 
 // One multiplicative V update (Formula 14) over columns [col_begin, M);
 // col_begin = L for SMFL (landmark columns frozen), 0 for SMF.
 void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
-                           const Matrix& u, Matrix& v, Index col_begin) {
+                           const Matrix& u, double div_eps, Matrix& v,
+                           Index col_begin) {
   if (col_begin >= v.cols()) return;
   Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
   Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
@@ -117,7 +124,7 @@ void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
     auto drow = den.Row(i);
     for (Index j = col_begin; j < v.cols(); ++j) {
       vrow[j] *= nrow[j - col_begin] /
-                 std::max(drow[j - col_begin], kDivEps);
+                 std::max(drow[j - col_begin], div_eps);
     }
   }
 }
@@ -177,19 +184,32 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
   if (options.num_restarts < 1) {
     return Status::InvalidArgument("FitSmfl: num_restarts must be >= 1");
   }
-  if (options.num_restarts == 1) {
-    return FitOnceWithGraph(x, observed, spatial_cols, graph, options);
-  }
+  // RetryPolicy: each restart gets `1 + max_numeric_retries` single-seed
+  // attempts; a kNumericError (divergence the guard could not repair)
+  // escalates the seed and tries again, any other error is deterministic
+  // and fails the restart immediately.
+  const int max_attempts = 1 + std::max(0, options.max_numeric_retries);
   Result<SmflModel> best = Status::Internal("no restart succeeded");
   Status last_error = Status::OK();
+  int retries_used = 0;
   for (int r = 0; r < options.num_restarts; ++r) {
-    SmflOptions restart = options;
-    restart.num_restarts = 1;
-    restart.seed = options.seed + static_cast<uint64_t>(r) * 0x9e3779b9ULL;
-    auto model =
-        FitOnceWithGraph(x, observed, spatial_cols, graph, restart);
+    Result<SmflModel> model = Status::Internal("restart not attempted");
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      SmflOptions single = options;
+      single.num_restarts = 1;
+      single.seed = options.seed + static_cast<uint64_t>(r) * 0x9e3779b9ULL +
+                    static_cast<uint64_t>(attempt) * 0xc2b2ae3d27d4eb4fULL;
+      model = FitOnceWithGraph(x, observed, spatial_cols, graph, single);
+      if (model.ok() ||
+          model.status().code() != StatusCode::kNumericError ||
+          attempt + 1 == max_attempts) {
+        break;
+      }
+      ++retries_used;
+    }
     if (!model.ok()) {
       last_error = model.status();
+      last_error.WithContext(StrFormat("restart %d", r));
       continue;
     }
     if (!best.ok() || model->report.final_objective() <
@@ -197,7 +217,14 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
       best = std::move(model);
     }
   }
-  if (!best.ok() && !last_error.ok()) return last_error;
+  if (!best.ok()) {
+    // Surface the last restart's actual failure (code + message) rather
+    // than a generic Internal error.
+    last_error.WithContext(StrFormat("FitSmfl: all %d restart(s) failed",
+                                     options.num_restarts));
+    return last_error;
+  }
+  best->report.numeric_retries = retries_used;
   return best;
 }
 
@@ -327,14 +354,22 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   report.objective_trace.push_back(SmflObjective(
       x, observed, graph, options.lambda, model.u, model.v));
 
+  // The guard checkpoints (U, V, objective) and rolls back on NaN/Inf or —
+  // for the multiplicative rules, whose monotonicity is the paper's
+  // Propositions 5/7 — on an objective increase.
+  TrainingGuard guard(options.guard,
+                      options.update == UpdateMethod::kMultiplicative,
+                      options.seed, kDivEps);
+  double div_eps = kDivEps;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     report.iterations = iter + 1;
     switch (options.update) {
       case UpdateMethod::kMultiplicative:
         UpdateUMultiplicative(x_observed, observed, graph, options.lambda,
-                              model.u, model.v);
-        UpdateVMultiplicative(x_observed, observed, model.u, model.v,
-                              v_update_begin);
+                              div_eps, model.u, model.v);
+        UpdateVMultiplicative(x_observed, observed, model.u, div_eps,
+                              model.v, v_update_begin);
         break;
       case UpdateMethod::kGradientDescent:
         UpdateUGradient(x_observed, observed, graph, options.lambda,
@@ -343,16 +378,52 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                         model.v, v_update_begin);
         break;
     }
-    report.objective_trace.push_back(SmflObjective(
-        x, observed, graph, options.lambda, model.u, model.v));
+    // Fault points for robustness tests: corrupt a factor entry / blow the
+    // objective up right after the update, before the guard looks.
+    if (SMFL_FAULT_FIRED("smfl.update.nan")) {
+      model.u(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (SMFL_FAULT_FIRED("smfl.update.spike")) {
+      model.u *= 1e3;
+    }
+    const double objective = SmflObjective(
+        x, observed, graph, options.lambda, model.u, model.v);
+    if (guard.enabled()) {
+      auto action = guard.Observe(iter, objective, &model.u, &model.v);
+      if (!action.ok()) {
+        report.rollbacks = guard.rollbacks();
+        report.recovery_attempts = guard.recovery_attempts();
+        Status st = action.status();
+        st.WithContext("FitSmfl: factorization diverged");
+        return st;
+      }
+      if (*action == TrainingGuard::Action::kRolledBack) {
+        // State was restored (and possibly perturbed); resume from the
+        // checkpoint with the escalated denominator floor. Entries from the
+        // rolled-back iterations leave the trace — it records only the
+        // accepted trajectory.
+        div_eps = guard.div_eps();
+        const size_t keep =
+            static_cast<size_t>(guard.last_good_iteration()) + 2;
+        if (report.objective_trace.size() > keep) {
+          report.objective_trace.resize(keep);
+        }
+        continue;
+      }
+    }
+    report.objective_trace.push_back(objective);
     if (mf::RelativeImprovementBelow(report.objective_trace,
                                      options.tolerance)) {
       report.converged = true;
       break;
     }
   }
+  report.rollbacks = guard.rollbacks();
+  report.recovery_attempts = guard.recovery_attempts();
   if (model.u.HasNonFinite() || model.v.HasNonFinite()) {
-    return Status::NumericError("FitSmfl: factorization diverged");
+    return Status::NumericError(StrFormat(
+        "FitSmfl: factorization diverged at iteration %d (objective %g)",
+        report.iterations, report.final_objective()));
   }
   return model;
 }

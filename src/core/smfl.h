@@ -25,6 +25,7 @@
 #include <optional>
 
 #include "src/common/status.h"
+#include "src/core/training_guard.h"
 #include "src/data/mask.h"
 #include "src/mf/factorization.h"
 #include "src/spatial/graph.h"
@@ -80,6 +81,15 @@ struct SmflOptions {
   // deterministic given the landmarks, so restarts only vary V's noise).
   int num_restarts = 1;
   uint64_t seed = 23;
+  // Checkpoint/rollback protection of the fit loop (see training_guard.h).
+  // On by default: when nothing goes wrong the guard only snapshots every
+  // checkpoint_interval iterations.
+  GuardOptions guard;
+  // RetryPolicy around the restart loop: when a single-seed fit fails with
+  // kNumericError (divergence the guard could not repair), retry it up to
+  // this many extra times under an escalated seed before giving up on that
+  // restart. Other error codes are not retried — they are deterministic.
+  int max_numeric_retries = 2;
 };
 
 struct SmflModel {

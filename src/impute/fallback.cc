@@ -1,0 +1,54 @@
+#include "src/impute/fallback.h"
+
+#include "src/common/strings.h"
+#include "src/impute/registry.h"
+
+namespace smfl::impute {
+
+std::vector<std::string> DefaultFallbackChain() {
+  return {"SMFL", "SMF", "NMF", "Mean"};
+}
+
+FallbackImputer::FallbackImputer(std::vector<std::string> chain)
+    : chain_(std::move(chain)) {}
+
+std::string FallbackImputer::name() const {
+  return "Fallback(" + Join(chain_, "->") + ")";
+}
+
+Result<Matrix> FallbackImputer::Impute(const Matrix& x, const Mask& observed,
+                                       Index spatial_cols) const {
+  return ImputeWithReport(x, observed, spatial_cols, nullptr);
+}
+
+Result<Matrix> FallbackImputer::ImputeWithReport(
+    const Matrix& x, const Mask& observed, Index spatial_cols,
+    mf::DegradationReport* report) const {
+  if (chain_.empty()) {
+    return Status::InvalidArgument("FallbackImputer: empty chain");
+  }
+  if (report) *report = mf::DegradationReport{};
+  Status last_error = Status::OK();
+  for (const std::string& tier : chain_) {
+    auto imputer = MakeImputer(tier);
+    Result<Matrix> result = imputer.ok()
+                                ? (*imputer)->Impute(x, observed, spatial_cols)
+                                : Result<Matrix>(imputer.status());
+    if (result.ok()) {
+      if (report) {
+        report->served_by = tier;
+        report->attempts.push_back({tier, ""});
+      }
+      return result;
+    }
+    if (report) {
+      report->attempts.push_back({tier, result.status().ToString()});
+    }
+    last_error = result.status();
+  }
+  last_error.WithContext(StrFormat("all %zu fallback tiers failed",
+                                   chain_.size()));
+  return last_error;
+}
+
+}  // namespace smfl::impute

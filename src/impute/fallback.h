@@ -1,0 +1,50 @@
+// Graceful degradation for imputation: a fallback chain of registered
+// imputers (default SMFL → SMF → NMF → Mean) tried in order until one
+// serves. Which tier served — and why each earlier tier failed — is
+// recorded in a mf::DegradationReport, so a serving path can return a
+// best-effort result instead of failing closed while still telling the
+// caller the answer is degraded.
+
+#ifndef SMFL_IMPUTE_FALLBACK_H_
+#define SMFL_IMPUTE_FALLBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/impute/imputer.h"
+#include "src/mf/factorization.h"
+
+namespace smfl::impute {
+
+// The default chain: the paper's method first, then progressively simpler
+// models down to the always-available column mean.
+std::vector<std::string> DefaultFallbackChain();
+
+class FallbackImputer : public Imputer {
+ public:
+  // `chain` holds registry names (see MakeImputer), tried front to back.
+  explicit FallbackImputer(std::vector<std::string> chain =
+                               DefaultFallbackChain());
+
+  // "Fallback(SMFL->SMF->NMF->Mean)".
+  std::string name() const override;
+
+  Result<Matrix> Impute(const Matrix& x, const Mask& observed,
+                        Index spatial_cols) const override;
+
+  // Same, and fills `*report` (may be null) with the tier that served and
+  // the per-tier errors. Fails only when every tier fails; the returned
+  // status is the last tier's, with the earlier failures as context.
+  Result<Matrix> ImputeWithReport(const Matrix& x, const Mask& observed,
+                                  Index spatial_cols,
+                                  mf::DegradationReport* report) const;
+
+  const std::vector<std::string>& chain() const { return chain_; }
+
+ private:
+  std::vector<std::string> chain_;
+};
+
+}  // namespace smfl::impute
+
+#endif  // SMFL_IMPUTE_FALLBACK_H_

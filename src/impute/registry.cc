@@ -2,6 +2,7 @@
 
 #include "src/common/strings.h"
 #include "src/impute/eracer.h"
+#include "src/impute/fallback.h"
 #include "src/impute/gan.h"
 #include "src/impute/mf_imputers.h"
 #include "src/impute/regression.h"
@@ -31,6 +32,9 @@ Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& name) {
   if (key == "nmf") return std::unique_ptr<Imputer>(new NmfImputer());
   if (key == "smf") return std::unique_ptr<Imputer>(new SmfImputer());
   if (key == "smfl") return std::unique_ptr<Imputer>(new SmflImputer());
+  if (key == "fallback") {
+    return std::unique_ptr<Imputer>(new FallbackImputer());
+  }
   return Status::NotFound("no imputer named '" + name + "'");
 }
 

@@ -13,7 +13,8 @@ namespace smfl::impute {
 
 // Creates the imputer registered under `name` with its default options.
 // Known names: Mean, ERACER, kNN, kNNE, LOESS, IIM, MC, DLM, GAIN,
-// SoftImpute, Iterative, CAMF, NMF, SMF, SMFL. NotFound otherwise.
+// SoftImpute, Iterative, CAMF, NMF, SMF, SMFL, and Fallback (the graceful
+// degradation chain SMFL -> SMF -> NMF -> Mean). NotFound otherwise.
 Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& name);
 
 // The paper's Table IV method set, in its column order (Mean and ERACER

@@ -1,0 +1,54 @@
+#include "src/repair/fallback.h"
+
+#include "src/common/strings.h"
+
+namespace smfl::repair {
+
+std::vector<std::string> DefaultRepairFallbackChain() {
+  return {"SMFL", "SMF", "NMF", "HoloClean"};
+}
+
+FallbackRepairer::FallbackRepairer(std::vector<std::string> chain)
+    : chain_(std::move(chain)) {}
+
+std::string FallbackRepairer::name() const {
+  return "Fallback(" + Join(chain_, "->") + ")";
+}
+
+Result<Matrix> FallbackRepairer::Repair(const Matrix& dirty,
+                                        const Mask& dirty_cells,
+                                        Index spatial_cols) const {
+  return RepairWithReport(dirty, dirty_cells, spatial_cols, nullptr);
+}
+
+Result<Matrix> FallbackRepairer::RepairWithReport(
+    const Matrix& dirty, const Mask& dirty_cells, Index spatial_cols,
+    mf::DegradationReport* report) const {
+  if (chain_.empty()) {
+    return Status::InvalidArgument("FallbackRepairer: empty chain");
+  }
+  if (report) *report = mf::DegradationReport{};
+  Status last_error = Status::OK();
+  for (const std::string& tier : chain_) {
+    auto repairer = MakeRepairer(tier);
+    Result<Matrix> result =
+        repairer.ok() ? (*repairer)->Repair(dirty, dirty_cells, spatial_cols)
+                      : Result<Matrix>(repairer.status());
+    if (result.ok()) {
+      if (report) {
+        report->served_by = tier;
+        report->attempts.push_back({tier, ""});
+      }
+      return result;
+    }
+    if (report) {
+      report->attempts.push_back({tier, result.status().ToString()});
+    }
+    last_error = result.status();
+  }
+  last_error.WithContext(StrFormat("all %zu fallback tiers failed",
+                                   chain_.size()));
+  return last_error;
+}
+
+}  // namespace smfl::repair

@@ -1,0 +1,43 @@
+// Graceful degradation for repair, mirroring impute::FallbackImputer: a
+// chain of registered repairers tried in order, with the serving tier and
+// per-tier failures recorded in a mf::DegradationReport.
+
+#ifndef SMFL_REPAIR_FALLBACK_H_
+#define SMFL_REPAIR_FALLBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mf/factorization.h"
+#include "src/repair/repairer.h"
+
+namespace smfl::repair {
+
+// SMFL first, then simpler factorizations, then the statistical baseline.
+std::vector<std::string> DefaultRepairFallbackChain();
+
+class FallbackRepairer : public Repairer {
+ public:
+  explicit FallbackRepairer(std::vector<std::string> chain =
+                                DefaultRepairFallbackChain());
+
+  std::string name() const override;
+
+  Result<Matrix> Repair(const Matrix& dirty, const Mask& dirty_cells,
+                        Index spatial_cols) const override;
+
+  // Same, and fills `*report` (may be null). Fails only when every tier
+  // fails, surfacing the last tier's status.
+  Result<Matrix> RepairWithReport(const Matrix& dirty,
+                                  const Mask& dirty_cells, Index spatial_cols,
+                                  mf::DegradationReport* report) const;
+
+  const std::vector<std::string>& chain() const { return chain_; }
+
+ private:
+  std::vector<std::string> chain_;
+};
+
+}  // namespace smfl::repair
+
+#endif  // SMFL_REPAIR_FALLBACK_H_

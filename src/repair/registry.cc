@@ -1,5 +1,6 @@
 #include "src/common/strings.h"
 #include "src/repair/baseline_repairers.h"
+#include "src/repair/fallback.h"
 #include "src/repair/mf_repairers.h"
 #include "src/repair/repairer.h"
 
@@ -16,6 +17,9 @@ Result<std::unique_ptr<Repairer>> MakeRepairer(const std::string& name) {
   if (key == "nmf") return std::unique_ptr<Repairer>(new NmfRepairer());
   if (key == "smf") return std::unique_ptr<Repairer>(new SmfRepairer());
   if (key == "smfl") return std::unique_ptr<Repairer>(new SmflRepairer());
+  if (key == "fallback") {
+    return std::unique_ptr<Repairer>(new FallbackRepairer());
+  }
   return Status::NotFound("no repairer named '" + name + "'");
 }
 

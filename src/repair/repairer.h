@@ -32,7 +32,8 @@ class Repairer {
 };
 
 // Creates the repairer registered under `name`. Known names: Baran,
-// HoloClean, NMF, SMF, SMFL.
+// HoloClean, NMF, SMF, SMFL, and Fallback (the graceful degradation chain
+// SMFL -> SMF -> NMF -> HoloClean).
 Result<std::unique_ptr<Repairer>> MakeRepairer(const std::string& name);
 
 // All registered names, in the paper's Table VI column order.

@@ -1,0 +1,161 @@
+// Malformed-input coverage for CSV ingestion: strict mode fails with
+// kDataError, lenient mode quarantines bad rows into a row-level error
+// report and keeps the clean ones.
+
+#include <gtest/gtest.h>
+
+#include "src/data/csv.h"
+
+namespace smfl::data {
+namespace {
+
+CsvReadOptions Lenient() {
+  CsvReadOptions options;
+  options.mode = CsvMode::kLenient;
+  return options;
+}
+
+// ---------------------------------------------------------- truncated row
+
+TEST(CsvRobustnessTest, TruncatedRowStrictFails) {
+  auto result = ParseCsv("lat,lon,v\n1,2,3\n4,5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvRobustnessTest, TruncatedRowLenientQuarantines) {
+  auto result = ParseCsv("lat,lon,v\n1,2,3\n4,5\n6,7,8\n", Lenient());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.NumRows(), 2);
+  EXPECT_DOUBLE_EQ(result->table.values()(1, 0), 6.0);
+  ASSERT_EQ(result->row_errors.size(), 1u);
+  EXPECT_EQ(result->row_errors[0].line, 3u);
+  EXPECT_NE(result->row_errors[0].message.find("expected 3"),
+            std::string::npos);
+}
+
+TEST(CsvRobustnessTest, OverlongRowLenientQuarantines) {
+  auto result = ParseCsv("lat,lon,v\n1,2,3,4\n5,6,7\n", Lenient());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1);
+  ASSERT_EQ(result->row_errors.size(), 1u);
+  EXPECT_EQ(result->row_errors[0].line, 2u);
+}
+
+// ------------------------------------------------------- non-numeric cell
+
+TEST(CsvRobustnessTest, NonNumericCellStrictFails) {
+  auto result = ParseCsv("lat,lon,v\n1,2,3\n4,oops,6\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+  EXPECT_NE(result.status().message().find("oops"), std::string::npos);
+}
+
+TEST(CsvRobustnessTest, NonNumericCellLenientQuarantines) {
+  auto result = ParseCsv("lat,lon,v\n1,2,3\n4,oops,6\n7,8,9\n", Lenient());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 2);
+  ASSERT_EQ(result->row_errors.size(), 1u);
+  EXPECT_EQ(result->row_errors[0].line, 3u);
+  EXPECT_NE(result->row_errors[0].message.find("column 1"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- empty file
+
+TEST(CsvRobustnessTest, EmptyFileStrictFails) {
+  auto result = ParseCsv("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+}
+
+TEST(CsvRobustnessTest, EmptyFileLenientStillFails) {
+  // Nothing to quarantine and nothing to serve: lenient mode cannot
+  // manufacture data.
+  auto result = ParseCsv("", Lenient());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+}
+
+TEST(CsvRobustnessTest, HeaderOnlyFails) {
+  auto result = ParseCsv("lat,lon,v\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+}
+
+TEST(CsvRobustnessTest, AllRowsQuarantinedFails) {
+  auto result = ParseCsv("lat,lon,v\nx,y,z\n1,2\n", Lenient());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+  EXPECT_NE(result.status().message().find("quarantined"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------- CRLF
+
+TEST(CsvRobustnessTest, CrlfLineEndingsParseInBothModes) {
+  const std::string content = "lat,lon,v\r\n1,2,3\r\n4,5,6\r\n";
+  auto strict = ParseCsv(content);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->table.NumRows(), 2);
+  EXPECT_DOUBLE_EQ(strict->table.values()(1, 2), 6.0);
+  auto lenient = ParseCsv(content, Lenient());
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->table.NumRows(), 2);
+  EXPECT_TRUE(lenient->row_errors.empty());
+}
+
+// ------------------------------------------------- NaN spatial coordinate
+
+TEST(CsvRobustnessTest, NanSpatialCoordinateStrictFailsWithDataError) {
+  auto result = ParseCsv("lat,lon,v\nnan,2,3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+  EXPECT_NE(result.status().message().find("spatial coordinate"),
+            std::string::npos);
+}
+
+TEST(CsvRobustnessTest, NanSpatialCoordinateLenientQuarantines) {
+  auto result =
+      ParseCsv("lat,lon,v\nnan,2,3\n0.5,0.25,1\n", Lenient());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1);
+  EXPECT_DOUBLE_EQ(result->table.values()(0, 1), 0.25);
+  ASSERT_EQ(result->row_errors.size(), 1u);
+  EXPECT_EQ(result->row_errors[0].line, 2u);
+  EXPECT_NE(result->row_errors[0].message.find("spatial coordinate"),
+            std::string::npos);
+}
+
+TEST(CsvRobustnessTest, InfAttributeValueIsMalformedToo) {
+  auto strict = ParseCsv("lat,lon,v\n1,2,inf\n");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataError);
+  auto lenient = ParseCsv("lat,lon,v\n1,2,inf\n3,4,5\n", Lenient());
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->table.NumRows(), 1);
+  ASSERT_EQ(lenient->row_errors.size(), 1u);
+  EXPECT_NE(lenient->row_errors[0].message.find("non-finite value"),
+            std::string::npos);
+}
+
+// Empty cells stay legal missing values in both modes — robustness must
+// not break the core contract.
+TEST(CsvRobustnessTest, EmptyCellsRemainMissingNotMalformed) {
+  auto result = ParseCsv("lat,lon,v\n1,,3\n", Lenient());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->row_errors.empty());
+  EXPECT_FALSE(result->observed.Contains(0, 1));
+}
+
+TEST(CsvRobustnessTest, FormatRowErrorsListsOnePerLine) {
+  std::vector<CsvRowError> errors = {{2, "row has 2 fields, expected 3"},
+                                     {5, "invalid numeric value: 'x'"}};
+  const std::string report = FormatRowErrors(errors);
+  EXPECT_NE(report.find("line 2: row has 2 fields"), std::string::npos);
+  EXPECT_NE(report.find("line 5: invalid numeric value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smfl::data

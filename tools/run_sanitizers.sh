@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under AddressSanitizer and
+# UndefinedBehaviorSanitizer. Each sanitizer gets its own build tree so
+# the instrumented objects never pollute the regular build/.
+#
+# Usage: tools/run_sanitizers.sh [address|undefined]
+# With no argument both sanitizers run in sequence.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+sanitizers=("${1:-address}" )
+if [[ $# -eq 0 ]]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address|undefined) ;;
+    *)
+      echo "unknown sanitizer '$san' (want address or undefined)" >&2
+      exit 2
+      ;;
+  esac
+
+  build_dir="$repo_root/build-$san"
+  echo "==> configuring $san sanitizer build in $build_dir"
+  cmake -B "$build_dir" -S "$repo_root" -DSMFL_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "==> building ($san)"
+  cmake --build "$build_dir" -j
+  echo "==> running tier-1 tests ($san)"
+  if [[ "$san" == "address" ]]; then
+    ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$build_dir" \
+        --output-on-failure -j
+  else
+    UBSAN_OPTIONS=print_stacktrace=1 ctest --test-dir "$build_dir" \
+        --output-on-failure -j
+  fi
+  echo "==> $san: PASSED"
+done
+
+echo "all sanitizer runs passed"
