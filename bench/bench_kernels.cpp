@@ -1,0 +1,109 @@
+// Kernel-level microbenchmarks for the PR 2 parallel execution layer:
+//
+//   * MatMul / MatMulAtB / MatMulABt at --threads-controlled parallelism
+//     (set SMFL_THREADS before launching; results are bitwise identical at
+//     any setting, so only wall clock varies).
+//   * MaskedReconstruct (fused R_Ω(UV)) against the unfused
+//     ApplyMask(MatMul(u, v)) it replaced, across observed rates. The
+//     fused kernel computes only the Ω entries, so its advantage grows as
+//     the mask gets sparser — the regime of the paper's Table VII
+//     high-missing-rate experiments.
+//
+// tools/run_bench.sh aggregates this into BENCH_PR2.json.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/data/mask.h"
+#include "src/la/ops.h"
+
+using namespace smfl;
+using data::Mask;
+using la::Index;
+using la::Matrix;
+
+namespace {
+
+Matrix RandomMatrix(Index rows, Index cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (Index i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(0.01, 1.0);
+  return m;
+}
+
+Mask RandomMask(Index rows, Index cols, uint64_t seed, double set_rate) {
+  Rng rng(seed);
+  Mask mask(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) mask.Set(i, j, rng.Bernoulli(set_rate));
+  }
+  return mask;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    Matrix c = la::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatMulAtB(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = RandomMatrix(n, 64, 1);
+  const Matrix b = RandomMatrix(n, 64, 2);
+  for (auto _ : state) {
+    Matrix c = la::MatMulAtB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulAtB)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_MatMulABt(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = RandomMatrix(n, 64, 1);
+  const Matrix b = RandomMatrix(256, 64, 2);
+  for (auto _ : state) {
+    Matrix c = la::MatMulABt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulABt)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+// The fit-loop hot pair: R_Ω(UV) for an N x M data matrix at rank K = 16.
+// Arg is the observed percentage of the mask.
+constexpr Index kReconN = 2000, kReconM = 64, kReconK = 16;
+
+void BM_MaskedReconstructFused(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  const Matrix u = RandomMatrix(kReconN, kReconK, 3);
+  const Matrix v = RandomMatrix(kReconK, kReconM, 4);
+  const Mask mask = RandomMask(kReconN, kReconM, 5, rate);
+  for (auto _ : state) {
+    Matrix r = data::MaskedReconstruct(u, v, mask);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_MaskedReconstructFused)->Arg(90)->Arg(50)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaskedReconstructUnfused(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  const Matrix u = RandomMatrix(kReconN, kReconK, 3);
+  const Matrix v = RandomMatrix(kReconK, kReconM, 4);
+  const Mask mask = RandomMask(kReconN, kReconM, 5, rate);
+  for (auto _ : state) {
+    Matrix r = data::ApplyMask(la::MatMul(u, v), mask);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_MaskedReconstructUnfused)->Arg(90)->Arg(50)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,6 +4,7 @@
 #include "src/core/model_io.h"
 #include "src/core/model_selection.h"
 
+#include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/data/csv.h"
 #include "src/data/normalize.h"
@@ -108,9 +109,11 @@ Result<std::unique_ptr<impute::Imputer>> MakeTunedImputer(
                      flags.GetDouble("lambda", options.lambda));
     ASSIGN_OR_RETURN(int64_t neighbors,
                      flags.GetInt("neighbors", options.num_neighbors));
+    ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
     options.rank = static_cast<Index>(rank);
     options.lambda = lambda;
     options.num_neighbors = static_cast<Index>(neighbors);
+    options.threads = static_cast<int>(threads);
     if (key == "smf") {
       return std::unique_ptr<impute::Imputer>(
           new impute::SmfImputer(options));
@@ -148,6 +151,9 @@ std::string UsageText() {
       "          the recommended flags\n"
       "\n"
       "shared flags:\n"
+      "  --threads=N worker threads for the numeric kernels (default:\n"
+      "              SMFL_THREADS env, else hardware concurrency).\n"
+      "              Results are bitwise identical at any setting\n"
       "  --lenient   quarantine malformed CSV rows instead of failing the\n"
       "              file; the quarantine report is printed per row\n"
       "  --fallback=a,b,c   graceful degradation: try each method in order\n"
@@ -316,9 +322,11 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   ASSIGN_OR_RETURN(double lambda, flags.GetDouble("lambda", options.lambda));
   ASSIGN_OR_RETURN(int64_t neighbors,
                    flags.GetInt("neighbors", options.num_neighbors));
+  ASSIGN_OR_RETURN(int64_t fit_threads, flags.GetInt("threads", 0));
   options.rank = static_cast<Index>(rank);
   options.lambda = lambda;
   options.num_neighbors = static_cast<Index>(neighbors);
+  options.threads = static_cast<int>(fit_threads);
 
   // NOTE: the saved model operates in normalized [0, 1] space; `apply`
   // re-normalizes fresh data against ITS OWN observed ranges, which is
@@ -411,6 +419,14 @@ Status Run(const Flags& flags, std::string* output) {
   if (flags.positional().empty()) {
     return Status::InvalidArgument(UsageText());
   }
+  // Global thread count for every parallel kernel this invocation runs.
+  // SMFL_THREADS (read by the parallel layer) supplies the default; the
+  // flag wins when both are present.
+  ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 1 (or 0 for auto)");
+  }
+  if (threads > 0) parallel::SetParallelism(static_cast<int>(threads));
   const std::string& command = flags.positional().front();
   if (command == "impute") return RunImputeCommand(flags, output);
   if (command == "repair") return RunRepairCommand(flags, output);

@@ -1,8 +1,10 @@
 #include "src/cluster/kmeans.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/la/ops.h"
 
@@ -86,19 +88,31 @@ Result<KMeansResult> KMeans(const Matrix& points,
   result.centers = PlusPlusInit(points, options.k, rng);
   result.assignments.assign(static_cast<size_t>(n), 0);
 
+  // Assignment-step scratch: per-point squared distances land here from
+  // the parallel chunks and are summed serially afterwards (ascending i,
+  // single accumulator — the exact serial order, at any thread count).
+  std::vector<double> nearest_d2(static_cast<size_t>(n), 0.0);
+  constexpr Index kAssignGrain = 64;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
+    // Assignment step: each chunk owns a disjoint range of points.
+    std::atomic<bool> changed{false};
+    parallel::ParallelFor(0, n, kAssignGrain, [&](Index r0, Index r1) {
+      bool chunk_changed = false;
+      for (Index i = r0; i < r1; ++i) {
+        const Index c = NearestCenter(points, i, result.centers,
+                                      &nearest_d2[static_cast<size_t>(i)]);
+        if (result.assignments[static_cast<size_t>(i)] != c) {
+          result.assignments[static_cast<size_t>(i)] = c;
+          chunk_changed = true;
+        }
+      }
+      if (chunk_changed) changed.store(true, std::memory_order_relaxed);
+    });
     double inertia = 0.0;
     for (Index i = 0; i < n; ++i) {
-      double d2 = 0.0;
-      const Index c = NearestCenter(points, i, result.centers, &d2);
-      inertia += d2;
-      if (result.assignments[static_cast<size_t>(i)] != c) {
-        result.assignments[static_cast<size_t>(i)] = c;
-        changed = true;
-      }
+      inertia += nearest_d2[static_cast<size_t>(i)];
     }
     result.inertia = inertia;
 
@@ -136,7 +150,10 @@ Result<KMeansResult> KMeans(const Matrix& points,
     }
     const double movement = la::MaxAbsDiff(new_centers, result.centers);
     result.centers = std::move(new_centers);
-    if (!changed || movement < options.tolerance) break;
+    if (!changed.load(std::memory_order_relaxed) ||
+        movement < options.tolerance) {
+      break;
+    }
   }
   return result;
 }
@@ -145,9 +162,11 @@ std::vector<Index> AssignToCenters(const Matrix& points,
                                    const Matrix& centers) {
   SMFL_CHECK_EQ(points.cols(), centers.cols());
   std::vector<Index> out(static_cast<size_t>(points.rows()));
-  for (Index i = 0; i < points.rows(); ++i) {
-    out[static_cast<size_t>(i)] = NearestCenter(points, i, centers, nullptr);
-  }
+  parallel::ParallelFor(0, points.rows(), 64, [&](Index r0, Index r1) {
+    for (Index i = r0; i < r1; ++i) {
+      out[static_cast<size_t>(i)] = NearestCenter(points, i, centers, nullptr);
+    }
+  });
   return out;
 }
 

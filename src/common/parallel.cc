@@ -1,0 +1,213 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace smfl::parallel {
+
+namespace {
+
+// One ParallelFor/ParallelReduce invocation: workers pull chunk indices
+// from `next_chunk` until exhausted. The chunk -> [begin, end) mapping is
+// fixed by (range_begin, grain, num_chunks) alone.
+struct Job {
+  Index range_begin = 0;
+  Index grain = 1;
+  Index num_chunks = 0;
+  Index range_end = 0;
+  const std::function<void(Index, Index)>* fn = nullptr;
+
+  std::atomic<Index> next_chunk{0};
+  std::atomic<Index> chunks_done{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void RunChunk(Index c) {
+    const Index b = range_begin + c * grain;
+    const Index e = std::min(b + grain, range_end);
+    try {
+      (*fn)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+    if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_chunks) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done_cv.notify_all();
+    }
+  }
+
+  // Drains chunks until none remain; returns after contributing, not
+  // necessarily after all chunks completed (other workers may still be
+  // inside theirs).
+  void Drain() {
+    for (;;) {
+      const Index c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      RunChunk(c);
+    }
+  }
+};
+
+thread_local bool tls_in_worker = false;
+thread_local int tls_scoped_parallelism = 0;  // 0 = no override
+
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // never destroyed: workers
+    return *pool;                                // may outlive static dtors
+  }
+
+  // Ensures at least `n` workers exist (monotone grow-only).
+  void EnsureWorkers(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < n) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  int size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+  }
+
+  // Publishes `job` to `helpers` workers, drains it on the calling thread
+  // too, then blocks until every chunk has finished. The queue holds
+  // shared_ptrs: a worker may pop its copy after the caller has already
+  // returned, and must still find a live (if drained) Job.
+  void Run(const std::shared_ptr<Job>& job, int helpers) {
+    EnsureWorkers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int i = 0; i < helpers; ++i) queue_.push_back(job);
+    }
+    cv_.notify_all();
+    job->Drain();
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&job] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void WorkerLoop() {
+    tls_in_worker = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty(); });
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job->Drain();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+std::atomic<int> g_parallelism{0};  // 0 = auto
+
+int AutoParallelism() {
+  static const int resolved = [] {
+    if (const char* env = std::getenv("SMFL_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+int Parallelism() {
+  if (tls_scoped_parallelism >= 1) return tls_scoped_parallelism;
+  const int g = g_parallelism.load(std::memory_order_relaxed);
+  return g >= 1 ? g : AutoParallelism();
+}
+
+void SetParallelism(int n) {
+  g_parallelism.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+ScopedParallelism::ScopedParallelism(int n)
+    : saved_(tls_scoped_parallelism), active_(n >= 1) {
+  if (active_) tls_scoped_parallelism = n;
+}
+
+ScopedParallelism::~ScopedParallelism() {
+  if (active_) tls_scoped_parallelism = saved_;
+}
+
+bool InParallelWorker() { return tls_in_worker; }
+
+int PoolSizeForTesting() { return ThreadPool::Instance().size(); }
+
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<Index>(grain, 1);
+  const Index range = end - begin;
+  const Index num_chunks = (range + grain - 1) / grain;
+  const int workers = Parallelism();
+  // Serial fast path: one chunk, a single-thread setting, or a nested call
+  // from inside a worker (which would deadlock-wait on its own queue and
+  // gains nothing: the outer loop already owns the cores).
+  if (num_chunks == 1 || workers <= 1 || tls_in_worker) {
+    for (Index c = 0; c < num_chunks; ++c) {
+      const Index b = begin + c * grain;
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->range_begin = begin;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->range_end = end;
+  job->fn = &fn;
+  const int helpers = static_cast<int>(std::min<Index>(
+      static_cast<Index>(workers - 1), num_chunks - 1));
+  ThreadPool::Instance().Run(job, helpers);
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+double ParallelReduce(Index begin, Index end, Index grain,
+                      const std::function<double(Index, Index)>& fn) {
+  if (end <= begin) return 0.0;
+  grain = std::max<Index>(grain, 1);
+  const Index range = end - begin;
+  const Index num_chunks = (range + grain - 1) / grain;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  ParallelFor(begin, end, grain, [&](Index b, Index e) {
+    partial[static_cast<size_t>((b - begin) / grain)] = fn(b, e);
+  });
+  // Fixed ascending-chunk combine order: bitwise identical at any thread
+  // count.
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
+}
+
+}  // namespace smfl::parallel

@@ -1,0 +1,90 @@
+// Deterministic parallel execution layer.
+//
+// The library's reproducibility guarantees (the exact objective
+// trajectories asserted by smfl_monotonicity_property_test and consumed by
+// the TrainingGuard's Prop 5/7 rollback checks) require that changing the
+// thread count never changes a single bit of any result. Two rules make
+// that hold:
+//
+//  1. STATIC, SIZE-DERIVED CHUNKING. ParallelFor splits [begin, end) into
+//     chunks of exactly `grain` items (last chunk ragged). The partition
+//     depends only on the range and the grain — never on how many workers
+//     exist — so the set of (chunk -> output region) assignments is a pure
+//     function of the problem size.
+//  2. CHUNK-LOCAL WRITES, ORDERED COMBINES. Kernels built on ParallelFor
+//     write disjoint output regions per chunk, and every floating-point
+//     accumulation happens entirely inside one chunk in the same order as
+//     the serial loop. ParallelReduce combines the per-chunk partials
+//     serially in ascending chunk order. Scheduling order (which worker
+//     runs which chunk, and when) therefore cannot influence any sum.
+//
+// The pool is lazily started on first use and sized by, in order of
+// precedence: SetParallelism() / ScopedParallelism, the SMFL_THREADS
+// environment variable, std::thread::hardware_concurrency(). Calls from
+// inside a worker (nested parallelism) degrade to serial inline execution
+// rather than deadlocking on the shared queue.
+
+#ifndef SMFL_COMMON_PARALLEL_H_
+#define SMFL_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace smfl::parallel {
+
+using Index = std::ptrdiff_t;
+
+// Current effective worker count (>= 1). Resolution order: thread-local
+// ScopedParallelism override, global SetParallelism value, SMFL_THREADS,
+// hardware concurrency.
+int Parallelism();
+
+// Sets the global worker count. n >= 1 pins it; n == 0 restores the
+// automatic default (SMFL_THREADS env, else hardware concurrency). The
+// pool grows on demand; shrinking just idles the extra workers.
+void SetParallelism(int n);
+
+// RAII thread-local override, used to honor a per-fit `threads` option
+// without mutating process-global state.
+class ScopedParallelism {
+ public:
+  // n >= 1 overrides; n == 0 is a no-op (inherit the current setting).
+  explicit ScopedParallelism(int n);
+  ~ScopedParallelism();
+
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+
+ private:
+  int saved_;
+  bool active_;
+};
+
+// Runs fn(chunk_begin, chunk_end) over the static partition of
+// [begin, end) into chunks of `grain` items. fn is invoked exactly
+// ceil((end - begin) / grain) times with the same arguments regardless of
+// thread count; only the interleaving differs. Exceptions thrown by fn are
+// rethrown on the calling thread (the first one thrown, by chunk order of
+// observation; remaining chunks may be skipped). grain < 1 is treated
+// as 1. An empty range never invokes fn.
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn);
+
+// Deterministic reduction: partial[c] = fn(chunk c begin, chunk c end) for
+// the same static partition as ParallelFor, then returns
+// partial[0] + partial[1] + ... in ascending chunk order — an order
+// independent of the thread count.
+double ParallelReduce(Index begin, Index end, Index grain,
+                      const std::function<double(Index, Index)>& fn);
+
+// True while the calling thread is a pool worker executing a chunk.
+// Nested ParallelFor/ParallelReduce calls detect this and run inline.
+bool InParallelWorker();
+
+// Workers currently alive in the pool (0 before first use). Test hook.
+int PoolSizeForTesting();
+
+}  // namespace smfl::parallel
+
+#endif  // SMFL_COMMON_PARALLEL_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/fault.h"
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/core/landmarks.h"
@@ -25,6 +26,32 @@ double SmflObjective(const Matrix& x, const Mask& observed,
   return mf::MaskedReconstructionError(x, observed, u, v) +
          lambda * graph.LaplacianQuadraticForm(u);
 }
+
+namespace {
+
+// R_Ω(U V) for the iteration hot path. The fused kernel is bitwise
+// identical to the unfused ApplyMask(MatMul(u, v)) form; the latter stays
+// reachable via SMFL_BENCH_LEGACY_RECONSTRUCT=1 so tools/run_bench.sh can
+// measure the pre-optimization per-iteration cost.
+Matrix ReconstructMasked(const Matrix& u, const Matrix& v,
+                         const Mask& observed) {
+  if (mf::LegacyReconstructForBench()) {
+    return data::ApplyMask(la::MatMul(u, v), observed);
+  }
+  return data::MaskedReconstruct(u, v, observed);
+}
+
+// Objective from a reconstruction already restricted to Ω. Matches
+// SmflObjective (the lambda * LQF product is kept even at lambda == 0 so a
+// non-finite U still poisons the objective the way it always did).
+double ObjectiveGiven(const Matrix& x, const Mask& observed,
+                      const NeighborGraph& graph, double lambda,
+                      const Matrix& u, const Matrix& uv_masked) {
+  return data::MaskedSquaredError(x, observed, uv_masked) +
+         lambda * graph.LaplacianQuadraticForm(u);
+}
+
+}  // namespace
 
 namespace {
 
@@ -71,31 +98,39 @@ Status ValidateInputs(const Matrix& x, const Mask& observed,
 }
 
 // Uᵀ R_Ω(X) restricted to columns [col_begin, M): the only V columns SMFL
-// updates. Returns a K x (M - col_begin) matrix.
+// updates. Returns a K x (M - col_begin) matrix. Parallelized over output
+// row blocks; each chunk streams the rows of a and b once, so every
+// element keeps its ascending-p summation order at any thread count.
 Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
   const Index k = a.cols(), m = b.cols() - col_begin;
   Matrix c(k, m);
-  for (Index p = 0; p < a.rows(); ++p) {
-    auto arow = a.Row(p);
-    auto brow = b.Row(p);
-    for (Index i = 0; i < k; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      auto crow = c.Row(i);
-      for (Index j = 0; j < m; ++j) crow[j] += av * brow[col_begin + j];
+  constexpr Index kRowGrain = 16;
+  parallel::ParallelFor(0, k, kRowGrain, [&](Index r0, Index r1) {
+    for (Index p = 0; p < a.rows(); ++p) {
+      auto arow = a.Row(p);
+      auto brow = b.Row(p);
+      for (Index i = r0; i < r1; ++i) {
+        const double av = arow[i];
+        if (av == 0.0) continue;
+        auto crow = c.Row(i);
+        for (Index j = 0; j < m; ++j) crow[j] += av * brow[col_begin + j];
+      }
     }
-  }
+  });
   return c;
 }
 
 // One multiplicative U update (Formula 13):
 // U ← U ⊙ (R_Ω(X)Vᵀ + λ D U) / (R_Ω(UV)Vᵀ + λ W U)
+// `uv_masked` is R_Ω(UV) for the U and V passed in — the previous
+// iteration's objective evaluation already computed it, so the caller
+// hands it down instead of paying a third reconstruction per iteration.
 // `div_eps` is the denominator floor; the TrainingGuard widens it when a
 // near-zero denominator has already caused a rollback.
-void UpdateUMultiplicative(const Matrix& x_observed, const Mask& observed,
+void UpdateUMultiplicative(const Matrix& x_observed,
                            const NeighborGraph& graph, double lambda,
-                           double div_eps, Matrix& u, const Matrix& v) {
-  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+                           double div_eps, Matrix& u, const Matrix& v,
+                           const Matrix& uv_masked) {
   Matrix num = la::MatMulABt(x_observed, v);
   Matrix den = la::MatMulABt(uv_masked, v);
   if (lambda > 0.0) {
@@ -110,12 +145,14 @@ void UpdateUMultiplicative(const Matrix& x_observed, const Mask& observed,
 }
 
 // One multiplicative V update (Formula 14) over columns [col_begin, M);
-// col_begin = L for SMFL (landmark columns frozen), 0 for SMF.
+// col_begin = L for SMFL (landmark columns frozen), 0 for SMF. U has just
+// been updated, so R_Ω(U_new V) must be recomputed here — it cannot be
+// shared with the U update, which needed R_Ω(U_old V).
 void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
                            const Matrix& u, double div_eps, Matrix& v,
                            Index col_begin) {
   if (col_begin >= v.cols()) return;
-  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix uv_masked = ReconstructMasked(u, v, observed);
   Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
   Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
   for (Index i = 0; i < v.rows(); ++i) {
@@ -131,10 +168,10 @@ void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
 
 // Projected gradient step for U (§III-B1):
 // U ← max(0, U + 2θ (R_Ω(X)Vᵀ − R_Ω(UV)Vᵀ − λ L U)).
-void UpdateUGradient(const Matrix& x_observed, const Mask& observed,
+// `uv_masked` is R_Ω(UV) for the incoming U, handed down by the caller.
+void UpdateUGradient(const Matrix& x_observed,
                      const NeighborGraph& graph, double lambda, double theta,
-                     Matrix& u, const Matrix& v) {
-  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+                     Matrix& u, const Matrix& v, const Matrix& uv_masked) {
   Matrix grad = la::MatMulABt(x_observed - uv_masked, v);
   if (lambda > 0.0) {
     // L U = W U − D U.
@@ -153,7 +190,7 @@ void UpdateVGradient(const Matrix& x_observed, const Mask& observed,
                      const Matrix& u, double delta, Matrix& v,
                      Index col_begin) {
   if (col_begin >= v.cols()) return;
-  Matrix uv_masked = data::ApplyMask(la::MatMul(u, v), observed);
+  Matrix uv_masked = ReconstructMasked(u, v, observed);
   Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
   Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
   for (Index i = 0; i < v.rows(); ++i) {
@@ -180,6 +217,7 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
                                    Index spatial_cols,
                                    const NeighborGraph& graph,
                                    const SmflOptions& options) {
+  parallel::ScopedParallelism scoped_threads(options.threads);
   RETURN_NOT_OK(ValidateInputs(x, observed, spatial_cols, options));
   if (options.num_restarts < 1) {
     return Status::InvalidArgument("FitSmfl: num_restarts must be >= 1");
@@ -351,8 +389,15 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
 
   const Matrix x_observed = data::ApplyMask(x, observed);
   FitReport& report = model.report;
-  report.objective_trace.push_back(SmflObjective(
-      x, observed, graph, options.lambda, model.u, model.v));
+  // R_Ω(UV) for the current iterates. Computed once per accepted state:
+  // the objective evaluation at the end of each iteration doubles as the
+  // input to the next iteration's U update (which needs exactly
+  // R_Ω(U_old V_old)), replacing what used to be a third independent
+  // reconstruction per iteration.
+  Matrix uv_masked = ReconstructMasked(model.u, model.v, observed);
+  const bool legacy_reconstruct = mf::LegacyReconstructForBench();
+  report.objective_trace.push_back(ObjectiveGiven(
+      x, observed, graph, options.lambda, model.u, uv_masked));
 
   // The guard checkpoints (U, V, objective) and rolls back on NaN/Inf or —
   // for the multiplicative rules, whose monotonicity is the paper's
@@ -364,16 +409,22 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     report.iterations = iter + 1;
+    // Baseline-measurement mode recomputes the U update's reconstruction
+    // from scratch, restoring the pre-optimization three-per-iteration
+    // cost profile.
+    if (legacy_reconstruct) {
+      uv_masked = ReconstructMasked(model.u, model.v, observed);
+    }
     switch (options.update) {
       case UpdateMethod::kMultiplicative:
-        UpdateUMultiplicative(x_observed, observed, graph, options.lambda,
-                              div_eps, model.u, model.v);
+        UpdateUMultiplicative(x_observed, graph, options.lambda,
+                              div_eps, model.u, model.v, uv_masked);
         UpdateVMultiplicative(x_observed, observed, model.u, div_eps,
                               model.v, v_update_begin);
         break;
       case UpdateMethod::kGradientDescent:
-        UpdateUGradient(x_observed, observed, graph, options.lambda,
-                        options.learning_rate, model.u, model.v);
+        UpdateUGradient(x_observed, graph, options.lambda,
+                        options.learning_rate, model.u, model.v, uv_masked);
         UpdateVGradient(x_observed, observed, model.u, options.learning_rate,
                         model.v, v_update_begin);
         break;
@@ -386,8 +437,12 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     if (SMFL_FAULT_FIRED("smfl.update.spike")) {
       model.u *= 1e3;
     }
-    const double objective = SmflObjective(
-        x, observed, graph, options.lambda, model.u, model.v);
+    // Reconstruction for the just-updated iterates: feeds this objective
+    // evaluation now and the next iteration's U update (computed after the
+    // fault points so an injected corruption is visible to the guard).
+    uv_masked = ReconstructMasked(model.u, model.v, observed);
+    const double objective = ObjectiveGiven(
+        x, observed, graph, options.lambda, model.u, uv_masked);
     if (guard.enabled()) {
       auto action = guard.Observe(iter, objective, &model.u, &model.v);
       if (!action.ok()) {
@@ -401,13 +456,15 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
         // State was restored (and possibly perturbed); resume from the
         // checkpoint with the escalated denominator floor. Entries from the
         // rolled-back iterations leave the trace — it records only the
-        // accepted trajectory.
+        // accepted trajectory. The cached reconstruction belonged to the
+        // rejected iterates, so rebuild it for the restored ones.
         div_eps = guard.div_eps();
         const size_t keep =
             static_cast<size_t>(guard.last_good_iteration()) + 2;
         if (report.objective_trace.size() > keep) {
           report.objective_trace.resize(keep);
         }
+        uv_masked = ReconstructMasked(model.u, model.v, observed);
         continue;
       }
     }
@@ -432,6 +489,8 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
 
 Result<SmflModel> FitSmfl(const Matrix& x, const Mask& observed,
                           Index spatial_cols, const SmflOptions& options) {
+  // Covers graph construction too; FitOnce re-enters the same override.
+  parallel::ScopedParallelism scoped_threads(options.threads);
   RETURN_NOT_OK(ValidateInputs(x, observed, spatial_cols, options));
   // Graph over SI (§II-C). Rows with unobserved SI cells are isolated in
   // the graph rather than wired to mean-filled map-center neighbors: a

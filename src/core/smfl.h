@@ -81,6 +81,10 @@ struct SmflOptions {
   // deterministic given the landmarks, so restarts only vary V's noise).
   int num_restarts = 1;
   uint64_t seed = 23;
+  // Worker threads for the fit's parallel kernels. 0 inherits the process
+  // default (--threads / SMFL_THREADS / hardware concurrency). Results are
+  // bitwise identical at any setting — see docs/performance.md.
+  int threads = 0;
   // Checkpoint/rollback protection of the fit loop (see training_guard.h).
   // On by default: when nothing goes wrong the guard only snapshots every
   // checkpoint_interval iterations.

@@ -1,10 +1,19 @@
 #include "src/data/mask.h"
 
+#include "src/common/parallel.h"
+
 namespace smfl::data {
 
 Index Mask::Count() const {
   Index n = 0;
   for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+Index Mask::RowCount(Index i) const {
+  const uint8_t* row = RowData(i);
+  Index n = 0;
+  for (Index j = 0; j < cols_; ++j) n += row[j];
   return n;
 }
 
@@ -81,6 +90,82 @@ Matrix CombineByMask(const Matrix& x, const Matrix& x_star, const Mask& mask) {
     }
   }
   return out;
+}
+
+Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
+  SMFL_CHECK_EQ(u.cols(), v.rows());
+  SMFL_CHECK_EQ(u.rows(), mask.rows());
+  SMFL_CHECK_EQ(v.cols(), mask.cols());
+  const Index n = u.rows(), k = u.cols(), m = v.cols();
+  Matrix out(n, m);
+  const double* ud = u.data();
+  const double* vd = v.data();
+  double* od = out.data();
+  constexpr Index kRowGrain = 16;
+  parallel::ParallelFor(0, n, kRowGrain, [&](Index r0, Index r1) {
+    for (Index i = r0; i < r1; ++i) {
+      const uint8_t* obs = mask.RowData(i);
+      const double* urow = ud + i * k;
+      double* orow = od + i * m;
+      const Index observed = mask.RowCount(i);
+      if (observed == 0) continue;
+      // Dense row path: stream the rows of V in ascending-k order (the
+      // per-element summation order of la::MatMul, zero-skip included),
+      // then zero the unobserved entries. For rows with few observed
+      // entries the strided per-entry dot is cheaper despite the column
+      // stride.
+      if (observed * 4 >= m) {
+        for (Index p = 0; p < k; ++p) {
+          const double uv = urow[p];
+          if (uv == 0.0) continue;
+          const double* vrow = vd + p * m;
+          for (Index j = 0; j < m; ++j) orow[j] += uv * vrow[j];
+        }
+        if (observed != m) {
+          for (Index j = 0; j < m; ++j) {
+            if (!obs[j]) orow[j] = 0.0;
+          }
+        }
+      } else {
+        for (Index j = 0; j < m; ++j) {
+          if (!obs[j]) continue;
+          double acc = 0.0;
+          const double* vcol = vd + j;
+          for (Index p = 0; p < k; ++p) {
+            const double uv = urow[p];
+            if (uv == 0.0) continue;
+            acc += uv * vcol[p * m];
+          }
+          orow[j] = acc;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+double MaskedSquaredError(const Matrix& x, const Mask& mask,
+                          const Matrix& uv_masked) {
+  SMFL_CHECK(x.SameShape(uv_masked));
+  SMFL_CHECK_EQ(x.rows(), mask.rows());
+  SMFL_CHECK_EQ(x.cols(), mask.cols());
+  const Index m = x.cols();
+  constexpr Index kRowGrain = 64;
+  return parallel::ParallelReduce(
+      0, x.rows(), kRowGrain, [&](Index r0, Index r1) {
+        double acc = 0.0;
+        for (Index i = r0; i < r1; ++i) {
+          const uint8_t* obs = mask.RowData(i);
+          const double* xrow = x.data() + i * m;
+          const double* rrow = uv_masked.data() + i * m;
+          for (Index j = 0; j < m; ++j) {
+            if (!obs[j]) continue;
+            const double d = xrow[j] - rrow[j];
+            acc += d * d;
+          }
+        }
+        return acc;
+      });
 }
 
 }  // namespace smfl::data

@@ -77,6 +77,16 @@ class Mask {
   Mask And(const Mask& other) const;
   Mask Or(const Mask& other) const;
 
+  // Raw row-major bit row (1 = set), for kernels that stream a row's
+  // membership without per-entry bounds checks.
+  const uint8_t* RowData(Index i) const {
+    SMFL_DCHECK(i >= 0 && i < rows_);
+    return bits_.data() + static_cast<size_t>(i * cols_);
+  }
+
+  // Number of set entries in row i.
+  Index RowCount(Index i) const;
+
   bool SameShape(const Mask& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
@@ -97,6 +107,20 @@ Matrix ApplyMask(const Matrix& x, const Mask& mask);
 // R_Ω(X) + R_Ψ(X*): take masked entries from `x`, the rest from `x_star`
 // (the paper's Formula 8 recovery step).
 Matrix CombineByMask(const Matrix& x, const Matrix& x_star, const Mask& mask);
+
+// R_Ω(U V) in one fused pass — the per-iteration hot path of the masked
+// multiplicative updates (Formulas 13/14). Equivalent to
+// ApplyMask(MatMul(u, v), mask) bit for bit (same ascending-k summation
+// order and zero-skip per entry), but computes only what the mask needs
+// and never materializes the unmasked product or a second masking pass.
+// Rows are processed in parallel chunks (deterministic; see
+// common/parallel.h); sparse rows fall back to per-entry dots.
+Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask);
+
+// ||R_Ω(X) − UV_Ω||_F² given a reconstruction already restricted to Ω
+// (as produced by MaskedReconstruct). Deterministic chunked reduction.
+double MaskedSquaredError(const Matrix& x, const Mask& mask,
+                          const Matrix& uv_masked);
 
 }  // namespace smfl::data
 

@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/parallel.h"
+
 namespace smfl::la {
 
 namespace {
 // Block edge for the gemm kernels; sized so three blocks fit in L2.
 constexpr Index kBlock = 64;
+
+// ParallelFor grains. Row partitions are static (size-derived only, see
+// parallel.h), and every output element is accumulated entirely inside one
+// chunk in the serial loop order — so kernel results are bitwise identical
+// at any thread count. kGemmRowGrain equals kBlock so the parallel row
+// partition coincides with the serial i0 blocking. kAtBRowGrain keeps the
+// common rank-sized (K <= 16) outputs on the single-chunk serial path,
+// where splitting would only re-stream B.
+constexpr Index kGemmRowGrain = kBlock;
+constexpr Index kAtBRowGrain = 16;
+constexpr Index kDotRowGrain = 8;
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -17,24 +30,26 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   double* cd = c.data();
   const double* ad = a.data();
   const double* bd = b.data();
-  for (Index i0 = 0; i0 < n; i0 += kBlock) {
-    const Index i1 = std::min(i0 + kBlock, n);
-    for (Index p0 = 0; p0 < k; p0 += kBlock) {
-      const Index p1 = std::min(p0 + kBlock, k);
-      for (Index j0 = 0; j0 < m; j0 += kBlock) {
-        const Index j1 = std::min(j0 + kBlock, m);
-        for (Index i = i0; i < i1; ++i) {
-          for (Index p = p0; p < p1; ++p) {
-            const double av = ad[i * k + p];
-            if (av == 0.0) continue;
-            const double* brow = bd + p * m;
-            double* crow = cd + i * m;
-            for (Index j = j0; j < j1; ++j) crow[j] += av * brow[j];
+  parallel::ParallelFor(0, n, kGemmRowGrain, [&](Index r0, Index r1) {
+    for (Index i0 = r0; i0 < r1; i0 += kBlock) {
+      const Index i1 = std::min(i0 + kBlock, r1);
+      for (Index p0 = 0; p0 < k; p0 += kBlock) {
+        const Index p1 = std::min(p0 + kBlock, k);
+        for (Index j0 = 0; j0 < m; j0 += kBlock) {
+          const Index j1 = std::min(j0 + kBlock, m);
+          for (Index i = i0; i < i1; ++i) {
+            for (Index p = p0; p < p1; ++p) {
+              const double av = ad[i * k + p];
+              if (av == 0.0) continue;
+              const double* brow = bd + p * m;
+              double* crow = cd + i * m;
+              for (Index j = j0; j < j1; ++j) crow[j] += av * brow[j];
+            }
           }
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -45,17 +60,21 @@ Matrix MatMulAtB(const Matrix& a, const Matrix& b) {
   double* cd = c.data();
   const double* ad = a.data();
   const double* bd = b.data();
-  // c[i][j] = sum_p a[p][i] * b[p][j]; stream rows of a and b.
-  for (Index p = 0; p < k; ++p) {
-    const double* arow = ad + p * n;
-    const double* brow = bd + p * m;
-    for (Index i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = cd + i * m;
-      for (Index j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // c[i][j] = sum_p a[p][i] * b[p][j]. Each chunk owns output rows
+  // [r0, r1) and streams the rows of a and b once, so the per-element sum
+  // stays in ascending-p order no matter how the rows are partitioned.
+  parallel::ParallelFor(0, n, kAtBRowGrain, [&](Index r0, Index r1) {
+    for (Index p = 0; p < k; ++p) {
+      const double* arow = ad + p * n;
+      const double* brow = bd + p * m;
+      for (Index i = r0; i < r1; ++i) {
+        const double av = arow[i];
+        if (av == 0.0) continue;
+        double* crow = cd + i * m;
+        for (Index j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -63,16 +82,18 @@ Matrix MatMulABt(const Matrix& a, const Matrix& b) {
   SMFL_CHECK_EQ(a.cols(), b.cols());
   const Index n = a.rows(), k = a.cols(), m = b.rows();
   Matrix c(n, m);
-  // c[i][j] = dot(a.row(i), b.row(j)): both contiguous.
-  for (Index i = 0; i < n; ++i) {
-    auto arow = a.Row(i);
-    for (Index j = 0; j < m; ++j) {
-      auto brow = b.Row(j);
-      double acc = 0.0;
-      for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c(i, j) = acc;
+  // c[i][j] = dot(a.row(i), b.row(j)): both contiguous, rows independent.
+  parallel::ParallelFor(0, n, kDotRowGrain, [&](Index r0, Index r1) {
+    for (Index i = r0; i < r1; ++i) {
+      auto arow = a.Row(i);
+      for (Index j = 0; j < m; ++j) {
+        auto brow = b.Row(j);
+        double acc = 0.0;
+        for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        c(i, j) = acc;
+      }
     }
-  }
+  });
   return c;
 }
 

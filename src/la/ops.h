@@ -1,5 +1,10 @@
 // BLAS-like kernels on Matrix/Vector. All products use a cache-blocked
 // i-k-j loop order; MatMulAtB / MatMulABt avoid materializing transposes.
+//
+// The matrix products are parallelized over row blocks through
+// common/parallel.h. The partition is static (size-derived) and each
+// output element is accumulated entirely within one chunk in the serial
+// loop order, so results are bitwise identical at any thread count.
 
 #ifndef SMFL_LA_OPS_H_
 #define SMFL_LA_OPS_H_

@@ -26,6 +26,10 @@ struct NmfOptions {
   // Early-stop threshold on relative objective improvement.
   double tolerance = 1e-6;
   uint64_t seed = 3;
+  // Worker threads for the fit's parallel kernels. 0 inherits the process
+  // default (--threads / SMFL_THREADS / hardware concurrency). Results are
+  // bitwise identical at any setting.
+  int threads = 0;
 };
 
 struct NmfModel {

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/parallel.h"
 #include "src/spatial/knn.h"
 #include "src/la/ops.h"
 #include "src/spatial/metrics.h"
+
+namespace {
+// Vertex-chunk grain for the parallel graph products: each output row is
+// owned by one chunk, so the static partition keeps results bitwise
+// identical at any thread count (see common/parallel.h).
+constexpr smfl::la::Index kVertexGrain = 64;
+}  // namespace
 
 namespace smfl::spatial {
 
@@ -145,47 +153,57 @@ void NeighborGraph::AddSymmetricEdge(Index a, Index b) {
 Matrix NeighborGraph::MultiplyD(const Matrix& u) const {
   SMFL_CHECK_EQ(u.rows(), num_vertices());
   Matrix out(u.rows(), u.cols());
-  for (Index i = 0; i < u.rows(); ++i) {
-    auto out_row = out.Row(i);
-    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
-      auto u_row = u.Row(e.to);
-      for (Index c = 0; c < u.cols(); ++c) {
-        out_row[c] += e.weight * u_row[c];
+  parallel::ParallelFor(0, u.rows(), kVertexGrain, [&](Index r0, Index r1) {
+    for (Index i = r0; i < r1; ++i) {
+      auto out_row = out.Row(i);
+      for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+        auto u_row = u.Row(e.to);
+        for (Index c = 0; c < u.cols(); ++c) {
+          out_row[c] += e.weight * u_row[c];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix NeighborGraph::MultiplyW(const Matrix& u) const {
   SMFL_CHECK_EQ(u.rows(), num_vertices());
   Matrix out(u.rows(), u.cols());
-  for (Index i = 0; i < u.rows(); ++i) {
-    const double d = degree_[i];
-    auto u_row = u.Row(i);
-    auto out_row = out.Row(i);
-    for (Index c = 0; c < u.cols(); ++c) out_row[c] = d * u_row[c];
-  }
+  parallel::ParallelFor(0, u.rows(), kVertexGrain, [&](Index r0, Index r1) {
+    for (Index i = r0; i < r1; ++i) {
+      const double d = degree_[i];
+      auto u_row = u.Row(i);
+      auto out_row = out.Row(i);
+      for (Index c = 0; c < u.cols(); ++c) out_row[c] = d * u_row[c];
+    }
+  });
   return out;
 }
 
 double NeighborGraph::LaplacianQuadraticForm(const Matrix& u) const {
   SMFL_CHECK_EQ(u.rows(), num_vertices());
-  double acc = 0.0;
-  for (Index i = 0; i < u.rows(); ++i) {
-    auto ui = u.Row(i);
-    for (const Edge& e : adj_[static_cast<size_t>(i)]) {
-      if (e.to <= i) continue;  // each undirected edge once
-      auto uj = u.Row(e.to);
-      double d2 = 0.0;
-      for (Index c = 0; c < u.cols(); ++c) {
-        const double diff = ui[c] - uj[c];
-        d2 += diff * diff;
-      }
-      acc += e.weight * d2;
-    }
-  }
-  return acc;
+  // Per-chunk partials combined in ascending chunk order: deterministic
+  // at any thread count (though chunking may reorder sums vs. a single
+  // serial accumulator, the order is fixed by the partition alone).
+  return parallel::ParallelReduce(
+      0, u.rows(), kVertexGrain, [&](Index r0, Index r1) {
+        double acc = 0.0;
+        for (Index i = r0; i < r1; ++i) {
+          auto ui = u.Row(i);
+          for (const Edge& e : adj_[static_cast<size_t>(i)]) {
+            if (e.to <= i) continue;  // each undirected edge once
+            auto uj = u.Row(e.to);
+            double d2 = 0.0;
+            for (Index c = 0; c < u.cols(); ++c) {
+              const double diff = ui[c] - uj[c];
+              d2 += diff * diff;
+            }
+            acc += e.weight * d2;
+          }
+        }
+        return acc;
+      });
 }
 
 Matrix NeighborGraph::DenseD() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "src/common/parallel.h"
 #include "src/la/ops.h"
 #include "src/spatial/metrics.h"
 
@@ -166,18 +167,28 @@ Result<std::vector<std::vector<Neighbor>>> AllKnn(const Matrix& points,
     return Status::InvalidArgument("AllKnn: empty point set");
   }
   std::vector<std::vector<Neighbor>> out(static_cast<size_t>(points.rows()));
+  // Each point's neighbor list is computed independently, so the queries
+  // parallelize over point chunks with no effect on the result.
+  constexpr Index kQueryGrain = 32;
   // Brute force is faster below a few hundred points; KD-tree beyond.
   constexpr Index kBruteForceCutoff = 256;
   if (points.rows() <= kBruteForceCutoff) {
-    for (Index i = 0; i < points.rows(); ++i) {
-      out[static_cast<size_t>(i)] = BruteForceKnn(points, points.Row(i), k, i);
-    }
+    parallel::ParallelFor(0, points.rows(), kQueryGrain,
+                          [&](Index r0, Index r1) {
+                            for (Index i = r0; i < r1; ++i) {
+                              out[static_cast<size_t>(i)] =
+                                  BruteForceKnn(points, points.Row(i), k, i);
+                            }
+                          });
     return out;
   }
   ASSIGN_OR_RETURN(KdTree tree, KdTree::Build(points));
-  for (Index i = 0; i < points.rows(); ++i) {
-    out[static_cast<size_t>(i)] = tree.QueryRow(i, k);
-  }
+  parallel::ParallelFor(0, points.rows(), kQueryGrain,
+                        [&](Index r0, Index r1) {
+                          for (Index i = r0; i < r1; ++i) {
+                            out[static_cast<size_t>(i)] = tree.QueryRow(i, k);
+                          }
+                        });
   return out;
 }
 

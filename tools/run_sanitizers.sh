@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under AddressSanitizer and
-# UndefinedBehaviorSanitizer. Each sanitizer gets its own build tree so
-# the instrumented objects never pollute the regular build/.
+# Build and run tests under a sanitizer. Each sanitizer gets its own build
+# tree so the instrumented objects never pollute the regular build/.
 #
-# Usage: tools/run_sanitizers.sh [address|undefined]
-# With no argument both sanitizers run in sequence.
+#   address    full tier-1 suite under AddressSanitizer (+ leak check)
+#   undefined  full tier-1 suite under UndefinedBehaviorSanitizer
+#   thread     the threading-sensitive subset (parallel_test,
+#              kernel_equivalence_test, smfl_monotonicity_property_test)
+#              under ThreadSanitizer, with SMFL_THREADS=4 so the pool is
+#              actually exercised even on a single-core machine
+#
+# Usage: tools/run_sanitizers.sh [address|undefined|thread]
+# With no argument, address and undefined run in sequence (the tier-1
+# gate); thread is opt-in because TSan's runtime overhead is large.
 
 set -euo pipefail
 
@@ -16,9 +23,9 @@ fi
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    address|undefined) ;;
+    address|undefined|thread) ;;
     *)
-      echo "unknown sanitizer '$san' (want address or undefined)" >&2
+      echo "unknown sanitizer '$san' (want address, undefined, or thread)" >&2
       exit 2
       ;;
   esac
@@ -29,14 +36,22 @@ for san in "${sanitizers[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   echo "==> building ($san)"
   cmake --build "$build_dir" -j
-  echo "==> running tier-1 tests ($san)"
-  if [[ "$san" == "address" ]]; then
-    ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$build_dir" \
-        --output-on-failure -j
-  else
-    UBSAN_OPTIONS=print_stacktrace=1 ctest --test-dir "$build_dir" \
-        --output-on-failure -j
-  fi
+  echo "==> running tests ($san)"
+  case "$san" in
+    address)
+      ASAN_OPTIONS=detect_leaks=1 ctest --test-dir "$build_dir" \
+          --output-on-failure -j
+      ;;
+    undefined)
+      UBSAN_OPTIONS=print_stacktrace=1 ctest --test-dir "$build_dir" \
+          --output-on-failure -j
+      ;;
+    thread)
+      SMFL_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+          ctest --test-dir "$build_dir" --output-on-failure \
+          -R '^(parallel_test|kernel_equivalence_test|smfl_monotonicity_property_test)$'
+      ;;
+  esac
   echo "==> $san: PASSED"
 done
 
