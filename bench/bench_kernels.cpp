@@ -8,12 +8,16 @@
 //     fused kernel computes only the Ω entries, so its advantage grows as
 //     the mask gets sparser — the regime of the paper's Table VII
 //     high-missing-rate experiments.
+//   * Batched fold-in serving throughput (rows/sec) against a frozen model
+//     at the process thread count (PR 3): grouped-gemm numerators plus the
+//     threaded per-row multiplicative solves of core::FoldIn.
 //
 // tools/run_bench.sh aggregates this into BENCH_PR2.json.
 
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/core/fold_in.h"
 #include "src/data/mask.h"
 #include "src/la/ops.h"
 
@@ -102,6 +106,33 @@ void BM_MaskedReconstructUnfused(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaskedReconstructUnfused)->Arg(90)->Arg(50)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched fold-in serving: Arg(0) fresh rows against a synthetic frozen
+// model (rank 12, 16 columns, 2 spatial). ~80% observed with coordinates
+// always present, so most rows take the landmark-kernel tier. Throughput
+// is reported as rows/sec via SetItemsProcessed.
+void BM_FoldInBatch(benchmark::State& state) {
+  const Index rows = state.range(0);
+  constexpr Index kRank = 12, kCols = 16, kSpatial = 2;
+  core::SmflModel model;
+  model.v = RandomMatrix(kRank, kCols, 11);
+  model.u = RandomMatrix(512, kRank, 12);
+  model.landmarks = RandomMatrix(kRank, kSpatial, 13);
+  model.spatial_cols = kSpatial;
+  const Matrix x = RandomMatrix(rows, kCols, 14);
+  Mask observed = RandomMask(rows, kCols, 15, 0.8);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < kSpatial; ++j) observed.Set(i, j, true);
+  }
+  for (auto _ : state) {
+    auto folded = core::FoldIn(model, x, observed);
+    SMFL_CHECK(folded.ok());
+    benchmark::DoNotOptimize(folded->data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_FoldInBatch)->Arg(64)->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

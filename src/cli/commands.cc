@@ -37,13 +37,15 @@ struct LoadedCsv {
 
 // Shared --in / --spatial / --lenient handling. With --lenient, malformed
 // rows are quarantined instead of failing the file; the quarantine summary
-// is appended to *output.
-Result<LoadedCsv> LoadInput(const Flags& flags, std::string* output) {
+// is appended to *output. `default_spatial` is used when --spatial is
+// absent (`apply` passes the loaded model's spatial column count).
+Result<LoadedCsv> LoadInput(const Flags& flags, std::string* output,
+                            int64_t default_spatial = 2) {
   const std::string in_path = flags.GetString("in", "");
   if (in_path.empty()) {
     return Status::InvalidArgument("--in=<file.csv> is required");
   }
-  ASSIGN_OR_RETURN(int64_t spatial, flags.GetInt("spatial", 2));
+  ASSIGN_OR_RETURN(int64_t spatial, flags.GetInt("spatial", default_spatial));
   if (spatial < 1) {
     return Status::InvalidArgument("--spatial must be >= 1");
   }
@@ -145,7 +147,9 @@ std::string UsageText() {
       "          [--lambda=0.5] [--neighbors=3]\n"
       "          train an SMFL model and save it\n"
       "  apply   --in=fresh.csv --model=model.txt --out=completed.csv\n"
-      "          impute fresh rows against a saved model (fold-in)\n"
+      "          impute fresh rows against a saved model (batched fold-in\n"
+      "          in the model's training normalization space, with a\n"
+      "          per-row serving-tier report)\n"
       "  select  --in=data.csv [--spatial=2]\n"
       "          grid-search lambda/K on a validation holdout and print\n"
       "          the recommended flags\n"
@@ -328,9 +332,10 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   options.num_neighbors = static_cast<Index>(neighbors);
   options.threads = static_cast<int>(fit_threads);
 
-  // NOTE: the saved model operates in normalized [0, 1] space; `apply`
-  // re-normalizes fresh data against ITS OWN observed ranges, which is
-  // appropriate when train and fresh data share units and spreads.
+  // The saved model operates in normalized [0, 1] space. The fitted
+  // normalizer is persisted inside the model (format v2) so `apply`
+  // transforms fresh rows with the TRAINING ranges — re-fitting the
+  // ranges on a fresh batch would silently shift every reconstruction.
   ASSIGN_OR_RETURN(
       data::MinMaxNormalizer normalizer,
       data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
@@ -339,6 +344,7 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   ASSIGN_OR_RETURN(core::SmflModel model,
                    core::FitSmfl(normalized, input.observed,
                                  input.spatial_cols, options));
+  model.normalizer = std::move(normalizer);
   RETURN_NOT_OK(core::SaveModel(model, model_path));
   *output += StrFormat(
       "fit SMFL (K=%lld, lambda=%g, p=%lld) on %lld rows in %d iterations; "
@@ -351,14 +357,30 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
 }
 
 Status RunApplyCommand(const Flags& flags, std::string* output) {
-  ASSIGN_OR_RETURN(LoadedCsv input, LoadInput(flags, output));
   const std::string model_path = flags.GetString("model", "");
   const std::string out_path = flags.GetString("out", "");
   if (model_path.empty() || out_path.empty()) {
     return Status::InvalidArgument(
         "--model=<file> and --out=<file.csv> are required");
   }
+  // The model is loaded FIRST: it fixes both the spatial column count and
+  // the normalization space the fresh rows must be transformed into.
   ASSIGN_OR_RETURN(core::SmflModel model, core::LoadModel(model_path));
+  if (flags.Has("spatial")) {
+    ASSIGN_OR_RETURN(int64_t spatial_flag, flags.GetInt("spatial", 2));
+    if (spatial_flag != static_cast<int64_t>(model.spatial_cols)) {
+      return Status::InvalidArgument(StrFormat(
+          "--spatial=%lld contradicts the model's %lld spatial column(s); "
+          "the model fixes which columns are coordinates — drop the flag "
+          "or pass --spatial=%lld",
+          static_cast<long long>(spatial_flag),
+          static_cast<long long>(model.spatial_cols),
+          static_cast<long long>(model.spatial_cols)));
+    }
+  }
+  ASSIGN_OR_RETURN(
+      LoadedCsv input,
+      LoadInput(flags, output, static_cast<int64_t>(model.spatial_cols)));
   if (model.v.cols() != input.table.NumCols()) {
     return Status::InvalidArgument(StrFormat(
         "model has %lld columns but '%s' has %lld",
@@ -366,13 +388,52 @@ Status RunApplyCommand(const Flags& flags, std::string* output) {
         flags.GetString("in", "").c_str(),
         static_cast<long long>(input.table.NumCols())));
   }
-  ASSIGN_OR_RETURN(
-      data::MinMaxNormalizer normalizer,
-      data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
-  Matrix normalized = data::ApplyMask(
-      normalizer.Transform(input.table.values()), input.observed);
+
+  // Transform fresh rows into the model's normalization space. With a v2
+  // model the TRAINING ranges are used; observed values outside them are
+  // clamped into [0, 1] (fold-in would otherwise reject the negatives a
+  // shifted batch produces). v1 models carry no ranges — fall back to
+  // the old, deprecated per-batch re-fit with a loud warning.
+  data::MinMaxNormalizer normalizer;
+  if (model.normalizer.has_value()) {
+    normalizer = *model.normalizer;
+  } else {
+    *output +=
+        "WARNING: model file is v1 and stores no normalizer; re-fitting "
+        "normalization ranges on this batch. Reconstructions are only "
+        "correct when the batch spans the training ranges — re-save the "
+        "model with `smfl fit` to fix this.\n";
+    ASSIGN_OR_RETURN(
+        normalizer,
+        data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+  }
+  Matrix normalized = normalizer.Transform(input.table.values());
+  long long clamped = 0;
+  for (Index i = 0; i < normalized.rows(); ++i) {
+    for (Index j = 0; j < normalized.cols(); ++j) {
+      if (!input.observed.Contains(i, j)) continue;
+      double& v = normalized(i, j);
+      if (v < 0.0) {
+        v = 0.0;
+        ++clamped;
+      } else if (v > 1.0) {
+        v = 1.0;
+        ++clamped;
+      }
+    }
+  }
+  if (clamped > 0) {
+    *output += StrFormat(
+        "clamped %lld observed cell(s) outside the training ranges into "
+        "[0, 1]\n",
+        clamped);
+  }
+  normalized = data::ApplyMask(normalized, input.observed);
+
+  core::FoldInReport report;
   ASSIGN_OR_RETURN(Matrix folded,
-                   core::FoldIn(model, normalized, input.observed));
+                   core::FoldIn(model, normalized, input.observed,
+                                core::FoldInOptions{}, &report));
   Matrix restored = normalizer.InverseTransform(folded);
   restored = data::CombineByMask(input.table.values(), restored,
                                  input.observed);
@@ -384,6 +445,21 @@ Status RunApplyCommand(const Flags& flags, std::string* output) {
   *output += StrFormat("folded %lld rows against %s -> %s\n",
                        static_cast<long long>(input.table.NumRows()),
                        model_path.c_str(), out_path.c_str());
+  *output += "serving tiers: " + report.ToString() + "\n";
+  constexpr Index kMaxDegradedLines = 8;
+  Index printed = 0;
+  for (const core::FoldInRowOutcome& outcome : report.rows) {
+    if (outcome.status.ok()) continue;
+    if (printed++ >= kMaxDegradedLines) continue;
+    *output += StrFormat("  row %lld: %s (served by %s)\n",
+                         static_cast<long long>(outcome.row),
+                         outcome.status.message().c_str(),
+                         core::FoldInTierName(outcome.served_by));
+  }
+  if (printed > kMaxDegradedLines) {
+    *output += StrFormat("  ... and %lld more degraded row(s)\n",
+                         static_cast<long long>(printed - kMaxDegradedLines));
+  }
   return Status::OK();
 }
 

@@ -2,12 +2,186 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
+#include "src/common/parallel.h"
 #include "src/la/ops.h"
 #include "src/mf/factorization.h"
 
 namespace smfl::core {
+
+namespace {
+
+// Grain of the per-row solve loop. Each row runs up to max_iterations
+// multiplicative updates, so chunks stay coarse enough that scheduling
+// overhead is noise while the static partition keeps results independent
+// of the thread count (see common/parallel.h).
+constexpr Index kRowGrain = 4;
+
+// Landmark-kernel initialization of u over the row's observed spatial
+// coordinates. Returns false when the kernel does not apply (no landmark
+// columns, or every coordinate is missing), leaving u untouched.
+bool InitFromLandmarks(const SmflModel& model, const double* row,
+                       const uint8_t* usable, double sigma2, la::Vector& u) {
+  const Index k = model.v.rows();
+  const Index l = std::min(model.spatial_cols, model.landmarks.cols());
+  if (model.landmarks.size() == 0 || l <= 0) return false;
+  std::vector<Index> obs_si;
+  for (Index j = 0; j < l; ++j) {
+    if (usable[j]) obs_si.push_back(j);
+  }
+  if (obs_si.empty()) return false;
+  double sum = 0.0;
+  for (Index c = 0; c < k; ++c) {
+    double d2 = 0.0;
+    for (Index j : obs_si) {
+      const double diff = row[j] - model.landmarks(c, j);
+      d2 += diff * diff;
+    }
+    // Missing coordinates scale the partial distance up to the full-SI
+    // magnitude so the kernel width stays comparable.
+    d2 *= static_cast<double>(l) / static_cast<double>(obs_si.size());
+    u[c] = std::exp(-d2 / (2.0 * sigma2)) + 1e-4;
+    sum += u[c];
+  }
+  for (Index c = 0; c < k; ++c) u[c] /= sum;
+  return true;
+}
+
+// Multiplicative updates of u restricted to the observed columns:
+//   u_c <- u_c * num_c / (Σ_t (uV)_t v_ct)
+// with the iteration-invariant numerator num_c = Σ_t x_t v_ct precomputed
+// by the caller (one MatMulABt gemm covers a whole batch group). Every
+// accumulation runs in the same ascending order as the gemm, so batched
+// and row-at-a-time serving agree bitwise. Returns iterations run.
+int SolveCoefficients(const Matrix& v_obs, const double* x_obs,
+                      const double* num, const FoldInOptions& options,
+                      la::Vector& u, std::vector<double>& recon) {
+  const Index k = v_obs.rows();
+  const Index nt = v_obs.cols();
+  recon.resize(static_cast<size_t>(nt));
+  double prev_err = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Current reconstruction on observed columns.
+    double err = 0.0;
+    for (Index t = 0; t < nt; ++t) {
+      double acc = 0.0;
+      for (Index c = 0; c < k; ++c) acc += u[c] * v_obs(c, t);
+      recon[static_cast<size_t>(t)] = acc;
+      const double d = x_obs[t] - acc;
+      err += d * d;
+    }
+    if (prev_err - err < options.tolerance * std::max(prev_err, 1e-300)) {
+      break;
+    }
+    prev_err = err;
+    ++iterations;
+    for (Index c = 0; c < k; ++c) {
+      double den = 0.0;
+      for (Index t = 0; t < nt; ++t) {
+        den += recon[static_cast<size_t>(t)] * v_obs(c, t);
+      }
+      u[c] *= num[c] / std::max(den, mf::kDivEps);
+    }
+  }
+  return iterations;
+}
+
+// Completed row: usable observed cells copied, everything else u·V.
+void ReconstructRow(const SmflModel& model, const la::Vector& u,
+                    const double* row, const uint8_t* usable, double* out) {
+  const Index m = model.v.cols();
+  const Index k = model.v.rows();
+  for (Index j = 0; j < m; ++j) {
+    if (usable[j]) {
+      out[j] = row[j];
+      continue;
+    }
+    double acc = 0.0;
+    for (Index c = 0; c < k; ++c) acc += u[c] * model.v(c, j);
+    out[j] = acc;
+  }
+}
+
+// Rows sharing one observed-column pattern: their numerators are one gemm.
+struct ObsGroup {
+  std::vector<Index> obs;   // usable observed columns, ascending
+  std::vector<Index> rows;  // batch row indices with this pattern
+  Matrix v_obs;             // K x |obs| gather of V's columns
+  Matrix x_obs;             // |rows| x |obs| observed values
+  Matrix num;               // |rows| x K = MatMulABt(x_obs, v_obs)
+};
+
+}  // namespace
+
+const char* FoldInTierName(FoldInTier tier) {
+  switch (tier) {
+    case FoldInTier::kLandmarkKernel:
+      return "landmark-kernel";
+    case FoldInTier::kUniformU:
+      return "uniform-u";
+    case FoldInTier::kColumnMean:
+      return "column-mean";
+  }
+  return "unknown";
+}
+
+Index FoldInReport::CountTier(FoldInTier tier) const {
+  Index count = 0;
+  for (const FoldInRowOutcome& outcome : rows) {
+    if (outcome.served_by == tier) ++count;
+  }
+  return count;
+}
+
+Index FoldInReport::DegradedCount() const {
+  Index count = 0;
+  for (const FoldInRowOutcome& outcome : rows) {
+    if (!outcome.status.ok()) ++count;
+  }
+  return count;
+}
+
+std::string FoldInReport::ToString() const {
+  std::string s = std::to_string(rows.size()) + " rows: ";
+  s += std::to_string(CountTier(FoldInTier::kLandmarkKernel)) +
+       " landmark-kernel, ";
+  s += std::to_string(CountTier(FoldInTier::kUniformU)) + " uniform-u, ";
+  s += std::to_string(CountTier(FoldInTier::kColumnMean)) + " column-mean (" +
+       std::to_string(DegradedCount()) + " degraded)";
+  return s;
+}
+
+double FoldInKernelWidth(const Matrix& landmarks) {
+  const Index k = landmarks.rows();
+  const Index l = landmarks.cols();
+  double sum = 0.0;
+  Index finite = 0;
+  for (Index c = 0; c < k; ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    for (Index c2 = 0; c2 < k; ++c2) {
+      if (c2 == c) continue;
+      best = std::min(best, la::SquaredDistance(landmarks.Row(c),
+                                                landmarks.Row(c2)));
+    }
+    if (std::isfinite(best)) {
+      sum += best;
+      ++finite;
+    }
+  }
+  if (finite == 0 || sum <= 0.0) {
+    // K = 1 (or coincident landmarks): no pairwise spread to measure.
+    // Landmarks live in normalized [0,1]^L, where the mean squared
+    // distance between uniform points is L/6 — a usable spatial scale,
+    // unlike the 1e-8 the degenerate average would produce.
+    return std::max(static_cast<double>(l) / 6.0, 1e-2);
+  }
+  return std::max(sum / static_cast<double>(k), 1e-8);
+}
 
 Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
                              const std::vector<bool>& observed_row,
@@ -22,6 +196,7 @@ Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
     return Status::InvalidArgument("FoldInRow: row width mismatch");
   }
   std::vector<Index> obs;
+  std::vector<uint8_t> usable(static_cast<size_t>(m), 0);
   for (Index j = 0; j < m; ++j) {
     if (observed_row[static_cast<size_t>(j)]) {
       if (row[j] < 0.0) {
@@ -32,112 +207,181 @@ Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
         return Status::NumericError("FoldInRow: non-finite observed entry");
       }
       obs.push_back(j);
+      usable[static_cast<size_t>(j)] = 1;
     }
   }
   if (obs.empty()) {
     return Status::InvalidArgument("FoldInRow: no observed entries");
   }
 
-  // Initialize u: landmark kernel over observed coordinates when
-  // available, uniform otherwise (mirrors the training initialization).
-  la::Vector u(k, 1.0 / static_cast<double>(k));
-  const Index l = std::min(model.spatial_cols, model.landmarks.cols());
-  if (model.landmarks.size() > 0 && l > 0) {
-    std::vector<Index> obs_si;
-    for (Index j = 0; j < l; ++j) {
-      if (observed_row[static_cast<size_t>(j)]) obs_si.push_back(j);
-    }
-    if (!obs_si.empty()) {
-      // Kernel width: mean nearest-landmark distance proxy from the
-      // landmark spread itself.
-      double sigma2 = 0.0;
-      for (Index c = 0; c < k; ++c) {
-        double best = std::numeric_limits<double>::infinity();
-        for (Index c2 = 0; c2 < k; ++c2) {
-          if (c2 == c) continue;
-          best = std::min(best,
-                          la::SquaredDistance(model.landmarks.Row(c),
-                                              model.landmarks.Row(c2)));
-        }
-        if (std::isfinite(best)) sigma2 += best;
-      }
-      sigma2 = std::max(sigma2 / static_cast<double>(k), 1e-8);
-      double sum = 0.0;
-      for (Index c = 0; c < k; ++c) {
-        double d2 = 0.0;
-        for (Index j : obs_si) {
-          const double diff = row[j] - model.landmarks(c, j);
-          d2 += diff * diff;
-        }
-        d2 *= static_cast<double>(l) / static_cast<double>(obs_si.size());
-        u[c] = std::exp(-d2 / (2.0 * sigma2)) + 1e-4;
-        sum += u[c];
-      }
-      for (Index c = 0; c < k; ++c) u[c] /= sum;
-    }
+  // Same machinery as the batch path, on a group of one row, so the two
+  // entry points are bitwise identical for valid rows.
+  const Index nt = static_cast<Index>(obs.size());
+  Matrix v_obs(k, nt);
+  Matrix x_obs(1, nt);
+  for (Index t = 0; t < nt; ++t) {
+    for (Index c = 0; c < k; ++c) v_obs(c, t) = model.v(c, obs[t]);
+    x_obs(0, t) = row[obs[t]];
   }
+  const Matrix num = la::MatMulABt(x_obs, v_obs);
 
-  // Multiplicative updates restricted to the observed columns:
-  //   u_c <- u_c * (Σ_j x_j v_cj) / (Σ_j (uV)_j v_cj)
-  double prev_err = std::numeric_limits<double>::infinity();
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // Current reconstruction on observed columns.
-    double err = 0.0;
-    la::Vector recon(static_cast<Index>(obs.size()));
-    for (size_t oj = 0; oj < obs.size(); ++oj) {
-      double acc = 0.0;
-      for (Index c = 0; c < k; ++c) acc += u[c] * model.v(c, obs[oj]);
-      recon[static_cast<Index>(oj)] = acc;
-      const double d = row[obs[oj]] - acc;
-      err += d * d;
-    }
-    if (prev_err - err < options.tolerance * std::max(prev_err, 1e-300)) {
-      break;
-    }
-    prev_err = err;
-    for (Index c = 0; c < k; ++c) {
-      double num = 0.0, den = 0.0;
-      for (size_t oj = 0; oj < obs.size(); ++oj) {
-        num += row[obs[oj]] * model.v(c, obs[oj]);
-        den += recon[static_cast<Index>(oj)] * model.v(c, obs[oj]);
-      }
-      u[c] *= num / std::max(den, mf::kDivEps);
-    }
+  la::Vector u(k, 1.0 / static_cast<double>(k));
+  if (model.landmarks.size() > 0) {
+    const double sigma2 = FoldInKernelWidth(model.landmarks);
+    InitFromLandmarks(model, row.data(), usable.data(), sigma2, u);
   }
+  std::vector<double> recon;
+  SolveCoefficients(v_obs, x_obs.Row(0).data(), num.Row(0).data(), options,
+                    u, recon);
 
   la::Vector completed(m);
-  for (Index j = 0; j < m; ++j) {
-    if (observed_row[static_cast<size_t>(j)]) {
-      completed[j] = row[j];
-    } else {
-      double acc = 0.0;
-      for (Index c = 0; c < k; ++c) acc += u[c] * model.v(c, j);
-      completed[j] = acc;
-    }
-  }
+  ReconstructRow(model, u, row.data(), usable.data(), completed.data());
   return completed;
 }
 
 Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
-                      const Mask& observed, const FoldInOptions& options) {
-  if (observed.rows() != x.rows() || observed.cols() != x.cols()) {
+                      const Mask& observed, const FoldInOptions& options,
+                      FoldInReport* report) {
+  const Index n = x.rows();
+  const Index m = x.cols();
+  const Index k = model.v.rows();
+  if (k == 0 || model.v.cols() == 0) {
+    return Status::FailedPrecondition("FoldIn: empty model");
+  }
+  if (observed.rows() != n || observed.cols() != m) {
     return Status::InvalidArgument("FoldIn: mask shape mismatch");
   }
-  if (x.cols() != model.v.cols()) {
+  if (m != model.v.cols()) {
     return Status::InvalidArgument("FoldIn: column count mismatch");
   }
-  Matrix out(x.rows(), x.cols());
-  std::vector<bool> observed_row(static_cast<size_t>(x.cols()));
-  for (Index i = 0; i < x.rows(); ++i) {
-    la::Vector row(x.cols());
-    for (Index j = 0; j < x.cols(); ++j) {
-      row[j] = x(i, j);
-      observed_row[static_cast<size_t>(j)] = observed.Contains(i, j);
-    }
-    ASSIGN_OR_RETURN(la::Vector completed,
-                     FoldInRow(model, row, observed_row, options));
-    out.SetRow(i, completed);
+  Matrix out(n, m);
+  std::vector<FoldInRowOutcome> outcomes(static_cast<size_t>(n));
+  if (n == 0) {
+    if (report) report->rows.clear();
+    return out;
   }
+
+  // Per-row validation. Non-finite or negative observed cells are dropped
+  // from that row's solve (and replaced by the reconstruction in the
+  // output) instead of aborting the whole batch; the fault is recorded.
+  std::vector<uint8_t> usable(static_cast<size_t>(n * m), 0);
+  for (Index i = 0; i < n; ++i) {
+    FoldInRowOutcome& outcome = outcomes[static_cast<size_t>(i)];
+    outcome.row = i;
+    Index observed_count = 0, dropped = 0, kept = 0;
+    for (Index j = 0; j < m; ++j) {
+      if (!observed.Contains(i, j)) continue;
+      ++observed_count;
+      const double v = x(i, j);
+      if (!std::isfinite(v) || v < 0.0) {
+        ++dropped;
+        continue;
+      }
+      usable[static_cast<size_t>(i * m + j)] = 1;
+      ++kept;
+    }
+    if (kept == 0) {
+      outcome.served_by = FoldInTier::kColumnMean;
+      outcome.status = Status::InvalidArgument(
+          observed_count == 0
+              ? "no observed entries; served by column-mean fallback"
+              : "all observed entries non-finite or negative; served by "
+                "column-mean fallback");
+    } else if (dropped > 0) {
+      outcome.status = Status::DataError(
+          std::to_string(dropped) +
+          " non-finite/negative observed cell(s) dropped from the solve");
+    }
+  }
+
+  // Group solvable rows by usable-column pattern and fold each group's
+  // iteration-invariant numerators into one gemm against the frozen V.
+  constexpr size_t kColumnMeanGroup = static_cast<size_t>(-1);
+  std::unordered_map<std::string, size_t> group_of_pattern;
+  std::vector<ObsGroup> groups;
+  std::vector<size_t> row_group(static_cast<size_t>(n), kColumnMeanGroup);
+  std::vector<Index> row_pos(static_cast<size_t>(n), 0);
+  for (Index i = 0; i < n; ++i) {
+    if (outcomes[static_cast<size_t>(i)].served_by ==
+        FoldInTier::kColumnMean) {
+      continue;
+    }
+    std::string pattern(
+        reinterpret_cast<const char*>(&usable[static_cast<size_t>(i * m)]),
+        static_cast<size_t>(m));
+    auto [it, inserted] =
+        group_of_pattern.emplace(std::move(pattern), groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      ObsGroup& g = groups.back();
+      for (Index j = 0; j < m; ++j) {
+        if (usable[static_cast<size_t>(i * m + j)]) g.obs.push_back(j);
+      }
+    }
+    ObsGroup& g = groups[it->second];
+    row_group[static_cast<size_t>(i)] = it->second;
+    row_pos[static_cast<size_t>(i)] = static_cast<Index>(g.rows.size());
+    g.rows.push_back(i);
+  }
+  for (ObsGroup& g : groups) {
+    const Index nt = static_cast<Index>(g.obs.size());
+    const Index nr = static_cast<Index>(g.rows.size());
+    g.v_obs = Matrix(k, nt);
+    for (Index t = 0; t < nt; ++t) {
+      for (Index c = 0; c < k; ++c) g.v_obs(c, t) = model.v(c, g.obs[t]);
+    }
+    g.x_obs = Matrix(nr, nt);
+    for (Index r = 0; r < nr; ++r) {
+      for (Index t = 0; t < nt; ++t) {
+        g.x_obs(r, t) = x(g.rows[static_cast<size_t>(r)], g.obs[t]);
+      }
+    }
+    // num(r, c) = Σ_t x_obs(r, t) * v_obs(c, t), ascending t — the same
+    // accumulation order as the scalar single-row loop.
+    g.num = la::MatMulABt(g.x_obs, g.v_obs);
+  }
+
+  // Model-level precomputations shared by every row.
+  const double sigma2 =
+      model.landmarks.size() > 0 ? FoldInKernelWidth(model.landmarks) : 0.0;
+  la::Vector mean_u = model.u.rows() > 0
+                          ? la::ColMeans(model.u)
+                          : la::Vector(k, 1.0 / static_cast<double>(k));
+
+  // Per-row solves: independent rows, disjoint output regions, static
+  // partition — bitwise identical at any thread count.
+  parallel::ParallelFor(0, n, kRowGrain, [&](Index r0, Index r1) {
+    std::vector<double> recon;
+    for (Index i = r0; i < r1; ++i) {
+      const uint8_t* urow = &usable[static_cast<size_t>(i * m)];
+      const double* xrow = x.Row(i).data();
+      double* orow = out.Row(i).data();
+      FoldInRowOutcome& outcome = outcomes[static_cast<size_t>(i)];
+      const size_t gi = row_group[static_cast<size_t>(i)];
+      if (gi == kColumnMeanGroup) {
+        // Column-mean tier: the model's average row, mean(U)·V.
+        for (Index j = 0; j < m; ++j) {
+          double acc = 0.0;
+          for (Index c = 0; c < k; ++c) acc += mean_u[c] * model.v(c, j);
+          orow[j] = acc;
+        }
+        continue;
+      }
+      const ObsGroup& g = groups[gi];
+      la::Vector u(k, 1.0 / static_cast<double>(k));
+      const bool kernel_init =
+          sigma2 > 0.0 && InitFromLandmarks(model, xrow, urow, sigma2, u);
+      outcome.served_by = kernel_init ? FoldInTier::kLandmarkKernel
+                                      : FoldInTier::kUniformU;
+      const Index pos = row_pos[static_cast<size_t>(i)];
+      outcome.iterations = SolveCoefficients(
+          g.v_obs, g.x_obs.Row(pos).data(), g.num.Row(pos).data(), options,
+          u, recon);
+      ReconstructRow(model, u, xrow, urow, orow);
+    }
+  });
+
+  if (report) report->rows = std::move(outcomes);
   return out;
 }
 

@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 
 namespace smfl::core {
@@ -10,7 +12,19 @@ namespace smfl::core {
 namespace {
 
 constexpr const char* kMagic = "smfl-model";
-constexpr int kVersion = 1;
+// v1: factors + landmarks + trace. v2 adds the fitted min-max normalizer
+// so serving transforms fresh rows with the TRAINING ranges (see
+// docs/serving.md). v1 files still load, minus the normalizer.
+constexpr int kVersion = 2;
+constexpr int kMinSupportedVersion = 1;
+
+// A fitted model is N x K + K x M + K x L doubles — a corrupt or hostile
+// header claiming more than these bounds is rejected before any
+// allocation happens (a huge rows*cols would otherwise overflow or abort
+// with bad_alloc).
+constexpr long long kMaxMatrixDim = 1LL << 24;    // 16M rows or cols
+constexpr long long kMaxMatrixElems = 1LL << 27;  // 128M doubles = 1 GiB
+constexpr long long kMaxTraceLen = 1LL << 24;
 
 void WriteMatrix(std::ostringstream& os, const char* name, const Matrix& m) {
   os << name << " " << m.rows() << " " << m.cols() << "\n";
@@ -35,6 +49,12 @@ Result<Matrix> ReadMatrix(std::istringstream& is, const std::string& name) {
     return Status::DataError("model file: negative dimensions for '" + name +
                              "'");
   }
+  if (rows > kMaxMatrixDim || cols > kMaxMatrixDim ||
+      (rows > 0 && cols > kMaxMatrixElems / rows)) {
+    return Status::DataError(
+        "model file: implausible dimensions " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " for '" + name + "'");
+  }
   Matrix m(static_cast<Index>(rows), static_cast<Index>(cols));
   for (Index i = 0; i < m.size(); ++i) {
     if (!(is >> m.data()[i])) {
@@ -52,6 +72,17 @@ std::string SerializeModel(const SmflModel& model) {
   os << "spatial_cols " << model.spatial_cols << "\n";
   os << "iterations " << model.report.iterations << " converged "
      << (model.report.converged ? 1 : 0) << "\n";
+  // v2: the training normalization ranges ("normalizer 0" = none stored).
+  os.precision(17);
+  if (model.normalizer.has_value()) {
+    os << "normalizer " << model.normalizer->NumCols() << "\n";
+    for (Index j = 0; j < model.normalizer->NumCols(); ++j) {
+      os << model.normalizer->ColMin(j) << " " << model.normalizer->ColMax(j)
+         << "\n";
+    }
+  } else {
+    os << "normalizer 0\n";
+  }
   WriteMatrix(os, "U", model.u);
   WriteMatrix(os, "V", model.v);
   WriteMatrix(os, "C", model.landmarks);
@@ -76,7 +107,7 @@ Result<SmflModel> DeserializeModel(const std::string& content) {
   if (!(is >> magic >> version) || magic != kMagic) {
     return Status::DataError("not an smfl model file");
   }
-  if (version != kVersion) {
+  if (version < kMinSupportedVersion || version > kVersion) {
     return Status::DataError("unsupported model version " +
                              std::to_string(version));
   }
@@ -84,7 +115,7 @@ Result<SmflModel> DeserializeModel(const std::string& content) {
   std::string tag;
   long long spatial_cols = -1;
   if (!(is >> tag >> spatial_cols) || tag != "spatial_cols" ||
-      spatial_cols < 0) {
+      spatial_cols < 0 || spatial_cols > kMaxMatrixDim) {
     return Status::DataError("model file: bad spatial_cols");
   }
   model.spatial_cols = static_cast<Index>(spatial_cols);
@@ -95,11 +126,42 @@ Result<SmflModel> DeserializeModel(const std::string& content) {
     return Status::DataError("model file: bad iterations header");
   }
   model.report.converged = converged != 0;
+  if (version >= 2) {
+    long long norm_cols = -1;
+    if (!(is >> tag >> norm_cols) || tag != "normalizer" || norm_cols < 0 ||
+        norm_cols > kMaxMatrixDim) {
+      return Status::DataError("model file: bad normalizer header");
+    }
+    if (norm_cols > 0) {
+      std::vector<double> mins(static_cast<size_t>(norm_cols));
+      std::vector<double> maxs(static_cast<size_t>(norm_cols));
+      for (long long j = 0; j < norm_cols; ++j) {
+        if (!(is >> mins[static_cast<size_t>(j)] >>
+              maxs[static_cast<size_t>(j)])) {
+          return Status::DataError("model file: truncated normalizer bounds");
+        }
+      }
+      auto normalizer = data::MinMaxNormalizer::FromBounds(std::move(mins),
+                                                           std::move(maxs));
+      if (!normalizer.ok()) {
+        Status st = normalizer.status();
+        return st.WithContext("model file");
+      }
+      model.normalizer = std::move(normalizer).value();
+    }
+  } else {
+    SMFL_LOG(Warning)
+        << "model file is format v1 (no stored normalizer): `smfl apply` "
+           "will re-fit normalization ranges on each fresh batch, which is "
+           "only correct when the fresh data spans the training ranges; "
+           "re-save with `smfl fit` to upgrade";
+  }
   ASSIGN_OR_RETURN(model.u, ReadMatrix(is, "U"));
   ASSIGN_OR_RETURN(model.v, ReadMatrix(is, "V"));
   ASSIGN_OR_RETURN(model.landmarks, ReadMatrix(is, "C"));
   long long trace_size = -1;
-  if (!(is >> tag >> trace_size) || tag != "trace" || trace_size < 0) {
+  if (!(is >> tag >> trace_size) || tag != "trace" || trace_size < 0 ||
+      trace_size > kMaxTraceLen) {
     return Status::DataError("model file: bad trace header");
   }
   model.report.objective_trace.resize(static_cast<size_t>(trace_size));
@@ -117,6 +179,10 @@ Result<SmflModel> DeserializeModel(const std::string& content) {
   }
   if (model.spatial_cols > model.v.cols()) {
     return Status::DataError("model file: spatial_cols exceeds columns");
+  }
+  if (model.normalizer.has_value() &&
+      model.normalizer->NumCols() != model.v.cols()) {
+    return Status::DataError("model file: normalizer column-count mismatch");
   }
   return model;
 }

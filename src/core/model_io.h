@@ -4,6 +4,12 @@
 // want to fit once and impute/serve later. The format is a versioned,
 // self-describing text file — diff-able, endian-proof, and stable across
 // platforms (doubles are written with round-trip precision).
+//
+// Format v2 additionally persists the fitted MinMaxNormalizer (per-column
+// training [min, max] ranges) so that serving transforms fresh rows into
+// the SAME normalization space the factors were learned in. v1 files
+// still load — with a warning, and without a normalizer (see
+// docs/serving.md for the round-trip contract).
 
 #ifndef SMFL_CORE_MODEL_IO_H_
 #define SMFL_CORE_MODEL_IO_H_
@@ -15,8 +21,8 @@
 
 namespace smfl::core {
 
-// Serializes the model (factors, landmarks, spatial column count, and the
-// objective trace) to `path`. Overwrites.
+// Serializes the model (factors, landmarks, spatial column count,
+// normalizer ranges, and the objective trace) to `path`. Overwrites.
 Status SaveModel(const SmflModel& model, const std::string& path);
 
 // Serializes into a string (the format SaveModel writes).

@@ -27,6 +27,7 @@
 #include "src/common/status.h"
 #include "src/core/training_guard.h"
 #include "src/data/mask.h"
+#include "src/data/normalize.h"
 #include "src/mf/factorization.h"
 #include "src/spatial/graph.h"
 
@@ -102,6 +103,12 @@ struct SmflModel {
   Matrix landmarks;  // K x L center matrix C (empty when use_landmarks off)
   Index spatial_cols = 0;
   FitReport report;
+  // The min-max normalizer the training data was transformed with. The
+  // factors live in THIS normalization space; serving must transform
+  // fresh rows with these training ranges, never re-fit them on the fresh
+  // batch. Persisted by model_io (format v2); absent on models loaded
+  // from v1 files or fit directly on pre-normalized matrices.
+  std::optional<data::MinMaxNormalizer> normalizer;
 
   // X* = U V.
   Matrix Reconstruct() const;

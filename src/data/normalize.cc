@@ -45,6 +45,24 @@ Result<MinMaxNormalizer> MinMaxNormalizer::Fit(const Matrix& x) {
   return Fit(x, Mask::AllSet(x.rows(), x.cols()));
 }
 
+Result<MinMaxNormalizer> MinMaxNormalizer::FromBounds(
+    std::vector<double> mins, std::vector<double> maxs) {
+  if (mins.size() != maxs.size()) {
+    return Status::InvalidArgument("MinMaxNormalizer: bounds size mismatch");
+  }
+  for (size_t j = 0; j < mins.size(); ++j) {
+    if (!std::isfinite(mins[j]) || !std::isfinite(maxs[j]) ||
+        !(maxs[j] - mins[j] > 0.0)) {
+      return Status::InvalidArgument(
+          "MinMaxNormalizer: invalid bounds for column " + std::to_string(j));
+    }
+  }
+  MinMaxNormalizer n;
+  n.mins_ = std::move(mins);
+  n.maxs_ = std::move(maxs);
+  return n;
+}
+
 Matrix MinMaxNormalizer::Transform(const Matrix& x) const {
   SMFL_CHECK_EQ(x.cols(), NumCols());
   Matrix out(x.rows(), x.cols());

@@ -24,6 +24,12 @@ class MinMaxNormalizer {
   // Fit over all entries.
   static Result<MinMaxNormalizer> Fit(const Matrix& x);
 
+  // Reconstructs a fitted normalizer from per-column bounds, as persisted
+  // by core/model_io. Requires equal sizes, finite values, and
+  // max > min per column.
+  static Result<MinMaxNormalizer> FromBounds(std::vector<double> mins,
+                                             std::vector<double> maxs);
+
   // (x - min) / (max - min), column-wise.
   Matrix Transform(const Matrix& x) const;
 

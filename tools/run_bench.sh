@@ -10,10 +10,12 @@
 #   2. The same slice at 1 thread with SMFL_BENCH_LEGACY_RECONSTRUCT=1 —
 #      the pre-fusion 3-reconstructions-per-iteration cost — to isolate
 #      the single-threaded win of MaskedReconstruct + hoisting.
-#   3. bench_kernels: MatMul/MatMulAtB/MatMulABt at each thread count, and
+#   3. bench_kernels: MatMul/MatMulAtB/MatMulABt at each thread count,
 #      fused MaskedReconstruct vs unfused ApplyMask(MatMul) at observed
 #      rates 90/50/10% (the fused kernel computes only Ω entries, so its
-#      advantage grows as the mask gets sparser).
+#      advantage grows as the mask gets sparser), and BM_FoldInBatch —
+#      batched fold-in serving throughput, reported as rows/sec per
+#      thread count.
 #   4. bench_table4_imputation (all methods, all datasets, 1 trial) at the
 #      same thread counts, timed end to end.
 #
@@ -148,6 +150,25 @@ for arg in (90, 50, 10):
         "speedup": round(unfused / fused, 3),
     }
 
+# Fold-in serving throughput: median real_time is ms per FoldIn() batch,
+# so rows / (ms / 1000) = rows served per second at that thread count.
+foldin = {}
+for arg in (64, 512, 2048):
+    name = f"BM_FoldInBatch/{arg}"
+    if name not in kbase:
+        continue
+    per_thread_rps = {
+        str(t): round(arg / (kernels_per_thread[t][name] / 1000.0), 1)
+        for t in threads}
+    foldin[f"batch_{arg}_rows"] = {
+        "ms_per_batch_per_thread_count": {
+            str(t): round(kernels_per_thread[t][name], 4) for t in threads},
+        "rows_per_sec_per_thread_count": per_thread_rps,
+        "speedup_vs_1_thread": {
+            str(t): round(kbase[name] / kernels_per_thread[t][name], 3)
+            for t in threads},
+    }
+
 table4 = {}
 for t in threads:
     with open(f"{scratch}/table4_t{t}.ms") as f:
@@ -172,6 +193,7 @@ out = {
     "fig9_scalability_mf_family": fig9,
     "kernel_microbench": kernels,
     "masked_reconstruct_fusion_1_thread": fusion,
+    "foldin_serving_throughput": foldin,
     "table4_imputation_end_to_end": {
         "rows": int(os.environ["TABLE4_ROWS"]),
         "per_thread_count": table4,
@@ -184,6 +206,9 @@ out = {
             fusion["observed_10pct"]["speedup"],
         "threaded_speedup_at_max":
             largest["speedup_vs_1_thread"][str(threads[-1])],
+        "foldin_rows_per_sec_at_max_threads": foldin.get(
+            "batch_2048_rows", {}).get(
+            "rows_per_sec_per_thread_count", {}).get(str(threads[-1])),
     },
 }
 with open(os.environ["OUT_JSON"], "w") as f:
