@@ -12,11 +12,12 @@
 //     at the process thread count (PR 3): grouped-gemm numerators plus the
 //     threaded per-row multiplicative solves of core::FoldIn.
 //
-// tools/run_bench.sh aggregates this into BENCH_PR2.json.
+// tools/run_bench.sh aggregates this into BENCH_PR4.json.
 
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/common/telemetry.h"
 #include "src/core/fold_in.h"
 #include "src/data/mask.h"
 #include "src/la/ops.h"
@@ -134,6 +135,27 @@ void BM_FoldInBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FoldInBatch)->Arg(64)->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
+
+// Guard on the telemetry disabled path: Arg(0) runs one counter add, one
+// histogram record, and one scoped span per iteration with collection OFF
+// — each must cost a relaxed load plus an untaken branch, i.e. the whole
+// iteration stays in the low single-digit nanoseconds. Arg(1) measures the
+// enabled cost (the overhead table in docs/observability.md comes from
+// this run; the span also exercises the trace buffer's bounded-drop path
+// once kMaxEvents fills).
+void BM_TelemetryOverhead(benchmark::State& state) {
+  telemetry::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    SMFL_COUNTER_INC("bench.telemetry_counter");
+    SMFL_HISTOGRAM_RECORD("bench.telemetry_hist", 3.0);
+    SMFL_TRACE_SPAN("bench.telemetry_span");
+  }
+  telemetry::SetEnabled(false);
+  telemetry::MetricsRegistry::Global().ResetForTesting();
+  telemetry::TraceRecorder::Global().Clear();
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 

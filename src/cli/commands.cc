@@ -4,8 +4,10 @@
 #include "src/core/model_io.h"
 #include "src/core/model_selection.h"
 
+#include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/data/csv.h"
 #include "src/data/normalize.h"
 #include "src/data/quantile_normalize.h"
@@ -162,6 +164,15 @@ std::string UsageText() {
       "              file; the quarantine report is printed per row\n"
       "  --fallback=a,b,c   graceful degradation: try each method in order\n"
       "              until one serves, and report the serving tier\n"
+      "  --log-level=debug|info|warning|error   log threshold (default:\n"
+      "              SMFL_LOG_LEVEL env, else info)\n"
+      "  --trace-out=trace.json   write a Chrome trace-event file (open in\n"
+      "              chrome://tracing or https://ui.perfetto.dev) with the\n"
+      "              run's spans; implies telemetry collection\n"
+      "  --metrics-out=metrics.jsonl   write the metrics snapshot (one JSON\n"
+      "              object per line); implies telemetry collection\n"
+      "              (SMFL_TELEMETRY=0 pins collection off; neither file is\n"
+      "              written then)\n"
       "\n"
       "imputation methods: " +
       MethodList(impute::RegisteredImputers()) +
@@ -423,6 +434,7 @@ Status RunApplyCommand(const Flags& flags, std::string* output) {
     }
   }
   if (clamped > 0) {
+    SMFL_COUNTER_ADD("serving.clamped_cells", clamped);
     *output += StrFormat(
         "clamped %lld observed cell(s) outside the training ranges into "
         "[0, 1]\n",
@@ -495,6 +507,26 @@ Status Run(const Flags& flags, std::string* output) {
   if (flags.positional().empty()) {
     return Status::InvalidArgument(UsageText());
   }
+  // Log threshold: env first, then the flag, so --log-level wins when both
+  // are present.
+  InitLogLevelFromEnv();
+  const std::string log_level = flags.GetString("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      return Status::InvalidArgument(
+          "--log-level must be debug, info, warning, or error");
+    }
+    SetLogLevel(level);
+  }
+  // Telemetry sinks. Asking for either file turns collection on — unless
+  // SMFL_TELEMETRY=0 pinned it off, in which case SetEnabled is a no-op
+  // and neither file is written (checked via Enabled() below).
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    telemetry::SetEnabled(true);
+  }
   // Global thread count for every parallel kernel this invocation runs.
   // SMFL_THREADS (read by the parallel layer) supplies the default; the
   // flag wins when both are present.
@@ -504,14 +536,42 @@ Status Run(const Flags& flags, std::string* output) {
   }
   if (threads > 0) parallel::SetParallelism(static_cast<int>(threads));
   const std::string& command = flags.positional().front();
-  if (command == "impute") return RunImputeCommand(flags, output);
-  if (command == "repair") return RunRepairCommand(flags, output);
-  if (command == "stats") return RunStatsCommand(flags, output);
-  if (command == "fit") return RunFitCommand(flags, output);
-  if (command == "apply") return RunApplyCommand(flags, output);
-  if (command == "select") return RunSelectCommand(flags, output);
-  return Status::InvalidArgument("unknown command '" + command + "'\n" +
-                                 UsageText());
+  Status status;
+  if (command == "impute") {
+    status = RunImputeCommand(flags, output);
+  } else if (command == "repair") {
+    status = RunRepairCommand(flags, output);
+  } else if (command == "stats") {
+    status = RunStatsCommand(flags, output);
+  } else if (command == "fit") {
+    status = RunFitCommand(flags, output);
+  } else if (command == "apply") {
+    status = RunApplyCommand(flags, output);
+  } else if (command == "select") {
+    status = RunSelectCommand(flags, output);
+  } else {
+    return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                   UsageText());
+  }
+  // Export runs even when the command failed — a trace of a failed run is
+  // exactly what post-mortems want. The command's status still wins over
+  // an export error.
+  if (telemetry::Enabled()) {
+    if (!trace_out.empty()) {
+      auto& recorder = telemetry::TraceRecorder::Global();
+      Status write = recorder.WriteChromeTrace(trace_out);
+      if (!write.ok()) return status.ok() ? write : status;
+      *output += StrFormat("trace (%zu events) -> %s\n", recorder.size(),
+                           trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      Status write =
+          telemetry::MetricsRegistry::Global().WriteMetricsJsonl(metrics_out);
+      if (!write.ok()) return status.ok() ? write : status;
+      *output += StrFormat("metrics -> %s\n", metrics_out.c_str());
+    }
+  }
+  return status;
 }
 
 }  // namespace smfl::cli

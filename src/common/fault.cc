@@ -1,5 +1,7 @@
 #include "src/common/fault.h"
 
+#include "src/common/telemetry.h"
+
 namespace smfl {
 
 FaultRegistry& FaultRegistry::Global() {
@@ -50,6 +52,14 @@ bool FaultRegistry::Fire(const std::string& point) {
     return false;
   }
   ++state.fires;
+  // Surface injected failures in the metrics snapshot: one total plus a
+  // per-point counter. Fires are rare, so the by-name registry lookup is
+  // fine here (no static caching possible for a dynamic name).
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetCounter("fault.fires").Increment();
+    registry.GetCounter("fault.fires." + point).Increment();
+  }
   return true;
 }
 

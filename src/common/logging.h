@@ -8,6 +8,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace smfl {
 
@@ -16,6 +17,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 // Global log threshold; messages below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug" | "info" | "warning" | "error" (case-insensitive, "warn"
+// accepted). Returns false and leaves *out untouched on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+// Applies the SMFL_LOG_LEVEL environment variable (same spellings as
+// ParseLogLevel) to the global threshold; unset or unparsable values leave
+// the threshold alone. The CLI calls this before flag handling so
+// --log-level still wins when both are present.
+void InitLogLevelFromEnv();
 
 namespace internal {
 

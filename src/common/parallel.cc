@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/common/telemetry.h"
+
 namespace smfl::parallel {
 
 namespace {
@@ -35,11 +37,21 @@ struct Job {
   void RunChunk(Index c) {
     const Index b = range_begin + c * grain;
     const Index e = std::min(b + grain, range_end);
+    // Telemetry observes chunk wall time only; it never touches the chunk
+    // partition or any accumulation, so the determinism contract above is
+    // unaffected. Disabled cost: one relaxed load.
+    const bool telemetry_on = telemetry::Enabled();
+    const int64_t t0 = telemetry_on ? telemetry::NowMicros() : 0;
     try {
       (*fn)(b, e);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (!error) error = std::current_exception();
+    }
+    if (telemetry_on) {
+      SMFL_HISTOGRAM_RECORD(
+          "parallel.chunk_us",
+          static_cast<double>(telemetry::NowMicros() - t0));
     }
     if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         num_chunks) {
@@ -175,6 +187,10 @@ void ParallelFor(Index begin, Index end, Index grain,
   // from inside a worker (which would deadlock-wait on its own queue and
   // gains nothing: the outer loop already owns the cores).
   if (num_chunks == 1 || workers <= 1 || tls_in_worker) {
+    // Inline runs (single chunk / single thread / nested) are counted but
+    // not per-chunk timed: nested calls sit inside hot worker loops where
+    // even an extra clock read per chunk would be measurable.
+    SMFL_COUNTER_INC("parallel.inline_runs");
     for (Index c = 0; c < num_chunks; ++c) {
       const Index b = begin + c * grain;
       fn(b, std::min(b + grain, end));
@@ -189,7 +205,16 @@ void ParallelFor(Index begin, Index end, Index grain,
   job->fn = &fn;
   const int helpers = static_cast<int>(std::min<Index>(
       static_cast<Index>(workers - 1), num_chunks - 1));
+  SMFL_COUNTER_INC("parallel.jobs");
+  SMFL_COUNTER_ADD("parallel.chunks", num_chunks);
+  // Utilization inputs for the metrics snapshot: pool size vs participants
+  // of the latest dispatch (caller thread + helpers). Mean occupancy is
+  // derivable as sum(parallel.chunk_us) / (job wall time * pool_threads).
+  SMFL_GAUGE_SET("parallel.last_job_participants",
+                 static_cast<double>(helpers + 1));
   ThreadPool::Instance().Run(job, helpers);
+  SMFL_GAUGE_SET("parallel.pool_threads",
+                 static_cast<double>(ThreadPool::Instance().size()));
   if (job->error) std::rethrow_exception(job->error);
 }
 

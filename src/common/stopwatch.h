@@ -1,14 +1,22 @@
-// Wall-clock stopwatch used by the experiment harness and Fig 9 bench.
+// Monotonic (steady_clock) stopwatch — the library's single timing
+// primitive. The experiment harness, the Fig 9 bench, and the telemetry
+// layer's tracing spans (src/common/telemetry.h) all read this one clock,
+// so their timestamps and durations are directly comparable and immune to
+// wall-clock adjustments (NTP slew, DST).
 
 #ifndef SMFL_COMMON_STOPWATCH_H_
 #define SMFL_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace smfl {
 
 class Stopwatch {
  public:
+  // The shared monotonic clock behind every duration this library reports.
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
@@ -20,10 +28,21 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+// Microseconds on the shared steady clock since the first call in this
+// process. Telemetry span timestamps use this epoch, so every span in a
+// trace file shares one time origin regardless of which thread took it.
+inline int64_t SteadyNowMicros() {
+  static const Stopwatch::Clock::time_point epoch = Stopwatch::Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Stopwatch::Clock::now() - epoch)
+      .count();
+}
 
 }  // namespace smfl
 

@@ -1,0 +1,369 @@
+#include "src/common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace smfl::telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct EnvState {
+  bool forced_off = false;  // SMFL_TELEMETRY=0
+  bool forced_on = false;   // SMFL_TELEMETRY set to anything else non-empty
+};
+
+EnvState ReadEnv() {
+  EnvState state;
+  if (const char* env = std::getenv("SMFL_TELEMETRY")) {
+    if (std::strcmp(env, "0") == 0) {
+      state.forced_off = true;
+    } else if (env[0] != '\0') {
+      state.forced_on = true;
+    }
+  }
+  return state;
+}
+
+EnvState& GetEnvState() {
+  static EnvState state = ReadEnv();
+  return state;
+}
+
+// Applies SMFL_TELEMETRY=1 at library load so collection covers the whole
+// process (getenv is safe during static initialization).
+const bool g_env_applied = [] {
+  if (GetEnvState().forced_on) {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+// Escapes the characters JSON string literals cannot carry raw. Metric
+// names are controlled literals, but exporters must never emit broken JSON
+// even if a caller passes something exotic.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  if (on && GetEnvState().forced_off) return;
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void RefreshEnvForTesting() {
+  GetEnvState() = ReadEnv();
+  if (GetEnvState().forced_off) {
+    internal::g_enabled.store(false, std::memory_order_relaxed);
+  } else if (GetEnvState().forced_on) {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+int SmallThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+double Histogram::BucketLowerBound(int b) {
+  return b <= 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+void Histogram::Record(double value) {
+  // Instruments carry durations and counts: nonnegative by construction.
+  // NaN or a negative (a backwards clock step) lands in bucket 0 rather
+  // than corrupting the distribution.
+  if (!(value >= 0.0)) value = 0.0;
+  int b = 0;
+  if (value >= 1.0) {
+    b = std::min(1 + std::ilogb(value), kNumBuckets - 1);
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(const int64_t* buckets, int64_t count, double q,
+                             double min_seen, double max_seen) const {
+  if (count <= 0) return 0.0;
+  const double rank = q * static_cast<double>(count - 1);
+  int64_t first_rank = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const int64_t next_first = first_rank + buckets[i];
+    if (rank < static_cast<double>(next_first)) {
+      const double lo = BucketLowerBound(i);
+      const double hi = i + 1 < kNumBuckets
+                            ? BucketLowerBound(i + 1)
+                            : std::max(max_seen, lo);
+      // Interpolate by position among this bucket's samples; with one
+      // sample the estimate sits at the bucket's lower edge, and the final
+      // clamp to [min, max] makes single-value histograms exact.
+      const double frac =
+          buckets[i] == 1
+              ? 0.0
+              : (rank - static_cast<double>(first_rank)) /
+                    static_cast<double>(buckets[i] - 1);
+      return std::clamp(lo + frac * (hi - lo), min_seen, max_seen);
+    }
+    first_rank = next_first;
+  }
+  return max_seen;
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  int64_t buckets[kNumBuckets];
+  int64_t count = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    count += buckets[i];
+  }
+  Snapshot snap;
+  snap.count = count;
+  if (count == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = Percentile(buckets, count, 0.50, snap.min, snap.max);
+  snap.p95 = Percentile(buckets, count, 0.95, snap.min, snap.max);
+  snap.p99 = Percentile(buckets, count, 0.99, snap.min, snap.max);
+  return snap;
+}
+
+void Histogram::ResetForTesting() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked:
+  return *registry;  // instruments may be touched during static teardown
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTesting();
+  for (auto& [name, g] : gauges_) g->ResetForTesting();
+  for (auto& [name, h] : histograms_) h->ResetForTesting();
+}
+
+std::string MetricsRegistry::MetricsJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("{\"name\":\"%s\",\"type\":\"counter\",\"value\":%lld}\n",
+                     EscapeJson(name).c_str(),
+                     static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%.17g}\n",
+                     EscapeJson(name).c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->GetSnapshot();
+    out += StrFormat(
+        "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%lld,"
+        "\"sum\":%.10g,\"min\":%.10g,\"max\":%.10g,"
+        "\"p50\":%.10g,\"p95\":%.10g,\"p99\":%.10g}\n",
+        EscapeJson(name).c_str(), static_cast<long long>(s.count), s.sum,
+        s.min, s.max, s.p50, s.p95, s.p99);
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteMetricsJsonl(const std::string& path) const {
+  return WriteStringToFile(path, MetricsJsonl());
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // leaked, as above
+  return *recorder;
+}
+
+void TraceRecorder::RecordComplete(const char* name, int64_t ts_us,
+                                   int64_t dur_us, int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{name, 'X', ts_us, dur_us, tid, 0.0});
+}
+
+void TraceRecorder::RecordCounterSample(const char* name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{name, 'C', NowMicros(), 0, 0, value});
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  events_.shrink_to_fit();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":%lld},"
+      "\"traceEvents\":[",
+      static_cast<long long>(dropped_));
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    if (e.phase == 'X') {
+      out += StrFormat(
+          "\n{\"name\":\"%s\",\"cat\":\"smfl\",\"ph\":\"X\",\"ts\":%lld,"
+          "\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+          EscapeJson(e.name).c_str(), static_cast<long long>(e.ts_us),
+          static_cast<long long>(e.dur_us), e.tid);
+    } else {
+      out += StrFormat(
+          "\n{\"name\":\"%s\",\"cat\":\"smfl\",\"ph\":\"C\",\"ts\":%lld,"
+          "\"pid\":1,\"tid\":0,\"args\":{\"value\":%.17g}}",
+          EscapeJson(e.name).c_str(), static_cast<long long>(e.ts_us),
+          e.value);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteStringToFile(path, ChromeTraceJson());
+}
+
+// ---------------------------------------------------------------------------
+
+ScopedSpan::~ScopedSpan() {
+  if (!enabled_) return;
+  const int64_t end_us = NowMicros();
+  const int64_t dur_us = end_us - start_us_;
+  TraceRecorder::Global().RecordComplete(name_, start_us_, dur_us,
+                                         SmallThreadId());
+  MetricsRegistry::Global().GetHistogram(name_).Record(
+      static_cast<double>(dur_us));
+}
+
+namespace internal {
+
+void TraceCounterImpl(const char* name, double value) {
+  TraceRecorder::Global().RecordCounterSample(name, value);
+  MetricsRegistry::Global().GetGauge(name).Set(value);
+}
+
+}  // namespace internal
+
+}  // namespace smfl::telemetry

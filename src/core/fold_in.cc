@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/common/parallel.h"
+#include "src/common/telemetry.h"
 #include "src/la/ops.h"
 #include "src/mf/factorization.h"
 
@@ -214,6 +215,8 @@ Result<la::Vector> FoldInRow(const SmflModel& model, const la::Vector& row,
     return Status::InvalidArgument("FoldInRow: no observed entries");
   }
 
+  SMFL_COUNTER_INC("foldin.single_row_calls");
+
   // Same machinery as the batch path, on a group of one row, so the two
   // entry points are bitwise identical for valid rows.
   const Index nt = static_cast<Index>(obs.size());
@@ -260,6 +263,9 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
     if (report) report->rows.clear();
     return out;
   }
+  SMFL_TRACE_SPAN("foldin.batch");
+  const bool batch_telemetry = telemetry::Enabled();
+  const int64_t batch_t0 = batch_telemetry ? telemetry::NowMicros() : 0;
 
   // Per-row validation. Non-finite or negative observed cells are dropped
   // from that row's solve (and replaced by the reconstruction in the
@@ -352,7 +358,11 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
   // partition — bitwise identical at any thread count.
   parallel::ParallelFor(0, n, kRowGrain, [&](Index r0, Index r1) {
     std::vector<double> recon;
+    // One enabled-check per chunk; per-row clock reads only when telemetry
+    // is on, so the disabled serving path stays clock-free.
+    const bool row_telemetry = telemetry::Enabled();
     for (Index i = r0; i < r1; ++i) {
+      const int64_t row_t0 = row_telemetry ? telemetry::NowMicros() : 0;
       const uint8_t* urow = &usable[static_cast<size_t>(i * m)];
       const double* xrow = x.Row(i).data();
       double* orow = out.Row(i).data();
@@ -378,8 +388,47 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
           g.v_obs, g.x_obs.Row(pos).data(), g.num.Row(pos).data(), options,
           u, recon);
       ReconstructRow(model, u, xrow, urow, orow);
+      if (row_telemetry) {
+        SMFL_HISTOGRAM_RECORD(
+            "foldin.row_solve_us",
+            static_cast<double>(telemetry::NowMicros() - row_t0));
+        SMFL_HISTOGRAM_RECORD("foldin.row_iterations",
+                              static_cast<double>(outcome.iterations));
+      }
     }
   });
+
+  // Serving-side counters mirroring FoldInReport, so a metrics snapshot
+  // answers "which tier served the traffic" without the in-process report.
+  if (batch_telemetry) {
+    Index landmark = 0, uniform = 0, column_mean = 0, degraded = 0;
+    for (const FoldInRowOutcome& outcome : outcomes) {
+      switch (outcome.served_by) {
+        case FoldInTier::kLandmarkKernel:
+          ++landmark;
+          break;
+        case FoldInTier::kUniformU:
+          ++uniform;
+          break;
+        case FoldInTier::kColumnMean:
+          ++column_mean;
+          break;
+      }
+      if (!outcome.status.ok()) ++degraded;
+    }
+    SMFL_COUNTER_INC("foldin.batches");
+    SMFL_COUNTER_ADD("foldin.rows", n);
+    SMFL_COUNTER_ADD("foldin.tier.landmark_kernel", landmark);
+    SMFL_COUNTER_ADD("foldin.tier.uniform_u", uniform);
+    SMFL_COUNTER_ADD("foldin.tier.column_mean", column_mean);
+    SMFL_COUNTER_ADD("foldin.degraded_rows", degraded);
+    const int64_t elapsed_us = telemetry::NowMicros() - batch_t0;
+    if (elapsed_us > 0) {
+      SMFL_GAUGE_SET("foldin.rows_per_sec",
+                     static_cast<double>(n) * 1e6 /
+                         static_cast<double>(elapsed_us));
+    }
+  }
 
   if (report) report->rows = std::move(outcomes);
   return out;

@@ -8,6 +8,7 @@
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/core/landmarks.h"
 #include "src/core/training_guard.h"
 #include "src/data/normalize.h"
@@ -244,6 +245,7 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
         break;
       }
       ++retries_used;
+      SMFL_COUNTER_INC("smfl.fit.numeric_retries");
     }
     if (!model.ok()) {
       last_error = model.status();
@@ -272,6 +274,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                                    Index spatial_cols,
                                    const NeighborGraph& graph,
                                    const SmflOptions& options) {
+  SMFL_TRACE_SPAN("smfl.fit");
   if (graph.num_vertices() != x.rows()) {
     return Status::InvalidArgument("FitSmfl: graph size mismatch");
   }
@@ -408,6 +411,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   double div_eps = kDivEps;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    SMFL_TRACE_SPAN("smfl.fit.iter");
     report.iterations = iter + 1;
     // Baseline-measurement mode recomputes the U update's reconstruction
     // from scratch, restoring the pre-optimization three-per-iteration
@@ -416,18 +420,32 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
       uv_masked = ReconstructMasked(model.u, model.v, observed);
     }
     switch (options.update) {
-      case UpdateMethod::kMultiplicative:
-        UpdateUMultiplicative(x_observed, graph, options.lambda,
-                              div_eps, model.u, model.v, uv_masked);
-        UpdateVMultiplicative(x_observed, observed, model.u, div_eps,
-                              model.v, v_update_begin);
+      case UpdateMethod::kMultiplicative: {
+        {
+          SMFL_TRACE_SPAN("smfl.fit.update_u");
+          UpdateUMultiplicative(x_observed, graph, options.lambda,
+                                div_eps, model.u, model.v, uv_masked);
+        }
+        {
+          SMFL_TRACE_SPAN("smfl.fit.update_v");
+          UpdateVMultiplicative(x_observed, observed, model.u, div_eps,
+                                model.v, v_update_begin);
+        }
         break;
-      case UpdateMethod::kGradientDescent:
-        UpdateUGradient(x_observed, graph, options.lambda,
-                        options.learning_rate, model.u, model.v, uv_masked);
-        UpdateVGradient(x_observed, observed, model.u, options.learning_rate,
-                        model.v, v_update_begin);
+      }
+      case UpdateMethod::kGradientDescent: {
+        {
+          SMFL_TRACE_SPAN("smfl.fit.update_u");
+          UpdateUGradient(x_observed, graph, options.lambda,
+                          options.learning_rate, model.u, model.v, uv_masked);
+        }
+        {
+          SMFL_TRACE_SPAN("smfl.fit.update_v");
+          UpdateVGradient(x_observed, observed, model.u,
+                          options.learning_rate, model.v, v_update_begin);
+        }
         break;
+      }
     }
     // Fault points for robustness tests: corrupt a factor entry / blow the
     // objective up right after the update, before the guard looks.
@@ -440,14 +458,21 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     // Reconstruction for the just-updated iterates: feeds this objective
     // evaluation now and the next iteration's U update (computed after the
     // fault points so an injected corruption is visible to the guard).
-    uv_masked = ReconstructMasked(model.u, model.v, observed);
+    {
+      SMFL_TRACE_SPAN("smfl.fit.reconstruct");
+      uv_masked = ReconstructMasked(model.u, model.v, observed);
+    }
     const double objective = ObjectiveGiven(
         x, observed, graph, options.lambda, model.u, uv_masked);
+    // The paper's headline convergence artifact: the objective trajectory
+    // over wall-clock time, as a counter track in the trace file.
+    SMFL_TRACE_COUNTER("smfl.fit.objective", objective);
     if (guard.enabled()) {
       auto action = guard.Observe(iter, objective, &model.u, &model.v);
       if (!action.ok()) {
         report.rollbacks = guard.rollbacks();
         report.recovery_attempts = guard.recovery_attempts();
+        SMFL_COUNTER_INC("smfl.fit.diverged");
         Status st = action.status();
         st.WithContext("FitSmfl: factorization diverged");
         return st;
@@ -477,6 +502,13 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   }
   report.rollbacks = guard.rollbacks();
   report.recovery_attempts = guard.recovery_attempts();
+  SMFL_COUNTER_ADD("smfl.fit.iterations", report.iterations);
+  // Added once per attempt (not in the rollback branch) so the counters
+  // exist — at zero — in every fit's metrics snapshot.
+  SMFL_COUNTER_ADD("smfl.guard.rollbacks", report.rollbacks);
+  SMFL_COUNTER_ADD("smfl.guard.recovery_attempts", report.recovery_attempts);
+  if (report.converged) SMFL_COUNTER_INC("smfl.fit.converged");
+  SMFL_GAUGE_SET("smfl.fit.final_objective", report.final_objective());
   if (model.u.HasNonFinite() || model.v.HasNonFinite()) {
     return Status::NumericError(StrFormat(
         "FitSmfl: factorization diverged at iteration %d (objective %g)",

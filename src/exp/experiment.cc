@@ -1,6 +1,7 @@
 #include "src/exp/experiment.h"
 
 #include "src/common/stopwatch.h"
+#include "src/common/telemetry.h"
 #include "src/exp/metrics.h"
 
 namespace smfl::exp {
@@ -67,6 +68,10 @@ Result<TrialResult> RunImputationTrials(const PreparedDataset& dataset,
     // Scrub ground truth out of the holes.
     Matrix input = data::ApplyMask(dataset.truth, observed);
 
+    // Stopwatch and the span read the same steady clock
+    // (Stopwatch::Clock drives telemetry::NowMicros), so the harness's
+    // mean_seconds and the trace timeline agree.
+    SMFL_TRACE_SPAN("exp.impute_trial");
     Stopwatch watch;
     auto imputed = imputer.Impute(input, observed, dataset.spatial_cols);
     const double seconds = watch.ElapsedSeconds();
@@ -114,6 +119,7 @@ Result<TrialResult> RunRepairTrials(const PreparedDataset& dataset,
     ASSIGN_OR_RETURN(data::ErrorInjection injection,
                      data::InjectErrors(table, inject));
 
+    SMFL_TRACE_SPAN("exp.repair_trial");
     Stopwatch watch;
     auto repaired = repairer.Repair(injection.dirty, injection.dirty_cells,
                                     dataset.spatial_cols);

@@ -11,6 +11,7 @@
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/telemetry.h"
 #include "src/core/smfl.h"
 #include "src/data/generators.h"
 #include "src/data/inject.h"
@@ -194,6 +195,56 @@ TEST(KernelEquivalenceTest, SmflTrajectoriesIdenticalAcrossThreadCounts) {
       ExpectBitwiseEqual(one->u, four->u, label + " U");
       ExpectBitwiseEqual(one->v, four->v, label + " V");
     }
+  }
+}
+
+// Telemetry is purely observational: a fit with collection enabled must
+// walk the bit-identical objective trajectory and produce bit-identical
+// factors vs the same fit with collection off, at multiple thread counts.
+TEST(KernelEquivalenceTest, SmflTrajectoriesIdenticalWithTelemetryOnVsOff) {
+  auto dataset = data::MakeVehicleLike(60, 500);
+  ASSERT_TRUE(dataset.ok());
+  auto normalizer = data::MinMaxNormalizer::Fit(dataset->table.values());
+  ASSERT_TRUE(normalizer.ok());
+  const Matrix truth = normalizer->Transform(dataset->table.values());
+  data::MissingInjectionOptions inject;
+  inject.missing_rate = 0.2;
+  inject.seed = 11;
+  auto injection = data::InjectMissing(dataset->table, inject);
+  ASSERT_TRUE(injection.ok());
+  const Matrix x_in = data::ApplyMask(truth, injection->observed);
+
+  core::SmflOptions options;
+  options.rank = 4;
+  options.max_iterations = 30;
+  options.tolerance = 0.0;
+  options.seed = 77;
+
+  for (int threads : {1, 4}) {
+    options.threads = threads;
+    telemetry::SetEnabled(false);
+    auto off = core::FitSmfl(x_in, injection->observed, 2, options);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+    telemetry::SetEnabled(true);
+    auto on = core::FitSmfl(x_in, injection->observed, 2, options);
+    telemetry::SetEnabled(false);
+    telemetry::MetricsRegistry::Global().ResetForTesting();
+    telemetry::TraceRecorder::Global().Clear();
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+    const std::string label =
+        "telemetry on/off @ " + std::to_string(threads) + " threads";
+    ASSERT_EQ(off->report.objective_trace.size(),
+              on->report.objective_trace.size())
+        << label;
+    for (size_t t = 0; t < off->report.objective_trace.size(); ++t) {
+      ASSERT_EQ(off->report.objective_trace[t],
+                on->report.objective_trace[t])
+          << label << " trace index " << t;
+    }
+    ExpectBitwiseEqual(off->u, on->u, label + " U");
+    ExpectBitwiseEqual(off->v, on->v, label + " V");
   }
 }
 

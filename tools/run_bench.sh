@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# PR 2 benchmark baseline: measures the deterministic parallel execution
-# layer and the fused masked-reconstruction kernel, and writes the results
-# to BENCH_PR2.json at the repository root.
+# Benchmark baseline: measures the deterministic parallel execution layer,
+# the fused masked-reconstruction kernel, fold-in serving throughput, and
+# the telemetry disabled-path overhead, and writes the results to
+# BENCH_PR4.json at the repository root (superseding the PR 2 baseline,
+# which lacked the host block and the telemetry guard).
 #
 # What runs:
 #   1. bench_fig9_scalability (MF family: NMF / SMF / SMFL, lake dataset,
@@ -18,6 +20,9 @@
 #      thread count.
 #   4. bench_table4_imputation (all methods, all datasets, 1 trial) at the
 #      same thread counts, timed end to end.
+#   5. BM_TelemetryOverhead (inside bench_kernels): the per-instrument cost
+#      with collection off (must stay at nanoseconds — the disabled-path
+#      guard) and on (the number quoted in docs/observability.md).
 #
 # Results are bitwise identical across thread counts by construction (see
 # docs/performance.md); this script only measures wall clock. Speedups are
@@ -31,7 +36,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_json="$repo_root/BENCH_PR2.json"
+out_json="$repo_root/BENCH_PR4.json"
 
 table4_rows=400
 table4_trials=1
@@ -46,6 +51,9 @@ if [[ ! -x "$build_dir/bench/bench_fig9_scalability" ]]; then
 fi
 
 ncores="$(nproc)"
+cpu_model="$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo \
+             2>/dev/null || true)"
+cpu_model="${cpu_model:-unknown}"
 thread_counts="1 2 4 $ncores"
 # Deduplicate while preserving order (e.g. ncores = 1, 2 or 4).
 thread_counts="$(tr ' ' '\n' <<<"$thread_counts" | awk '!seen[$0]++' | tr '\n' ' ')"
@@ -95,7 +103,8 @@ for t in $thread_counts; do
 done
 
 echo "==> merging results into $out_json"
-SCRATCH="$scratch" NCORES="$ncores" THREAD_COUNTS="$thread_counts" \
+SCRATCH="$scratch" NCORES="$ncores" CPU_MODEL="$cpu_model" \
+THREAD_COUNTS="$thread_counts" \
 TABLE4_ROWS="$table4_rows" OUT_JSON="$out_json" python3 - <<'PY'
 import json, os, re
 
@@ -134,6 +143,8 @@ kernels_per_thread = {t: fig9_times(f"{scratch}/kernels_t{t}.json")
 kbase = kernels_per_thread[1]
 kernels = {}
 for name in sorted(kbase):
+    if name.startswith("BM_TelemetryOverhead"):
+        continue  # nanosecond-scale; reported in its own block below
     kernels[name] = {
         "ms_per_thread_count": {str(t): round(kernels_per_thread[t][name], 4)
                                 for t in threads},
@@ -169,6 +180,29 @@ for arg in (64, 512, 2048):
             for t in threads},
     }
 
+# Telemetry overhead: median real_time is ns per loop iteration, and each
+# iteration runs 3 instruments (counter + histogram + span), so ns/3 is
+# the per-instrument cost. Arg 0 = collection off (the disabled-path
+# guard), Arg 1 = on.
+with open(f"{scratch}/kernels_t1.json") as f:
+    kdoc = json.load(f)
+telemetry_units = {b["run_name"]: b.get("time_unit", "ns")
+                   for b in kdoc["benchmarks"]
+                   if b.get("aggregate_name") == "median"}
+telemetry = {}
+for arg, label in ((0, "disabled"), (1, "enabled")):
+    name = f"BM_TelemetryOverhead/{arg}"
+    if name in kbase:
+        telemetry[label] = {
+            "per_iteration": round(kbase[name], 3),
+            "per_instrument": round(kbase[name] / 3.0, 3),
+            "time_unit": telemetry_units.get(name, "ns"),
+        }
+if "disabled" in telemetry and "enabled" in telemetry:
+    telemetry["enabled_vs_disabled_ratio"] = round(
+        telemetry["enabled"]["per_iteration"] /
+        max(telemetry["disabled"]["per_iteration"], 1e-9), 2)
+
 table4 = {}
 for t in threads:
     with open(f"{scratch}/table4_t{t}.ms") as f:
@@ -181,19 +215,23 @@ for t in threads:
 largest = max((e for e in fig9.values() if e["method"] == "SMFL"),
               key=lambda e: e["rows"])
 out = {
-    "pr": 2,
+    "pr": 4,
     "generated_by": "tools/run_bench.sh",
-    "machine": {
-        "hardware_concurrency": ncores,
+    "host": {
+        "cores": ncores,
+        "cpu_model": os.environ["CPU_MODEL"],
+        "thread_counts": threads,
         "note": ("thread-scaling numbers are bounded by physical cores; "
                  "on a 1-core machine only the fusion speedup is visible"),
     },
     "determinism": "outputs bitwise identical across all thread counts "
+                   "and with telemetry on or off "
                    "(tests/kernel_equivalence_test.cc)",
     "fig9_scalability_mf_family": fig9,
     "kernel_microbench": kernels,
     "masked_reconstruct_fusion_1_thread": fusion,
     "foldin_serving_throughput": foldin,
+    "telemetry_overhead": telemetry,
     "table4_imputation_end_to_end": {
         "rows": int(os.environ["TABLE4_ROWS"]),
         "per_thread_count": table4,
@@ -209,6 +247,8 @@ out = {
         "foldin_rows_per_sec_at_max_threads": foldin.get(
             "batch_2048_rows", {}).get(
             "rows_per_sec_per_thread_count", {}).get(str(threads[-1])),
+        "telemetry_disabled_ns_per_instrument": telemetry.get(
+            "disabled", {}).get("per_instrument"),
     },
 }
 with open(os.environ["OUT_JSON"], "w") as f:

@@ -4,8 +4,12 @@
 #include <cstdio>
 
 #include "src/cli/commands.h"
+#include "src/common/logging.h"
 
 int main(int argc, char** argv) {
+  // SMFL_LOG_LEVEL applies from the very first line; cli::Run re-applies
+  // it and then the --log-level flag, so the flag still wins.
+  smfl::InitLogLevelFromEnv();
   auto flags = smfl::Flags::Parse(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
