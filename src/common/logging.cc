@@ -40,7 +40,9 @@ std::string AsciiLower(std::string_view s) {
 // sequential thread id, so interleaved multi-threaded logs stay legible and
 // correlate with the `tid` of trace events.
 std::string TimestampAndThread() {
+  // smfl-lint: allow(nondet) log-line timestamps are wall-clock by design
   const auto now = std::chrono::system_clock::now();
+  // smfl-lint: allow(nondet) converting the same wall-clock read as above
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           now.time_since_epoch())

@@ -37,7 +37,9 @@ enum class StatusCode : int8_t {
 const char* StatusCodeToString(StatusCode code);
 
 // A cheap, movable success-or-error value. OK status carries no allocation.
-class Status {
+// [[nodiscard]]: dropping a Status silently swallows an error; consume it
+// (RETURN_NOT_OK, ok(), or an explicit log) at every call site.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() = default;
@@ -119,9 +121,10 @@ class Status {
   std::unique_ptr<State> state_;  // nullptr == OK
 };
 
-// Result<T>: either a T or a non-OK Status.
+// Result<T>: either a T or a non-OK Status. [[nodiscard]] for the same
+// reason as Status: an unread Result hides both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)

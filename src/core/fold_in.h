@@ -109,7 +109,7 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
 // landmarks no pairwise distance exists; falls back to the mean squared
 // distance of uniform points in [0,1]^L (L/6) instead of collapsing to
 // 1e-8. Exposed for tests.
-double FoldInKernelWidth(const Matrix& landmarks);
+[[nodiscard]] double FoldInKernelWidth(const Matrix& landmarks);
 
 }  // namespace smfl::core
 

@@ -112,6 +112,7 @@ Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
       auto brow = b.Row(p);
       for (Index i = r0; i < r1; ++i) {
         const double av = arow[i];
+        // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
         if (av == 0.0) continue;
         auto crow = c.Row(i);
         for (Index j = 0; j < m; ++j) crow[j] += av * brow[col_begin + j];
@@ -384,8 +385,9 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
           sum += x(i, j);
           ++count;
         }
-        model.v(c, j) = count > 0 ? std::max(sum / count, 1e-4)
-                                  : rng.Uniform(0.01, 1.0);
+        model.v(c, j) = count > 0
+                            ? std::max(sum / static_cast<double>(count), 1e-4)
+                            : rng.Uniform(0.01, 1.0);
       }
     }
   }

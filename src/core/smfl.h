@@ -121,7 +121,7 @@ struct SmflModel {
 };
 
 // Full objective O(U, V) of Formula 10.
-double SmflObjective(const Matrix& x, const Mask& observed,
+[[nodiscard]] double SmflObjective(const Matrix& x, const Mask& observed,
                      const NeighborGraph& graph, double lambda,
                      const Matrix& u, const Matrix& v);
 

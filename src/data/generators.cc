@@ -75,8 +75,8 @@ Result<SyntheticDataset> MakeSynthetic(const SyntheticSpec& spec) {
   std::vector<Index> labels(static_cast<size_t>(spec.rows));
   Matrix values(spec.rows, spec.cols);
   const Index visits = std::max<Index>(spec.visits_per_location, 1);
-  Index i = 0;
-  while (i < spec.rows) {
+  Index next_row = 0;
+  while (next_row < spec.rows) {
     const Index c =
         static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(
             spec.num_clusters)));
@@ -88,14 +88,14 @@ Result<SyntheticDataset> MakeSynthetic(const SyntheticSpec& spec) {
     // 1..2*visits-1 readings at (almost) this location; tiny GPS jitter.
     const Index burst = 1 + static_cast<Index>(rng.UniformInt(
                                 static_cast<uint64_t>(2 * visits - 1)));
-    for (Index v = 0; v < burst && i < spec.rows; ++v, ++i) {
-      labels[static_cast<size_t>(i)] = c;
+    for (Index v = 0; v < burst && next_row < spec.rows; ++v, ++next_row) {
+      labels[static_cast<size_t>(next_row)] = c;
       const double jlat =
           lat + rng.Normal(0.0, 1e-4 * (spec.lat_hi - spec.lat_lo));
       const double jlon =
           lon + rng.Normal(0.0, 1e-4 * (spec.lon_hi - spec.lon_lo));
-      values(i, 0) = std::min(std::max(jlat, spec.lat_lo), spec.lat_hi);
-      values(i, 1) = std::min(std::max(jlon, spec.lon_lo), spec.lon_hi);
+      values(next_row, 0) = std::min(std::max(jlat, spec.lat_lo), spec.lat_hi);
+      values(next_row, 1) = std::min(std::max(jlon, spec.lon_lo), spec.lon_hi);
     }
   }
 
@@ -164,6 +164,7 @@ Result<SyntheticDataset> MakeSynthetic(const SyntheticSpec& spec) {
       }
       if (weak[static_cast<size_t>(a)]) v *= 0.15;
       v += cluster_offset_scale[a] * cluster_offsets(c, a);
+      // smfl-lint: allow(float-eq) 0.0 is the gradient-disabled sentinel
       if (a == num_attrs - 1 && spec.east_gradient != 0.0) {
         // Fig 1 geography: the last attribute rises toward the east, on
         // top of the usual field mixture (the gradient is a trend, not a

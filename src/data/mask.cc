@@ -117,6 +117,7 @@ Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
       if (observed * 4 >= m) {
         for (Index p = 0; p < k; ++p) {
           const double uv = urow[p];
+          // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
           if (uv == 0.0) continue;
           const double* vrow = vd + p * m;
           for (Index j = 0; j < m; ++j) orow[j] += uv * vrow[j];
@@ -133,6 +134,7 @@ Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
           const double* vcol = vd + j;
           for (Index p = 0; p < k; ++p) {
             const double uv = urow[p];
+            // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
             if (uv == 0.0) continue;
             acc += uv * vcol[p * m];
           }

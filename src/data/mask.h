@@ -102,11 +102,11 @@ class Mask {
 };
 
 // R_mask(X): zero out entries not in the mask (the paper's R_Ω operator).
-Matrix ApplyMask(const Matrix& x, const Mask& mask);
+[[nodiscard]] Matrix ApplyMask(const Matrix& x, const Mask& mask);
 
 // R_Ω(X) + R_Ψ(X*): take masked entries from `x`, the rest from `x_star`
 // (the paper's Formula 8 recovery step).
-Matrix CombineByMask(const Matrix& x, const Matrix& x_star, const Mask& mask);
+[[nodiscard]] Matrix CombineByMask(const Matrix& x, const Matrix& x_star, const Mask& mask);
 
 // R_Ω(U V) in one fused pass — the per-iteration hot path of the masked
 // multiplicative updates (Formulas 13/14). Equivalent to
@@ -115,11 +115,11 @@ Matrix CombineByMask(const Matrix& x, const Matrix& x_star, const Mask& mask);
 // and never materializes the unmasked product or a second masking pass.
 // Rows are processed in parallel chunks (deterministic; see
 // common/parallel.h); sparse rows fall back to per-entry dots.
-Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask);
+[[nodiscard]] Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask);
 
 // ||R_Ω(X) − UV_Ω||_F² given a reconstruction already restricted to Ω
 // (as produced by MaskedReconstruct). Deterministic chunked reduction.
-double MaskedSquaredError(const Matrix& x, const Mask& mask,
+[[nodiscard]] double MaskedSquaredError(const Matrix& x, const Mask& mask,
                           const Matrix& uv_masked);
 
 }  // namespace smfl::data

@@ -75,7 +75,8 @@ Result<double> ColumnCorrelation(const Matrix& x, const Mask& observed,
     return Status::InvalidArgument(
         "ColumnCorrelation: fewer than two jointly observed rows");
   }
-  const double ma = sa / n, mb = sb / n;
+  const double ma = sa / static_cast<double>(n);
+  const double mb = sb / static_cast<double>(n);
   double cov = 0, va = 0, vb = 0;
   for (Index i = 0; i < x.rows(); ++i) {
     if (!observed.Contains(i, a) || !observed.Contains(i, b)) continue;

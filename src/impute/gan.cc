@@ -83,6 +83,7 @@ Result<Matrix> TrainGain(const Matrix& x, const Mask& observed,
       for (Index j = 0; j < m; ++j) {
         mb(r, j) = mask_dense(i, j);
         // x̃: observed value, or noise in the holes.
+        // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
         xb(r, j) = mb(r, j) != 0.0 ? x(i, j) : rng.Uniform(0.0, 0.01);
       }
     }
@@ -116,13 +117,16 @@ Result<Matrix> TrainGain(const Matrix& x, const Mask& observed,
     // observed entries.
     d_prob = discriminator.Forward(d_in);
     // dL_adv/dd = −1/(d·cnt) where m = 0.
-    double missing_count = 0.0;
+    Index missing = 0;
     for (Index i = 0; i < mb.size(); ++i) {
-      if (mb.data()[i] == 0.0) missing_count += 1.0;
+      // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
+      if (mb.data()[i] == 0.0) ++missing;
     }
-    if (missing_count == 0.0) missing_count = 1.0;
+    const double missing_count =
+        missing > 0 ? static_cast<double>(missing) : 1.0;
     Matrix adv_grad(batch, m);
     for (Index i = 0; i < adv_grad.size(); ++i) {
+      // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
       if (mb.data()[i] == 0.0) {
         adv_grad.data()[i] =
             -1.0 / (std::max(d_prob.data()[i], 1e-8) * missing_count);
@@ -136,6 +140,7 @@ Result<Matrix> TrainGain(const Matrix& x, const Mask& observed,
     Matrix g_grad(batch, m);
     for (Index i = 0; i < batch; ++i) {
       for (Index j = 0; j < m; ++j) {
+        // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
         if (mb(i, j) == 0.0) g_grad(i, j) = d_input_grad(i, j);
       }
     }
@@ -154,6 +159,7 @@ Result<Matrix> TrainGain(const Matrix& x, const Mask& observed,
   for (Index i = 0; i < n; ++i) {
     for (Index j = 0; j < m; ++j) {
       x_tilde(i, j) =
+          // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
           mask_dense(i, j) != 0.0 ? x(i, j) : rng.Uniform(0.0, 0.01);
     }
   }

@@ -79,12 +79,12 @@ class Matrix {
   // Row-major initializer: {{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
 
-  static Matrix Identity(Index n);
-  static Matrix Diagonal(const Vector& d);
+  [[nodiscard]] static Matrix Identity(Index n);
+  [[nodiscard]] static Matrix Diagonal(const Vector& d);
 
   // Builds from a row-major flat buffer of size rows*cols.
-  static Matrix FromRowMajor(Index rows, Index cols,
-                             std::vector<double> data);
+  [[nodiscard]] static Matrix FromRowMajor(Index rows, Index cols,
+                                           std::vector<double> data);
 
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }

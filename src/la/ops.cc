@@ -40,6 +40,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
           for (Index i = i0; i < i1; ++i) {
             for (Index p = p0; p < p1; ++p) {
               const double av = ad[i * k + p];
+              // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
               if (av == 0.0) continue;
               const double* brow = bd + p * m;
               double* crow = cd + i * m;
@@ -69,6 +70,7 @@ Matrix MatMulAtB(const Matrix& a, const Matrix& b) {
       const double* brow = bd + p * m;
       for (Index i = r0; i < r1; ++i) {
         const double av = arow[i];
+        // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
         if (av == 0.0) continue;
         double* crow = cd + i * m;
         for (Index j = 0; j < m; ++j) crow[j] += av * brow[j];

@@ -14,51 +14,51 @@
 namespace smfl::la {
 
 // C = A * B.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix MatMul(const Matrix& a, const Matrix& b);
 
 // C = A^T * B without forming A^T.
-Matrix MatMulAtB(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix MatMulAtB(const Matrix& a, const Matrix& b);
 
 // C = A * B^T without forming B^T.
-Matrix MatMulABt(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix MatMulABt(const Matrix& a, const Matrix& b);
 
 // Element-wise (Hadamard) product.
-Matrix Hadamard(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix Hadamard(const Matrix& a, const Matrix& b);
 
 // Element-wise quotient with denominator clamped at `eps` (used by
 // multiplicative NMF updates; keeps entries finite and nonnegative).
-Matrix SafeDivide(const Matrix& num, const Matrix& den, double eps);
+[[nodiscard]] Matrix SafeDivide(const Matrix& num, const Matrix& den, double eps);
 
 // ||A||_F.
-double FrobeniusNorm(const Matrix& a);
+[[nodiscard]] double FrobeniusNorm(const Matrix& a);
 
 // ||A||_F^2 (avoids the sqrt).
-double FrobeniusNormSquared(const Matrix& a);
+[[nodiscard]] double FrobeniusNormSquared(const Matrix& a);
 
 // Trace of a square matrix.
-double Trace(const Matrix& a);
+[[nodiscard]] double Trace(const Matrix& a);
 
 // Tr(A^T * B) = sum_ij a_ij * b_ij, without forming the product.
-double TraceAtB(const Matrix& a, const Matrix& b);
+[[nodiscard]] double TraceAtB(const Matrix& a, const Matrix& b);
 
 // Dot product.
-double Dot(const Vector& a, const Vector& b);
+[[nodiscard]] double Dot(const Vector& a, const Vector& b);
 
 // ||v||_2.
-double Norm2(const Vector& v);
+[[nodiscard]] double Norm2(const Vector& v);
 
 // Squared Euclidean distance between two equal-length spans.
-double SquaredDistance(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double SquaredDistance(std::span<const double> a, std::span<const double> b);
 
 // Max |a_ij - b_ij|.
-double MaxAbsDiff(const Matrix& a, const Matrix& b);
+[[nodiscard]] double MaxAbsDiff(const Matrix& a, const Matrix& b);
 
 // Clamps all entries below `lo` to `lo` (projection onto the nonnegative
 // orthant when lo = 0).
 void ClampMin(Matrix& a, double lo);
 
 // Column-wise mean of the rows.
-Vector ColMeans(const Matrix& a);
+[[nodiscard]] Vector ColMeans(const Matrix& a);
 
 }  // namespace smfl::la
 

@@ -22,6 +22,7 @@ Result<QrDecomposition> QrFactor(const Matrix& a) {
     for (Index i = j; i < n; ++i) norm += r(i, j) * r(i, j);
     norm = std::sqrt(norm);
     Vector v(n - j);
+    // smfl-lint: allow(float-eq) exactly-zero column needs no reflector
     if (norm == 0.0) {
       reflectors.push_back(std::move(v));  // zero reflector: identity
       continue;
@@ -31,6 +32,7 @@ Result<QrDecomposition> QrFactor(const Matrix& a) {
     v[0] -= alpha;
     double vnorm2 = 0.0;
     for (Index i = 0; i < v.size(); ++i) vnorm2 += v[i] * v[i];
+    // smfl-lint: allow(float-eq) guards division by an exact zero norm
     if (vnorm2 == 0.0) {
       reflectors.push_back(std::move(v));
       continue;
@@ -52,6 +54,7 @@ Result<QrDecomposition> QrFactor(const Matrix& a) {
     const Vector& v = reflectors[static_cast<size_t>(j)];
     double vnorm2 = 0.0;
     for (Index i = 0; i < v.size(); ++i) vnorm2 += v[i] * v[i];
+    // smfl-lint: allow(float-eq) guards division by an exact zero norm
     if (vnorm2 == 0.0) continue;
     for (Index c = 0; c < m; ++c) {
       double dot = 0.0;

@@ -158,12 +158,14 @@ double MaskedMseLoss(const Matrix& pred, const Matrix& target,
                      const Matrix& mask, Matrix* grad) {
   SMFL_CHECK(pred.SameShape(target));
   SMFL_CHECK(pred.SameShape(mask));
-  double count = 0.0;
-  for (Index i = 0; i < mask.size(); ++i) count += mask.data()[i] != 0.0;
-  if (count == 0.0) count = 1.0;
+  Index observed = 0;
+  // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
+  for (Index i = 0; i < mask.size(); ++i) observed += mask.data()[i] != 0.0;
+  const double count = observed > 0 ? static_cast<double>(observed) : 1.0;
   double loss = 0.0;
   if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
   for (Index i = 0; i < pred.size(); ++i) {
+    // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
     if (mask.data()[i] == 0.0) continue;
     const double diff = pred.data()[i] - target.data()[i];
     loss += diff * diff;

@@ -188,8 +188,12 @@ DetectionQuality EvaluateDetection(const Mask& flagged, const Mask& truth) {
     }
   }
   DetectionQuality q;
-  q.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
-  q.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  q.precision =
+      tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                  : 0.0;
+  q.recall = tp + fn > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
   q.f1 = q.precision + q.recall > 0
              ? 2 * q.precision * q.recall / (q.precision + q.recall)
              : 0.0;

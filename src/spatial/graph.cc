@@ -249,6 +249,7 @@ la::SparseMatrix NeighborGraph::SparseLaplacian() const {
   std::vector<la::Triplet> triplets;
   triplets.reserve(static_cast<size_t>(2 * num_edges_ + n));
   for (Index i = 0; i < n; ++i) {
+    // smfl-lint: allow(float-eq) structural zero: keep the diagonal sparse
     if (degree_[i] != 0.0) triplets.push_back({i, i, degree_[i]});
     for (const Edge& e : adj_[static_cast<size_t>(i)]) {
       triplets.push_back({i, e.to, -e.weight});

@@ -139,8 +139,8 @@ TEST(GeneratorsTest, VehicleHasEastGradientInFuelColumn) {
     mean_lon += x(i, 1);
     mean_fuel += x(i, fuel);
   }
-  mean_lon /= x.rows();
-  mean_fuel /= x.rows();
+  mean_lon /= static_cast<double>(x.rows());
+  mean_fuel /= static_cast<double>(x.rows());
   double cov = 0.0, var_lon = 0.0, var_fuel = 0.0;
   for (la::Index i = 0; i < x.rows(); ++i) {
     const double a = x(i, 1) - mean_lon;

@@ -1,0 +1,429 @@
+// Tests for tools/smfl_lint: one positive and one suppressed fixture per
+// rule (R1-R6), plus lexer and suppression-validation coverage. Fixtures
+// are written into a temp directory shaped like the repo (src/...), so the
+// per-path rule scoping is exercised exactly as in production runs.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/smfl_lint/lint.h"
+
+namespace smfl::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("smfl_lint_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()
+                     ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    ASSERT_TRUE(out.is_open()) << p;
+    out << content;
+  }
+
+  LintResult Run() {
+    LintOptions options;
+    options.repo_root = root_.string();
+    LintResult result;
+    std::string error;
+    EXPECT_TRUE(RunLint(options, &result, &error)) << error;
+    return result;
+  }
+
+  static std::vector<std::string> Rules(const std::vector<Diagnostic>& ds) {
+    std::vector<std::string> out;
+    for (const auto& d : ds) out.push_back(d.rule);
+    return out;
+  }
+
+  fs::path root_;
+};
+
+// --------------------------------------------------------------------------
+// Lexer
+
+TEST(LexerTest, FloatLiteralClassification) {
+  EXPECT_TRUE(IsFloatLiteral("0.0"));
+  EXPECT_TRUE(IsFloatLiteral("1.5e-3"));
+  EXPECT_TRUE(IsFloatLiteral("2e6"));
+  EXPECT_TRUE(IsFloatLiteral("1.f"));
+  EXPECT_TRUE(IsFloatLiteral(".25"));
+  EXPECT_FALSE(IsFloatLiteral("0"));
+  EXPECT_FALSE(IsFloatLiteral("42"));
+  EXPECT_FALSE(IsFloatLiteral("0x1F"));
+  EXPECT_FALSE(IsFloatLiteral("100ul"));
+}
+
+TEST(LexerTest, CommentsAndStringsAreNotCode) {
+  const LexedFile f = Lex("src/a.cc",
+                          "// std::thread in a comment\n"
+                          "const char* s = \"std::thread\";\n"
+                          "/* rand() */ int x = 1;\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "thread");
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LexerTest, SuppressionParsing) {
+  const LexedFile f = Lex("src/a.cc",
+                          "int a = 1;\n"
+                          "// smfl-lint: allow(float-eq) masks are 0/1\n"
+                          "int b = 2;  // smfl-lint: allow(nondet,thread) ok\n");
+  ASSERT_EQ(f.suppressions.size(), 2u);
+  EXPECT_TRUE(f.suppressions[0].own_line);
+  EXPECT_EQ(f.suppressions[0].line, 2);
+  EXPECT_TRUE(f.suppressions[0].rules.count("float-eq"));
+  EXPECT_EQ(f.suppressions[0].reason, "masks are 0/1");
+  EXPECT_FALSE(f.suppressions[1].own_line);
+  EXPECT_TRUE(f.suppressions[1].rules.count("nondet"));
+  EXPECT_TRUE(f.suppressions[1].rules.count("thread"));
+}
+
+// --------------------------------------------------------------------------
+// R1: thread
+
+TEST_F(LintTest, ThreadPositive) {
+  WriteFile("src/core/worker.cc",
+            "#include <thread>\n"
+            "void Go() { std::thread t([] {}); t.join(); }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "thread");
+  EXPECT_EQ(r.violations[0].line, 2);
+}
+
+TEST_F(LintTest, ThreadSuppressed) {
+  WriteFile("src/core/worker.cc",
+            "// smfl-lint: allow(thread) bounded helper, joins immediately\n"
+            "void Go() { std::thread t([] {}); t.join(); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "thread");
+}
+
+TEST_F(LintTest, ThreadAllowedInParallelLayer) {
+  WriteFile("src/common/parallel.cc",
+            "void Pool() { std::thread t([] {}); t.join(); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, ThreadFlagsOpenMp) {
+  WriteFile("src/la/fast.cc",
+            "#pragma omp parallel for\n"
+            "void F() {}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "thread");
+}
+
+// --------------------------------------------------------------------------
+// R2: nondet
+
+TEST_F(LintTest, NondetPositive) {
+  WriteFile("src/data/sampler.cc",
+            "#include <random>\n"
+            "int Seed() { std::random_device rd; return (int)rd(); }\n"
+            "int Now() { return (int)time(nullptr); }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 2u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "nondet");
+  EXPECT_EQ(r.violations[1].rule, "nondet");
+}
+
+TEST_F(LintTest, NondetSuppressed) {
+  WriteFile("src/data/sampler.cc",
+            "int Now() {\n"
+            "  // smfl-lint: allow(nondet) cache-busting token, not numerics\n"
+            "  return (int)time(nullptr);\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "nondet");
+}
+
+TEST_F(LintTest, NondetAllowedInRng) {
+  WriteFile("src/common/rng.cc",
+            "unsigned Fallback() { std::random_device rd; return rd(); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, NondetIgnoresMemberTime) {
+  WriteFile("src/data/sampler.cc",
+            "double F(const Stopwatch& sw) { return sw.time(); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R3: unordered-iter
+
+TEST_F(LintTest, UnorderedIterPositive) {
+  WriteFile("src/core/agg.cc",
+            "#include <unordered_map>\n"
+            "double Sum(const std::unordered_map<int, double>& cells) {\n"
+            "  double s = 0.0;\n"
+            "  for (const auto& kv : cells) s += kv.second;\n"
+            "  return s;\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "unordered-iter");
+  EXPECT_EQ(r.violations[0].line, 4);
+}
+
+TEST_F(LintTest, UnorderedIterSuppressed) {
+  WriteFile("src/core/agg.cc",
+            "#include <unordered_map>\n"
+            "int Count(const std::unordered_map<int, double>& cells) {\n"
+            "  int n = 0;\n"
+            "  // smfl-lint: allow(unordered-iter) counting is order-free\n"
+            "  for (const auto& kv : cells) n += kv.second > 0;\n"
+            "  return n;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "unordered-iter");
+}
+
+TEST_F(LintTest, UnorderedLookupIsFine) {
+  WriteFile("src/core/agg.cc",
+            "#include <unordered_map>\n"
+            "double Get(const std::unordered_map<int, double>& m, int k) {\n"
+            "  auto it = m.find(k);\n"
+            "  return it == m.end() ? 0.0 : it->second;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, UnorderedIterOnlyInNumericDirs) {
+  // Same iteration in src/data is outside the rule's scope.
+  WriteFile("src/data/agg.cc",
+            "#include <unordered_map>\n"
+            "double Sum(const std::unordered_map<int, double>& cells) {\n"
+            "  double s = 0.0;\n"
+            "  for (const auto& kv : cells) s += kv.second;\n"
+            "  return s;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, UnorderedIterSeesThroughAlias) {
+  WriteFile("src/mf/groups.cc",
+            "#include <unordered_map>\n"
+            "using GroupMap = std::unordered_map<int, double>;\n"
+            "double Sum(const GroupMap& g) {\n"
+            "  double s = 0.0;\n"
+            "  for (const auto& kv : g) s += kv.second;\n"
+            "  return s;\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "unordered-iter");
+}
+
+// --------------------------------------------------------------------------
+// R4: discard-status
+
+TEST_F(LintTest, DiscardStatusPositive) {
+  WriteFile("src/core/io.h",
+            "Status SaveThing(const char* path);\n");
+  WriteFile("src/core/use.cc",
+            "#include \"src/core/io.h\"\n"
+            "void Checkpoint() {\n"
+            "  SaveThing(\"/tmp/x\");\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "discard-status");
+  EXPECT_EQ(r.violations[0].rel_path, "src/core/use.cc");
+  EXPECT_EQ(r.violations[0].line, 3);
+}
+
+TEST_F(LintTest, DiscardStatusVoidCast) {
+  WriteFile("src/core/io.h", "Status SaveThing(const char* path);\n");
+  WriteFile("src/core/use.cc",
+            "#include \"src/core/io.h\"\n"
+            "void A() { (void)SaveThing(\"/tmp/x\"); }\n"
+            "void B() { static_cast<void>(SaveThing(\"/tmp/y\")); }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 2u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "discard-status");
+  EXPECT_EQ(r.violations[1].rule, "discard-status");
+}
+
+TEST_F(LintTest, DiscardStatusSuppressed) {
+  WriteFile("src/core/io.h", "Status SaveThing(const char* path);\n");
+  WriteFile("src/core/use.cc",
+            "#include \"src/core/io.h\"\n"
+            "void Shutdown() {\n"
+            "  // smfl-lint: allow(discard-status) best-effort final flush\n"
+            "  SaveThing(\"/tmp/x\");\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "discard-status");
+}
+
+TEST_F(LintTest, DiscardStatusConsumedIsFine) {
+  WriteFile("src/core/io.h",
+            "Status SaveThing(const char* path);\n"
+            "Result<int> LoadThing(const char* path);\n");
+  WriteFile("src/core/use.cc",
+            "#include \"src/core/io.h\"\n"
+            "Status Checkpoint() {\n"
+            "  Status st = SaveThing(\"/tmp/x\");\n"
+            "  if (!st.ok()) return st;\n"
+            "  RETURN_NOT_OK(SaveThing(\"/tmp/y\"));\n"
+            "  auto loaded = cond ? LoadThing(\"/a\") : LoadThing(\"/b\");\n"
+            "  return loaded.status();\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R5: float-eq
+
+TEST_F(LintTest, FloatEqPositive) {
+  WriteFile("src/la/norm.cc",
+            "bool IsZero(double x) { return x == 0.0; }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "float-eq");
+}
+
+TEST_F(LintTest, FloatEqSuppressed) {
+  WriteFile("src/la/norm.cc",
+            "bool IsZero(double x) {\n"
+            "  // smfl-lint: allow(float-eq) exact-zero guard for division\n"
+            "  return x == 0.0;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "float-eq");
+}
+
+TEST_F(LintTest, FloatEqSkipsTestsAndIntegers) {
+  WriteFile("tests/norm_test.cc",
+            "bool T() { return 1.0 == Norm(); }\n");
+  WriteFile("src/la/count.cc",
+            "bool Empty(int n) { return n == 0; }\n");
+  LintOptions options;
+  options.repo_root = root_.string();
+  options.roots = {"src", "tests"};
+  LintResult r;
+  std::string error;
+  ASSERT_TRUE(RunLint(options, &r, &error)) << error;
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R6: raw-log
+
+TEST_F(LintTest, RawLogPositive) {
+  WriteFile("src/exp/report.cc",
+            "#include <iostream>\n"
+            "void Warn() { std::cerr << \"bad\\n\"; }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "raw-log");
+  EXPECT_EQ(r.violations[0].line, 2);
+}
+
+TEST_F(LintTest, RawLogSuppressed) {
+  WriteFile("src/exp/report.cc",
+            "#include <iostream>\n"
+            "void Warn() {\n"
+            "  // smfl-lint: allow(raw-log) crash path; logger may be gone\n"
+            "  std::cerr << \"bad\\n\";\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "raw-log");
+}
+
+TEST_F(LintTest, RawLogAllowedInLoggingImpl) {
+  WriteFile("src/common/logging.cc",
+            "#include <iostream>\n"
+            "void Emit(const char* m) { std::cerr << m; }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// Suppression hygiene
+
+TEST_F(LintTest, SuppressionWithoutReasonIsViolation) {
+  WriteFile("src/la/norm.cc",
+            "// smfl-lint: allow(float-eq)\n"
+            "bool IsZero(double x) { return x == 0.0; }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "bad-suppression");
+}
+
+TEST_F(LintTest, SuppressionWithUnknownRuleIsViolation) {
+  WriteFile("src/la/norm.cc",
+            "// smfl-lint: allow(no-such-rule) because reasons\n"
+            "int x = 1;\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "bad-suppression");
+}
+
+TEST_F(LintTest, MalformedDirectiveIsViolation) {
+  WriteFile("src/la/norm.cc",
+            "// smfl-lint: disable everything\n"
+            "int x = 1;\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "bad-suppression");
+}
+
+// --------------------------------------------------------------------------
+// Output plumbing
+
+TEST_F(LintTest, JsonSummaryContainsFindings) {
+  WriteFile("src/la/norm.cc",
+            "bool IsZero(double x) { return x == 0.0; }\n");
+  const LintResult r = Run();
+  const std::string json = ResultToJson(r);
+  EXPECT_NE(json.find("\"violation_count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"float-eq\""), std::string::npos) << json;
+  EXPECT_NE(json.find("src/la/norm.cc"), std::string::npos) << json;
+}
+
+TEST_F(LintTest, FormatDiagnosticIsFileLineRule) {
+  const Diagnostic d{"float-eq", "src/la/norm.cc", 7, "msg"};
+  EXPECT_EQ(FormatDiagnostic(d), "src/la/norm.cc:7: [float-eq] msg");
+}
+
+}  // namespace
+}  // namespace smfl::lint

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# One-command correctness gate for the repo. Runs, in order:
+#
+#   1. werror-build   configure + build with -DSMFL_WERROR=ON
+#                     (-Wall -Wextra -Wconversion -Wshadow promoted to errors)
+#   2. tier1-tests    the full ctest suite in that build tree
+#   3. smfl-lint      repo-contract static analysis (docs/static-analysis.md)
+#   4. asan           tier-1 suite under AddressSanitizer (+ leak check)
+#   5. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
+#   6. tsan           threading-sensitive subset under ThreadSanitizer;
+#                     auto-skipped (and recorded as such) when the toolchain
+#                     lacks TSan support
+#
+# Every step's outcome lands in CHECKS.json ({"steps": [{name, status,
+# seconds, detail}...], "ok": bool}); the script exits nonzero if any step
+# fails. Skips are not failures. `--fast` runs only steps 1-3 (the
+# sanitizer suites are three extra full builds).
+#
+# Usage: tools/run_checks.sh [--fast] [--out CHECKS.json]
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_json="$repo_root/CHECKS.json"
+fast=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) fast=1 ;;
+    --out)
+      shift
+      out_json="${1:?--out needs a path}"
+      ;;
+    *)
+      echo "usage: tools/run_checks.sh [--fast] [--out FILE]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+build_dir="$repo_root/build-checks"
+log_dir="$build_dir/check-logs"
+mkdir -p "$log_dir"
+
+step_names=()
+step_statuses=()
+step_seconds=()
+step_details=()
+any_failed=0
+
+# run_step NAME DETAIL_ON_PASS COMMAND...
+# Runs COMMAND, captures its log, and records pass/fail + duration.
+run_step() {
+  local name="$1" detail="$2"
+  shift 2
+  local log="$log_dir/$name.log"
+  local start=$SECONDS
+  echo "==> $name"
+  if "$@" >"$log" 2>&1; then
+    local status=pass
+    # The tsan runner reports a skipped suite with an explicit marker.
+    if [[ "$name" == tsan ]] && grep -q "SKIPPED" "$log"; then
+      status=skip
+      detail="$(grep -m1 "SKIPPED" "$log")"
+    fi
+    step_statuses+=("$status")
+  else
+    step_statuses+=(fail)
+    any_failed=1
+    detail="failed; see $log"
+    echo "==> $name: FAILED (log: $log)"
+    tail -n 20 "$log"
+  fi
+  step_names+=("$name")
+  step_seconds+=($((SECONDS - start)))
+  step_details+=("$detail")
+}
+
+configure_and_build() {
+  cmake -B "$build_dir" -S "$repo_root" -DSMFL_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build "$build_dir" -j
+}
+
+run_step werror-build "warning-clean under -Wconversion -Wshadow -Werror" \
+  configure_and_build
+
+if [[ "${step_statuses[0]}" == pass ]]; then
+  run_step tier1-tests "full ctest suite" \
+    ctest --test-dir "$build_dir" --output-on-failure -j
+  run_step smfl-lint "repo contracts clean (see $log_dir/smfl-lint.json)" \
+    "$build_dir/tools/smfl_lint" --repo-root "$repo_root" \
+    --json "$log_dir/smfl-lint.json" src
+else
+  echo "==> skipping tests and lint: the gate build failed"
+fi
+
+if [[ $fast -eq 0 ]]; then
+  run_step asan "tier-1 suite under AddressSanitizer" \
+    "$repo_root/tools/run_sanitizers.sh" address
+  run_step ubsan "tier-1 suite under UndefinedBehaviorSanitizer" \
+    "$repo_root/tools/run_sanitizers.sh" undefined
+  run_step tsan "threading subset under ThreadSanitizer" \
+    "$repo_root/tools/run_sanitizers.sh" thread
+fi
+
+# ---------------------------------------------------------------------------
+# CHECKS.json
+
+json_escape() {
+  local s="$1"
+  s="${s//\\/\\\\}"
+  s="${s//\"/\\\"}"
+  printf '%s' "$s"
+}
+
+{
+  echo "{"
+  echo "  \"steps\": ["
+  for i in "${!step_names[@]}"; do
+    comma=","
+    [[ $i -eq $((${#step_names[@]} - 1)) ]] && comma=""
+    printf '    {"name": "%s", "status": "%s", "seconds": %s, "detail": "%s"}%s\n' \
+      "${step_names[$i]}" "${step_statuses[$i]}" "${step_seconds[$i]}" \
+      "$(json_escape "${step_details[$i]}")" "$comma"
+  done
+  echo "  ],"
+  if [[ $any_failed -eq 0 ]]; then
+    echo "  \"ok\": true"
+  else
+    echo "  \"ok\": false"
+  fi
+  echo "}"
+} > "$out_json"
+
+echo
+echo "==> summary ($out_json)"
+for i in "${!step_names[@]}"; do
+  printf '    %-14s %s (%ss)\n' "${step_names[$i]}" "${step_statuses[$i]}" \
+    "${step_seconds[$i]}"
+done
+
+exit $any_failed

@@ -31,6 +31,21 @@ for san in "${sanitizers[@]}"; do
       ;;
   esac
 
+  # Some toolchains ship without TSan runtime support. Probe with a trivial
+  # program and skip (exit 0, with an explicit marker line) rather than fail:
+  # tools/run_checks.sh greps for "SKIPPED" and records the skip in
+  # CHECKS.json so the gate stays honest about what actually ran.
+  if [[ "$san" == thread ]]; then
+    probe_dir="$(mktemp -d)"
+    trap 'rm -rf "$probe_dir"' EXIT
+    echo 'int main(){return 0;}' > "$probe_dir/probe.cc"
+    if ! "${CXX:-c++}" -fsanitize=thread "$probe_dir/probe.cc" \
+         -o "$probe_dir/probe" >/dev/null 2>&1; then
+      echo "==> thread: SKIPPED (toolchain lacks ThreadSanitizer support)"
+      continue
+    fi
+  fi
+
   build_dir="$repo_root/build-$san"
   echo "==> configuring $san sanitizer build in $build_dir"
   cmake -B "$build_dir" -S "$repo_root" -DSMFL_SANITIZE="$san" \

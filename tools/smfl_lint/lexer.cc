@@ -1,0 +1,278 @@
+// Tokenizer for smfl_lint. See lint.h for the contract: comments and string
+// contents are dropped (except `smfl-lint:` suppression comments, which are
+// captured), preprocessor directives become single tokens, and multi-char
+// operators (`::`, `==`, `!=`, ...) are lexed as single tokens so rules can
+// match sequences like `std :: thread` without reassembling characters.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "tools/smfl_lint/lint.h"
+
+namespace smfl::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so lexing is greedy.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses a `smfl-lint: allow(rule[,rule...]) reason` directive out of a
+// comment body. Returns true when the comment mentions smfl-lint at all
+// (so malformed directives are still recorded and can be reported).
+bool ParseSuppression(const std::string& comment, int line, bool own_line,
+                      Suppression* out) {
+  const size_t tag = comment.find("smfl-lint:");
+  if (tag == std::string::npos) return false;
+  out->rules.clear();
+  out->reason.clear();
+  out->line = line;
+  out->own_line = own_line;
+  out->used = false;
+  size_t p = tag + std::string("smfl-lint:").size();
+  while (p < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[p]))) {
+    ++p;
+  }
+  if (comment.compare(p, 5, "allow") != 0) return true;  // malformed
+  p += 5;
+  if (p >= comment.size() || comment[p] != '(') return true;  // malformed
+  const size_t close = comment.find(')', p);
+  if (close == std::string::npos) return true;  // malformed
+  std::string list = comment.substr(p + 1, close - p - 1);
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string rule = Trim(list.substr(start, comma - start));
+    if (!rule.empty()) out->rules.insert(rule);
+    start = comma + 1;
+  }
+  out->reason = Trim(comment.substr(close + 1));
+  return true;
+}
+
+}  // namespace
+
+bool IsFloatLiteral(const std::string& text) {
+  if (text.empty() || !(IsDigit(text[0]) || text[0] == '.')) return false;
+  // Hex literals are integers unless they are hex floats (which carry 'p');
+  // the repo does not use hex floats, treat all 0x as integer.
+  if (text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return false;
+  }
+  bool has_digit = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (IsDigit(c)) {
+      has_digit = true;
+      continue;
+    }
+    if (c == '.') return has_digit || i + 1 < text.size();
+    if ((c == 'e' || c == 'E') && has_digit) return true;
+    if ((c == 'f' || c == 'F') && has_digit && i + 1 == text.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LexedFile Lex(const std::string& rel_path, const std::string& content) {
+  LexedFile out;
+  out.rel_path = rel_path;
+  size_t i = 0;
+  const size_t n = content.size();
+  int line = 1;
+  int last_code_line = 0;  // last line that emitted a token
+
+  auto push = [&](Token::Kind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    last_code_line = line;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      const std::string body = content.substr(i + 2, end - i - 2);
+      Suppression s;
+      if (ParseSuppression(body, line, last_code_line != line, &s)) {
+        out.suppressions.push_back(std::move(s));
+      }
+      i = end;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = content.substr(i + 2, end - i - 2);
+      Suppression s;
+      if (ParseSuppression(body, start_line, last_code_line != start_line,
+                           &s)) {
+        out.suppressions.push_back(std::move(s));
+      }
+      for (size_t j = i; j < end && j < n; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+
+    // Preprocessor directive: only whitespace may precede '#' on the line.
+    if (c == '#' && last_code_line != line) {
+      std::string text;
+      while (i < n) {
+        size_t end = content.find('\n', i);
+        if (end == std::string::npos) end = n;
+        std::string part = content.substr(i, end - i);
+        const bool continued = !part.empty() && part.back() == '\\';
+        if (continued) part.pop_back();
+        text += part;
+        i = (end == n) ? n : end + 1;
+        if (end != n) ++line;
+        if (!continued) break;
+        text += ' ';
+      }
+      // A trailing // comment inside the directive can hold a suppression.
+      const size_t slashes = text.find("//");
+      if (slashes != std::string::npos) {
+        Suppression s;
+        if (ParseSuppression(text.substr(slashes + 2), line - 1, false, &s)) {
+          out.suppressions.push_back(std::move(s));
+        }
+        text.resize(slashes);
+      }
+      // The directive token is attributed to its first line.
+      out.tokens.push_back(Token{Token::Kind::kPreproc, std::move(text),
+                                 line - 1 >= 1 ? line - 1 : 1});
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim" (with optional prefixes).
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(' && content[p] != '\n' &&
+             delim.size() < 16) {
+        delim += content[p++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, p);
+      if (end == std::string::npos) end = n;
+      for (size_t j = i; j < end && j < n; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      push(Token::Kind::kString, "R\"...\"");
+      i = (end == n) ? n : end + closer.size();
+      continue;
+    }
+
+    // String / char literal (contents dropped; escapes honored).
+    if (c == '"' || c == '\'') {
+      // A '\'' directly after an identifier/number char is a digit separator
+      // handled by the number lexer; here it is always a literal start.
+      const char quote = c;
+      size_t p = i + 1;
+      while (p < n && content[p] != quote) {
+        if (content[p] == '\\' && p + 1 < n) {
+          p += 2;
+        } else {
+          if (content[p] == '\n') ++line;  // unterminated; stay robust
+          ++p;
+        }
+      }
+      push(Token::Kind::kString, quote == '"' ? "\"...\"" : "'...'");
+      i = (p == n) ? n : p + 1;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t p = i + 1;
+      while (p < n && IsIdentChar(content[p])) ++p;
+      push(Token::Kind::kIdent, content.substr(i, p - i));
+      i = p;
+      continue;
+    }
+
+    // Number (pp-number: digits, '.', exponents, suffixes, separators).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(content[i + 1]))) {
+      size_t p = i;
+      while (p < n) {
+        const char d = content[p];
+        if (IsIdentChar(d) || d == '.') {
+          ++p;
+          continue;
+        }
+        if ((d == '+' || d == '-') && p > i) {
+          const char prev = content[p - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++p;
+            continue;
+          }
+        }
+        if (d == '\'' && p + 1 < n && IsIdentChar(content[p + 1])) {
+          p += 2;
+          continue;
+        }
+        break;
+      }
+      push(Token::Kind::kNumber, content.substr(i, p - i));
+      i = p;
+      continue;
+    }
+
+    // Multi-char punctuator?
+    bool matched = false;
+    for (const char* op : kPuncts) {
+      const size_t len = std::char_traits<char>::length(op);
+      if (content.compare(i, len, op) == 0) {
+        push(Token::Kind::kPunct, op);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace smfl::lint

@@ -1,0 +1,258 @@
+// Driver for smfl_lint: file walking, per-path rule scoping, suppression
+// matching, and output formatting. See lint.h for the rule catalogue.
+
+#include "tools/smfl_lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/smfl_lint/rules.h"
+
+namespace smfl::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::set<std::string> kKnownRules = {
+    "thread",   "nondet",   "unordered-iter",
+    "discard-status", "float-eq", "raw-log", "all",
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Test files are exempt from several rules: they intentionally compare
+// exact values, print, and stress threading primitives.
+bool IsTestFile(const std::string& rel) {
+  if (rel.find("tests/") != std::string::npos) return true;
+  const size_t slash = rel.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? rel : rel.substr(slash + 1);
+  return base.find("_test.") != std::string::npos;
+}
+
+bool RuleApplies(const std::string& rule, const std::string& rel,
+                 const LintOptions& options) {
+  const bool test = IsTestFile(rel);
+  if (rule == "thread") {
+    return !test && !StartsWith(rel, "src/common/parallel.");
+  }
+  if (rule == "nondet") {
+    return !test && !StartsWith(rel, "bench/") &&
+           !StartsWith(rel, "src/common/rng.") &&
+           rel != "src/common/stopwatch.h" && rel != "src/common/telemetry.cc";
+  }
+  if (rule == "unordered-iter") {
+    return StartsWith(rel, "src/la/") || StartsWith(rel, "src/core/") ||
+           StartsWith(rel, "src/mf/");
+  }
+  if (rule == "discard-status") return true;
+  if (rule == "float-eq") {
+    if (test || StartsWith(rel, "bench/")) return false;
+    for (const std::string& prefix : options.float_eq_allowlist) {
+      if (StartsWith(rel, prefix)) return false;
+    }
+    return true;
+  }
+  if (rule == "raw-log") {
+    return !test && rel != "src/common/logging.cc";
+  }
+  return true;
+}
+
+// Finds a suppression covering (rule, line): either on the same line, or a
+// comment-only line directly above. Marks it used.
+const Suppression* FindSuppression(const LexedFile& file,
+                                   const std::string& rule, int line) {
+  for (const Suppression& s : file.suppressions) {
+    if (!s.rules.count(rule) && !s.rules.count("all")) continue;
+    if (s.line == line || (s.own_line && s.line == line - 1)) {
+      s.used = true;
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendDiagJson(const Diagnostic& d, std::ostringstream* os) {
+  *os << "    {\"rule\": \"" << JsonEscape(d.rule) << "\", \"file\": \""
+      << JsonEscape(d.rel_path) << "\", \"line\": " << d.line
+      << ", \"message\": \"" << JsonEscape(d.message) << "\"}";
+}
+
+bool IsCppSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
+              const LintOptions& options, LintResult* result) {
+  std::vector<Diagnostic> raw;
+  if (RuleApplies("thread", file.rel_path, options)) {
+    CheckThread(file, &raw);
+  }
+  if (RuleApplies("nondet", file.rel_path, options)) {
+    CheckNondet(file, &raw);
+  }
+  if (RuleApplies("unordered-iter", file.rel_path, options)) {
+    CheckUnorderedIter(file, &raw);
+  }
+  if (RuleApplies("discard-status", file.rel_path, options)) {
+    CheckDiscardStatus(file, registry, &raw);
+  }
+  if (RuleApplies("float-eq", file.rel_path, options)) {
+    CheckFloatEq(file, &raw);
+  }
+  if (RuleApplies("raw-log", file.rel_path, options)) {
+    CheckRawLog(file, &raw);
+  }
+
+  for (Diagnostic& d : raw) {
+    if (FindSuppression(file, d.rule, d.line) != nullptr) {
+      result->suppressed.push_back(std::move(d));
+    } else {
+      result->violations.push_back(std::move(d));
+    }
+  }
+
+  // Validate the suppressions themselves: they must name known rules and
+  // carry a justification. A suppression is an exception to a contract;
+  // an unexplained exception is itself a violation.
+  for (const Suppression& s : file.suppressions) {
+    if (s.rules.empty()) {
+      result->violations.push_back(Diagnostic{
+          "bad-suppression", file.rel_path, s.line,
+          "malformed smfl-lint directive; expected "
+          "'smfl-lint: allow(<rule>) <reason>'"});
+      continue;
+    }
+    for (const std::string& rule : s.rules) {
+      if (!kKnownRules.count(rule)) {
+        result->violations.push_back(
+            Diagnostic{"bad-suppression", file.rel_path, s.line,
+                       "unknown rule '" + rule + "' in smfl-lint directive"});
+      }
+    }
+    if (s.reason.empty()) {
+      result->violations.push_back(Diagnostic{
+          "bad-suppression", file.rel_path, s.line,
+          "smfl-lint suppression without a reason; justify the exception "
+          "after the closing parenthesis"});
+    }
+  }
+}
+
+bool RunLint(const LintOptions& options, LintResult* result,
+             std::string* error) {
+  std::vector<fs::path> files;
+  for (const std::string& root : options.roots) {
+    const fs::path base = fs::path(options.repo_root) / root;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      *error = "scan root not found: " + base.string();
+      return false;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && IsCppSource(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    if (ec) {
+      *error = "error walking " + base.string() + ": " + ec.message();
+      return false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  StatusFnRegistry registry;
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + p.string();
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel =
+        fs::relative(p, options.repo_root).generic_string();
+    lexed.push_back(Lex(rel, buf.str()));
+    HarvestStatusFunctions(lexed.back(), &registry);
+  }
+
+  result->files_scanned = static_cast<int>(lexed.size());
+  for (const LexedFile& file : lexed) {
+    LintFile(file, registry, options, result);
+  }
+  return true;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.rel_path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::string ResultToJson(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"files_scanned\": " << result.files_scanned
+     << ",\n  \"violation_count\": " << result.violations.size()
+     << ",\n  \"suppressed_count\": " << result.suppressed.size()
+     << ",\n  \"violations\": [\n";
+  for (size_t i = 0; i < result.violations.size(); ++i) {
+    AppendDiagJson(result.violations[i], &os);
+    if (i + 1 < result.violations.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ],\n  \"suppressed\": [\n";
+  for (size_t i = 0; i < result.suppressed.size(); ++i) {
+    AppendDiagJson(result.suppressed[i], &os);
+    if (i + 1 < result.suppressed.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace smfl::lint

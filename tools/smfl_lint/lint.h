@@ -1,0 +1,136 @@
+// smfl_lint: repo-contract static analysis for the smfl source tree.
+//
+// A deliberately small, dependency-free lexical checker. It does not parse
+// C++; it tokenizes each file (skipping comments and string literals) and
+// pattern-matches token sequences against the repo's hard contracts:
+//
+//   thread          (R1) raw std::thread/std::async/OpenMP outside
+//                        src/common/parallel.* — all parallelism must go
+//                        through the deterministic ParallelFor layer.
+//   nondet          (R2) nondeterminism sources (rand(), std::random_device,
+//                        time(), std::chrono::system_clock) outside
+//                        src/common/rng.*, stopwatch.h, telemetry.cc.
+//   unordered-iter  (R3) iteration over std::unordered_map/unordered_set in
+//                        src/la, src/core, src/mf — hash-order iteration
+//                        feeds float accumulation and breaks bitwise
+//                        reproducibility. Lookups are fine; loops are not.
+//   discard-status  (R4) a call to a Status/Result-returning function used
+//                        as a bare statement, or cast to void. Complements
+//                        the [[nodiscard]] attribute for macro-free sites.
+//   float-eq        (R5) ==/!= against a floating-point literal outside
+//                        test files.
+//   raw-log         (R6) std::cerr/std::clog outside src/common/logging.cc —
+//                        diagnostics must go through the SMFL_LOG macros.
+//
+// Any finding can be suppressed inline with a justified comment on the same
+// line or the line above:
+//
+//   // smfl-lint: allow(float-eq) mask entries are exactly 0.0 or 1.0
+//
+// The reason text is mandatory; a suppression without one is itself reported
+// (rule "bad-suppression"). See docs/static-analysis.md for the catalogue.
+
+#ifndef SMFL_TOOLS_SMFL_LINT_LINT_H_
+#define SMFL_TOOLS_SMFL_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smfl::lint {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+struct Token {
+  enum class Kind {
+    kIdent,    // identifier or keyword
+    kNumber,   // numeric literal (IsFloatLiteral distinguishes 1.0 from 1)
+    kString,   // string or char literal (contents dropped)
+    kPunct,    // operator/punctuator; multi-char ops are single tokens
+    kPreproc,  // a whole preprocessor directive, continuations joined
+  };
+  Kind kind;
+  std::string text;
+  int line;  // 1-based line the token starts on
+};
+
+// An inline `// smfl-lint: allow(rule[,rule...]) reason` comment.
+struct Suppression {
+  std::set<std::string> rules;
+  std::string reason;
+  int line;           // line the comment appears on
+  bool own_line;      // comment is the only thing on its line -> covers line+1
+  mutable bool used;  // set when a finding matches it
+};
+
+struct LexedFile {
+  std::string rel_path;  // '/'-separated path relative to the repo root
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+// Tokenizes `content`. Never fails: unrecognized bytes are skipped.
+LexedFile Lex(const std::string& rel_path, const std::string& content);
+
+// True when `text` is a floating-point literal (has '.', a decimal exponent,
+// or an f/F suffix; hex integer literals are excluded).
+bool IsFloatLiteral(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+
+struct Diagnostic {
+  std::string rule;
+  std::string rel_path;
+  int line;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> violations;  // unsuppressed findings
+  std::vector<Diagnostic> suppressed;  // findings silenced by a suppression
+  int files_scanned = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+
+struct LintOptions {
+  // Repo root; rel_paths and rule scoping are computed against it.
+  std::string repo_root = ".";
+  // Directories or files to scan, relative to repo_root (default: {"src"}).
+  std::vector<std::string> roots = {"src"};
+  // Extra rel-path prefixes exempt from float-eq, beyond test files.
+  std::vector<std::string> float_eq_allowlist;
+};
+
+// Names of functions returning Status/Result<T>, harvested from the scanned
+// files themselves (pass 1), used by the discard-status rule (pass 2).
+using StatusFnRegistry = std::set<std::string>;
+
+// Scans declarations/definitions `Status Name(` / `Result<T> Name(` and
+// records Name (the last identifier of a qualified chain).
+void HarvestStatusFunctions(const LexedFile& file, StatusFnRegistry* registry);
+
+// Runs every rule on one lexed file, appending findings to *result.
+// Suppression matching and per-path rule scoping happen here.
+void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
+              const LintOptions& options, LintResult* result);
+
+// Walks options.roots under options.repo_root (sorted, deterministic),
+// lexes every *.h/*.hpp/*.cc/*.cpp file, harvests the Status registry, and
+// lints each file. Returns false (and fills *error) only on I/O failure.
+bool RunLint(const LintOptions& options, LintResult* result,
+             std::string* error);
+
+// Formats one diagnostic as "path:line: [rule] message".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+// Machine-readable summary of a run (violations, suppressed, files_scanned).
+std::string ResultToJson(const LintResult& result);
+
+}  // namespace smfl::lint
+
+#endif  // SMFL_TOOLS_SMFL_LINT_LINT_H_

@@ -1,0 +1,81 @@
+// smfl_lint CLI. Scans the repo source tree for contract violations and
+// exits nonzero when any are found. See docs/static-analysis.md.
+//
+//   smfl_lint [--repo-root DIR] [--json FILE] [PATH...]
+//
+//   --repo-root DIR  repo root used for rule scoping (default: cwd)
+//   --json FILE      also write a machine-readable summary to FILE
+//   PATH...          directories/files to scan, relative to the repo root
+//                    (default: src)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/smfl_lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::cout << "usage: smfl_lint [--repo-root DIR] [--json FILE] [PATH...]\n"
+               "Checks repo contracts (see docs/static-analysis.md):\n"
+               "  thread          parallelism only via src/common/parallel.*\n"
+               "  nondet          no rand()/random_device/time()/system_clock\n"
+               "  unordered-iter  no hash-order iteration in la/core/mf\n"
+               "  discard-status  Status/Result results must be consumed\n"
+               "  float-eq        no ==/!= against float literals\n"
+               "  raw-log         no std::cerr outside logging.cc\n"
+               "Suppress inline: // smfl-lint: allow(<rule>) <reason>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smfl::lint::LintOptions options;
+  options.roots.clear();
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      options.repo_root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cout << "unknown flag: " << arg << "\n";
+      return Usage();
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) options.roots = {"src"};
+
+  smfl::lint::LintResult result;
+  std::string error;
+  if (!smfl::lint::RunLint(options, &result, &error)) {
+    std::cout << "smfl_lint: " << error << "\n";
+    return 2;
+  }
+
+  for (const auto& d : result.violations) {
+    std::cout << smfl::lint::FormatDiagnostic(d) << "\n";
+  }
+  std::cout << "smfl_lint: " << result.files_scanned << " files, "
+            << result.violations.size() << " violation(s), "
+            << result.suppressed.size() << " suppressed\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cout << "smfl_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << smfl::lint::ResultToJson(result);
+  }
+  return result.violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,407 @@
+#include "tools/smfl_lint/rules.h"
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smfl::lint {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool Is(const Token& t, Kind kind, const char* text) {
+  return t.kind == kind && t.text == text;
+}
+bool IsIdent(const Token& t, const char* text) {
+  return Is(t, Kind::kIdent, text);
+}
+bool IsPunct(const Token& t, const char* text) {
+  return Is(t, Kind::kPunct, text);
+}
+
+void Emit(const LexedFile& file, const char* rule, int line,
+          std::string message, std::vector<Diagnostic>* out) {
+  out->push_back(Diagnostic{rule, file.rel_path, line, std::move(message)});
+}
+
+// Advances past a balanced template argument list; tokens[i] must be "<".
+// Returns the index one past the matching ">", or tokens.size() when
+// unbalanced. `>>` closes two levels.
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "<")) {
+      ++depth;
+    } else if (IsPunct(toks[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (IsPunct(toks[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (IsPunct(toks[i], ";")) {
+      return toks.size();  // statement ended before the list closed
+    }
+  }
+  return toks.size();
+}
+
+// Advances past a balanced parenthesized region; tokens[i] must be "(".
+// Returns the index of the matching ")", or tokens.size().
+size_t FindMatchingParen(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "(")) {
+      ++depth;
+    } else if (IsPunct(toks[i], ")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// True when toks[i] begins a statement: preceded by nothing, ';', '{', '}',
+// ')' (an if/for/while header), or `else`/`do`. ':' is deliberately NOT a
+// statement start: treating it as one flags the second arm of ternaries.
+bool AtStatementStart(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) return true;
+  const Token& p = toks[i - 1];
+  if (p.kind == Kind::kPreproc) return true;
+  if (p.kind == Kind::kPunct) {
+    return p.text == ";" || p.text == "{" || p.text == "}" || p.text == ")";
+  }
+  return IsIdent(p, "else") || IsIdent(p, "do");
+}
+
+// Parses an optionally qualified identifier chain `a::b::c` starting at i.
+// On success sets *last to the final identifier's index and returns the
+// index one past the chain; returns i when toks[i] is not an identifier.
+size_t ParseIdentChain(const std::vector<Token>& toks, size_t i,
+                       size_t* last) {
+  if (i >= toks.size() || toks[i].kind != Kind::kIdent) return i;
+  *last = i;
+  ++i;
+  while (i + 1 < toks.size() && IsPunct(toks[i], "::") &&
+         toks[i + 1].kind == Kind::kIdent) {
+    *last = i + 1;
+    i += 2;
+  }
+  return i;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// R1: thread
+
+void CheckThread(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Kind::kPreproc) {
+      const bool omp_pragma = t.text.find("pragma") != std::string::npos &&
+                              t.text.find("omp") != std::string::npos;
+      const bool omp_include = t.text.find("include") != std::string::npos &&
+                               t.text.find("omp.h") != std::string::npos;
+      if (omp_pragma || omp_include) {
+        Emit(file, "thread", t.line,
+             "OpenMP directive outside src/common/parallel.*; use "
+             "smfl::ParallelFor",
+             out);
+      }
+      continue;
+    }
+    if (t.kind == Kind::kIdent && t.text.rfind("omp_", 0) == 0) {
+      Emit(file, "thread", t.line,
+           "OpenMP runtime call '" + t.text +
+               "' outside src/common/parallel.*; use smfl::ParallelFor",
+           out);
+      continue;
+    }
+    if (IsIdent(t, "std") && i + 2 < toks.size() &&
+        IsPunct(toks[i + 1], "::")) {
+      const std::string& name = toks[i + 2].text;
+      if (toks[i + 2].kind == Kind::kIdent &&
+          (name == "thread" || name == "jthread" || name == "async")) {
+        Emit(file, "thread", t.line,
+             "raw 'std::" + name +
+                 "' outside src/common/parallel.*; all parallelism must go "
+                 "through smfl::ParallelFor (deterministic tiling)",
+             out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: nondet
+
+void CheckNondet(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+
+    // Member accesses (x.time(), obj->rand()) are not the libc functions.
+    const bool member =
+        i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    // `foo::time(` for a namespace other than std is someone else's symbol.
+    const bool qualified = i > 0 && IsPunct(toks[i - 1], "::");
+    const bool std_qualified =
+        qualified && i >= 2 && IsIdent(toks[i - 2], "std");
+    const bool callish = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+
+    if ((t.text == "rand" || t.text == "srand") && callish && !member &&
+        (!qualified || std_qualified)) {
+      Emit(file, "nondet", t.line,
+           "'" + t.text +
+               "()' is a banned nondeterminism source; use smfl::Rng with an "
+               "explicit seed",
+           out);
+    } else if (t.text == "random_device" && !member) {
+      Emit(file, "nondet", t.line,
+           "'std::random_device' is a banned nondeterminism source; use "
+           "smfl::Rng with an explicit seed",
+           out);
+    } else if (t.text == "time" && callish && !member &&
+               (!qualified || std_qualified)) {
+      Emit(file, "nondet", t.line,
+           "'time()' is a banned nondeterminism source; seeds must be "
+           "explicit and clocks must go through stopwatch.h",
+           out);
+    } else if (t.text == "system_clock" && !member) {
+      Emit(file, "nondet", t.line,
+           "'std::chrono::system_clock' is banned outside rng/stopwatch/"
+           "telemetry; wall-clock reads make runs unreproducible",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: unordered-iter
+
+void CheckUnorderedIter(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  std::set<std::string> unordered_types = {"unordered_map", "unordered_set",
+                                           "unordered_multimap",
+                                           "unordered_multiset"};
+  std::set<std::string> unordered_vars;
+
+  // Pass 1: collect `using Alias = ...unordered...<...>` aliases and
+  // variables declared with an unordered type (or alias).
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+    if (t.text == "using" && i + 2 < toks.size() &&
+        toks[i + 1].kind == Kind::kIdent && IsPunct(toks[i + 2], "=")) {
+      for (size_t j = i + 3;
+           j < toks.size() && !IsPunct(toks[j], ";"); ++j) {
+        if (toks[j].kind == Kind::kIdent &&
+            unordered_types.count(toks[j].text)) {
+          unordered_types.insert(toks[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+    if (!unordered_types.count(t.text)) continue;
+    // Skip template args if present, then `&`/`*`/`const`, then a variable
+    // name. `std::unordered_map<K, V> name` / `const PatternMap& name`.
+    size_t j = i + 1;
+    if (j < toks.size() && IsPunct(toks[j], "<")) {
+      j = SkipTemplateArgs(toks, j);
+    }
+    while (j < toks.size() &&
+           (IsPunct(toks[j], "&") || IsPunct(toks[j], "*") ||
+            IsIdent(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Kind::kIdent &&
+        !unordered_types.count(toks[j].text)) {
+      unordered_vars.insert(toks[j].text);
+    }
+  }
+
+  auto is_unordered_expr_token = [&](const Token& t) {
+    return t.kind == Kind::kIdent &&
+           (unordered_types.count(t.text) || unordered_vars.count(t.text));
+  };
+
+  // Pass 2a: range-for whose range expression mentions an unordered
+  // container or variable.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "for") || !IsPunct(toks[i + 1], "(")) continue;
+    const size_t close = FindMatchingParen(toks, i + 1);
+    if (close == toks.size()) continue;
+    // Find the top-level ':' (range-for) or ';' (traditional, skip).
+    int depth = 0;
+    size_t colon = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (IsPunct(toks[j], "(") || IsPunct(toks[j], "<")) ++depth;
+      if (IsPunct(toks[j], ")") || IsPunct(toks[j], ">")) --depth;
+      if (depth == 1 && IsPunct(toks[j], ";")) break;
+      if (depth == 1 && IsPunct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (is_unordered_expr_token(toks[j])) {
+        Emit(file, "unordered-iter", toks[i].line,
+             "iteration over unordered container '" + toks[j].text +
+                 "': hash order is unspecified and feeds float accumulation; "
+                 "iterate a sorted key vector instead",
+             out);
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator loops over an unordered variable.
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Kind::kIdent && unordered_vars.count(toks[i].text) &&
+        IsPunct(toks[i + 1], ".") && toks[i + 2].kind == Kind::kIdent) {
+      const std::string& m = toks[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") {
+        Emit(file, "unordered-iter", toks[i].line,
+             "iterator over unordered container '" + toks[i].text +
+                 "': hash order is unspecified; iterate a sorted key vector "
+                 "instead",
+             out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: discard-status
+
+void HarvestStatusFunctions(const LexedFile& file,
+                            StatusFnRegistry* registry) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    size_t after_type = 0;
+    if (IsIdent(t, "Status")) {
+      after_type = i + 1;
+    } else if (IsIdent(t, "Result") && i + 1 < toks.size() &&
+               IsPunct(toks[i + 1], "<")) {
+      after_type = SkipTemplateArgs(toks, i + 1);
+    } else {
+      continue;
+    }
+    // `Status` must be the start of a declaration's return type, not a
+    // qualified use (Status::OK) or a variable type (Status st = ...).
+    if (i > 0 && (IsPunct(toks[i - 1], "::") || IsPunct(toks[i - 1], "<"))) {
+      continue;
+    }
+    size_t last = 0;
+    const size_t end = ParseIdentChain(toks, after_type, &last);
+    if (end == after_type) continue;  // no identifier follows the type
+    if (end < toks.size() && IsPunct(toks[end], "(")) {
+      registry->insert(toks[last].text);
+    }
+  }
+}
+
+void CheckDiscardStatus(const LexedFile& file,
+                        const StatusFnRegistry& registry,
+                        std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent) continue;
+
+    // static_cast<void>(Fn(...)) of a registered function.
+    if (IsIdent(toks[i], "static_cast") && i + 4 < toks.size() &&
+        IsPunct(toks[i + 1], "<") && IsIdent(toks[i + 2], "void") &&
+        IsPunct(toks[i + 3], ">") && IsPunct(toks[i + 4], "(")) {
+      size_t last = 0;
+      const size_t end = ParseIdentChain(toks, i + 5, &last);
+      if (end > i + 5 && end < toks.size() && IsPunct(toks[end], "(") &&
+          registry.count(toks[last].text)) {
+        Emit(file, "discard-status", toks[i].line,
+             "static_cast<void> discards the Status from '" +
+                 toks[last].text +
+                 "'; propagate it, check ok(), or justify with a "
+                 "smfl-lint: allow(discard-status) comment",
+             out);
+      }
+      continue;
+    }
+
+    if (!AtStatementStart(toks, i)) continue;
+
+    // (void) Fn(...): the '(' 'void' ')' prefix ends right before i.
+    const bool void_cast =
+        i >= 3 && IsPunct(toks[i - 1], ")") && IsIdent(toks[i - 2], "void") &&
+        IsPunct(toks[i - 3], "(");
+
+    size_t last = 0;
+    const size_t end = ParseIdentChain(toks, i, &last);
+    if (end == i || end >= toks.size() || !IsPunct(toks[end], "(")) continue;
+    if (!registry.count(toks[last].text)) continue;
+    const size_t close = FindMatchingParen(toks, end);
+    if (close + 1 >= toks.size() || !IsPunct(toks[close + 1], ";")) continue;
+    if (void_cast) {
+      Emit(file, "discard-status", toks[i].line,
+           "(void) cast discards the Status from '" + toks[last].text +
+               "'; propagate it, check ok(), or justify with a "
+               "smfl-lint: allow(discard-status) comment",
+           out);
+    } else {
+      Emit(file, "discard-status", toks[i].line,
+           "result of '" + toks[last].text +
+               "' (Status/Result) is discarded; use RETURN_NOT_OK, check "
+               "ok(), or log the failure",
+           out);
+    }
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: float-eq
+
+void CheckFloatEq(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kPunct ||
+        (toks[i].text != "==" && toks[i].text != "!=")) {
+      continue;
+    }
+    const bool prev_float = i > 0 && toks[i - 1].kind == Kind::kNumber &&
+                            IsFloatLiteral(toks[i - 1].text);
+    const bool next_float = i + 1 < toks.size() &&
+                            toks[i + 1].kind == Kind::kNumber &&
+                            IsFloatLiteral(toks[i + 1].text);
+    if (prev_float || next_float) {
+      Emit(file, "float-eq", toks[i].line,
+           "exact floating-point comparison ('" + toks[i].text +
+               "' against a float literal); compare against a tolerance or "
+               "justify exactness with smfl-lint: allow(float-eq)",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R6: raw-log
+
+void CheckRawLog(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "std") && IsPunct(toks[i + 1], "::") &&
+        toks[i + 2].kind == Kind::kIdent &&
+        (toks[i + 2].text == "cerr" || toks[i + 2].text == "clog")) {
+      Emit(file, "raw-log", toks[i].line,
+           "bare 'std::" + toks[i + 2].text +
+               "' outside src/common/logging.cc; use SMFL_LOG(level) so "
+               "messages respect the global log threshold",
+           out);
+    }
+  }
+}
+
+}  // namespace smfl::lint

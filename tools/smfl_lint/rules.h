@@ -1,0 +1,41 @@
+// Internal rule implementations for smfl_lint. Each Check* walks one lexed
+// file and appends raw findings; path scoping and suppression matching are
+// the driver's job (lint.cc).
+
+#ifndef SMFL_TOOLS_SMFL_LINT_RULES_H_
+#define SMFL_TOOLS_SMFL_LINT_RULES_H_
+
+#include <vector>
+
+#include "tools/smfl_lint/lint.h"
+
+namespace smfl::lint {
+
+// R1 "thread": std::thread/std::jthread/std::async, omp_* calls, and
+// OpenMP pragmas/includes.
+void CheckThread(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R2 "nondet": rand()/srand(), std::random_device, time(), and
+// std::chrono::system_clock.
+void CheckNondet(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R3 "unordered-iter": range-for over, or begin() iteration of, a variable
+// declared as std::unordered_map/std::unordered_set (aliases via `using`
+// are tracked within the same file).
+void CheckUnorderedIter(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R4 "discard-status": bare-statement call of a registered Status/Result
+// function, or a (void)/static_cast<void> cast of one.
+void CheckDiscardStatus(const LexedFile& file,
+                        const StatusFnRegistry& registry,
+                        std::vector<Diagnostic>* out);
+
+// R5 "float-eq": ==/!= where either operand is a floating-point literal.
+void CheckFloatEq(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R6 "raw-log": std::cerr / std::clog.
+void CheckRawLog(const LexedFile& file, std::vector<Diagnostic>* out);
+
+}  // namespace smfl::lint
+
+#endif  // SMFL_TOOLS_SMFL_LINT_RULES_H_
