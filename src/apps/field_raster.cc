@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
+#include "src/common/durable_io.h"
 #include "src/spatial/knn.h"
 
 namespace smfl::apps {
@@ -87,8 +88,8 @@ Result<FieldRaster> RasterizeField(const Matrix& si,
 }
 
 Status WriteRasterCsv(const FieldRaster& raster, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  // Rendered in memory, then atomically replaced (temp + fsync + rename).
+  std::ostringstream out;
   out << "lat,lon,value\n";
   out.precision(10);
   for (Index r = 0; r < raster.grid.rows(); ++r) {
@@ -97,8 +98,7 @@ Status WriteRasterCsv(const FieldRaster& raster, const std::string& path) {
           << raster.grid(r, c) << "\n";
     }
   }
-  if (!out) return Status::IoError("write failed for '" + path + "'");
-  return Status::OK();
+  return WriteFileDurable(path, out.str());
 }
 
 }  // namespace smfl::apps

@@ -1,5 +1,10 @@
 #include "src/cli/commands.h"
 
+#include <csignal>
+#include <cstdlib>
+#include <optional>
+
+#include "src/core/checkpoint.h"
 #include "src/core/fold_in.h"
 #include "src/core/model_io.h"
 #include "src/core/model_selection.h"
@@ -146,8 +151,14 @@ std::string UsageText() {
       "  stats   --in=data.csv [--spatial=2]\n"
       "          print column statistics and missing-data summary\n"
       "  fit     --in=train.csv --model=model.txt [--spatial=2] [--rank=10]\n"
-      "          [--lambda=0.5] [--neighbors=3]\n"
-      "          train an SMFL model and save it\n"
+      "          [--lambda=0.5] [--neighbors=3] [--seed=23]\n"
+      "          [--checkpoint-dir=ckpt/]\n"
+      "          [--checkpoint-every=10] [--checkpoint-keep=3] [--resume]\n"
+      "          train an SMFL model and save it; with --checkpoint-dir the\n"
+      "          fit durably snapshots its full state every N iterations,\n"
+      "          and --resume continues a killed fit to the bitwise-\n"
+      "          identical final model (corrupt checkpoints are detected\n"
+      "          by CRC and fall back to the previous generation)\n"
       "  apply   --in=fresh.csv --model=model.txt --out=completed.csv\n"
       "          impute fresh rows against a saved model (batched fold-in\n"
       "          in the model's training normalization space, with a\n"
@@ -338,18 +349,93 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   ASSIGN_OR_RETURN(int64_t neighbors,
                    flags.GetInt("neighbors", options.num_neighbors));
   ASSIGN_OR_RETURN(int64_t fit_threads, flags.GetInt("threads", 0));
+  ASSIGN_OR_RETURN(int64_t seed,
+                   flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+  if (seed < 0) {
+    return Status::InvalidArgument("--seed must be >= 0");
+  }
   options.rank = static_cast<Index>(rank);
   options.lambda = lambda;
   options.num_neighbors = static_cast<Index>(neighbors);
   options.threads = static_cast<int>(fit_threads);
+  options.seed = static_cast<uint64_t>(seed);
+
+  // Crash-safe checkpointing (docs/robustness.md).
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  ASSIGN_OR_RETURN(int64_t checkpoint_every,
+                   flags.GetInt("checkpoint-every", 10));
+  ASSIGN_OR_RETURN(int64_t checkpoint_keep, flags.GetInt("checkpoint-keep", 3));
+  ASSIGN_OR_RETURN(bool resume, flags.GetBool("resume", false));
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir=<dir>");
+  }
+  if (!checkpoint_dir.empty() &&
+      (checkpoint_every < 1 || checkpoint_keep < 1)) {
+    return Status::InvalidArgument(
+        "--checkpoint-every and --checkpoint-keep must be >= 1");
+  }
 
   // The saved model operates in normalized [0, 1] space. The fitted
-  // normalizer is persisted inside the model (format v2) so `apply`
+  // normalizer is persisted inside the model (format v2+) so `apply`
   // transforms fresh rows with the TRAINING ranges — re-fitting the
   // ranges on a fresh batch would silently shift every reconstruction.
   ASSIGN_OR_RETURN(
       data::MinMaxNormalizer normalizer,
       data::MinMaxNormalizer::Fit(input.table.values(), input.observed));
+
+  std::optional<core::CheckpointManager> manager;
+  std::optional<core::FitCheckpoint> resume_state;
+  if (!checkpoint_dir.empty()) {
+    core::CheckpointConfig config;
+    config.dir = checkpoint_dir;
+    config.every = static_cast<int>(checkpoint_every);
+    config.keep = static_cast<int>(checkpoint_keep);
+    // Flush the telemetry sinks at every checkpoint so the trace/metrics
+    // observed so far survive the same crashes the model state does.
+    config.trace_flush_path = flags.GetString("trace-out", "");
+    config.metrics_flush_path = flags.GetString("metrics-out", "");
+    manager.emplace(std::move(config));
+    manager->SetNormalizer(&normalizer);
+    // Deterministic crash hook for the kill-mid-fit harness
+    // (tests/crash_recovery_test.cc): SMFL_CRASH_AFTER_CHECKPOINTS=N
+    // SIGKILLs the process right after the N-th durable checkpoint write.
+    if (const char* crash_after =
+            std::getenv("SMFL_CRASH_AFTER_CHECKPOINTS")) {
+      const int crash_count = std::atoi(crash_after);
+      if (crash_count > 0) {
+        manager->SetPostWriteHook([crash_count](int writes) {
+          if (writes >= crash_count) std::raise(SIGKILL);
+        });
+      }
+    }
+    options.checkpoint = &*manager;
+    if (resume) {
+      auto latest = manager->LoadLatest();
+      if (latest.ok()) {
+        resume_state = std::move(latest).value();
+        // The checkpointed normalizer is the TRAINING one; the resumed
+        // fit must keep normalizing into that exact space.
+        if (resume_state->normalizer.has_value()) {
+          normalizer = *resume_state->normalizer;
+        }
+        options.resume_from = &*resume_state;
+        *output += StrFormat(
+            "resuming from checkpoint in '%s' (restart %d, attempt %d, "
+            "iteration %d)\n",
+            checkpoint_dir.c_str(), resume_state->restart,
+            resume_state->attempt, resume_state->iteration);
+      } else if (latest.status().code() == StatusCode::kNotFound) {
+        *output += StrFormat(
+            "--resume: no checkpoint found in '%s'; starting fresh\n",
+            checkpoint_dir.c_str());
+      } else {
+        // Every retained generation is corrupt/unreadable — surface it
+        // rather than silently refitting from scratch.
+        return latest.status();
+      }
+    }
+  }
+
   Matrix normalized = data::ApplyMask(
       normalizer.Transform(input.table.values()), input.observed);
   ASSIGN_OR_RETURN(core::SmflModel model,

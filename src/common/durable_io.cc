@@ -1,0 +1,245 @@
+#include "src/common/durable_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/fault.h"
+#include "src/common/strings.h"
+
+namespace smfl {
+
+namespace {
+
+// CRC-32 lookup table for the reflected IEEE polynomial, built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Writes all of `data` to `fd`, riding out short writes and EINTR.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed for '" + path + "': " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// fsync of the directory containing `path`, so a completed rename is
+// durable. Best-effort on filesystems that refuse O_DIRECTORY opens.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view content) {
+  // Same-directory temp name: rename(2) is only atomic within one
+  // filesystem. The pid suffix keeps concurrent writers from clobbering
+  // each other's temp file (last rename still wins the final name).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp + "' for writing: " +
+                           std::strerror(errno));
+  }
+  // Torn-write fault: persist only a prefix, skip the durability fsync,
+  // and let the rename go through — the crash window where the kernel
+  // reordered data and rename. Readers must catch this via checksums.
+  const bool torn = SMFL_FAULT_FIRED("io.write.torn");
+  const std::string_view effective =
+      torn ? content.substr(0, content.size() / 2) : content;
+  Status write_status = WriteAll(fd, effective, tmp);
+  if (!write_status.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (!torn) {
+    if (SMFL_FAULT_FIRED("io.write.fsync_fail") || ::fsync(fd) != 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("fsync failed for '" + tmp + "'");
+    }
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("close failed for '" + tmp + "': " +
+                           std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed: " +
+                           std::strerror(errno));
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  std::string content = std::move(buf).str();
+  // Partial-read fault: hand back a prefix, as a half-synced page cache
+  // or a mid-copy snapshot would.
+  if (SMFL_FAULT_FIRED("io.read.partial")) {
+    content.resize(content.size() / 2);
+  }
+  return content;
+}
+
+// ---------------------------------------------------------------------------
+// Section framing.
+
+namespace {
+constexpr const char* kContainerMagic = "smfl-durable";
+constexpr int kContainerVersion = 1;
+// A hostile section count or length is rejected before any allocation.
+constexpr long long kMaxSections = 1 << 10;
+}  // namespace
+
+bool LooksLikeDurableContainer(std::string_view content) {
+  return StartsWith(content, kContainerMagic);
+}
+
+void SectionWriter::Add(std::string_view name, std::string_view payload) {
+  sections_.push_back(Section{std::string(name), std::string(payload)});
+}
+
+std::string SectionWriter::Finish() const {
+  std::string out = StrFormat("%s %d %zu\n", kContainerMagic,
+                              kContainerVersion, sections_.size());
+  for (const Section& s : sections_) {
+    out += StrFormat("section %s %zu %08x\n", s.name.c_str(),
+                     s.payload.size(), Crc32(s.payload));
+    out += s.payload;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<Section>> ParseSections(const std::string& content) {
+  size_t pos = 0;
+  // Header line.
+  const size_t header_end = content.find('\n');
+  if (header_end == std::string::npos) {
+    return Status::DataError("durable container: missing header line");
+  }
+  {
+    std::istringstream header(content.substr(0, header_end));
+    std::string magic;
+    int version = -1;
+    long long count = -1;
+    if (!(header >> magic >> version >> count) || magic != kContainerMagic) {
+      return Status::DataError("durable container: bad magic");
+    }
+    if (version != kContainerVersion) {
+      return Status::DataError(
+          StrFormat("durable container: unsupported version %d", version));
+    }
+    if (count < 0 || count > kMaxSections) {
+      return Status::DataError(
+          StrFormat("durable container: implausible section count %lld",
+                    count));
+    }
+    pos = header_end + 1;
+    std::vector<Section> sections;
+    sections.reserve(static_cast<size_t>(count));
+    for (long long i = 0; i < count; ++i) {
+      const size_t line_end = content.find('\n', pos);
+      if (line_end == std::string::npos) {
+        return Status::DataError(StrFormat(
+            "durable container: truncated before section %lld header", i));
+      }
+      std::istringstream line(content.substr(pos, line_end - pos));
+      std::string tag, name, crc_hex;
+      long long length = -1;
+      if (!(line >> tag >> name >> length >> crc_hex) || tag != "section") {
+        return Status::DataError(
+            StrFormat("durable container: malformed section %lld header", i));
+      }
+      if (length < 0 ||
+          static_cast<unsigned long long>(length) >
+              content.size() - (line_end + 1)) {
+        return Status::DataError(
+            "durable container: section '" + name +
+            "' length exceeds the file (torn write or truncation)");
+      }
+      uint32_t expected = 0;
+      {
+        std::istringstream crc_in(crc_hex);
+        crc_in >> std::hex >> expected;
+        if (crc_in.fail() || crc_hex.size() != 8) {
+          return Status::DataError("durable container: section '" + name +
+                                   "' has a malformed checksum");
+        }
+      }
+      pos = line_end + 1;
+      std::string payload = content.substr(pos, static_cast<size_t>(length));
+      pos += static_cast<size_t>(length);
+      if (pos >= content.size() || content[pos] != '\n') {
+        return Status::DataError("durable container: section '" + name +
+                                 "' payload is not newline-terminated "
+                                 "(torn write or truncation)");
+      }
+      ++pos;
+      const uint32_t actual = Crc32(payload);
+      if (actual != expected) {
+        return Status::DataError(StrFormat(
+            "durable container: section '%s' checksum mismatch "
+            "(expected %08x, got %08x) — the file is corrupt",
+            name.c_str(), expected, actual));
+      }
+      sections.push_back(Section{std::move(name), std::move(payload)});
+    }
+    if (pos != content.size()) {
+      return Status::DataError(
+          "durable container: trailing bytes after the last section");
+    }
+    return sections;
+  }
+}
+
+}  // namespace smfl

@@ -1,5 +1,6 @@
 #include "src/common/rng.h"
 
+#include <bit>
 #include <cmath>
 
 #include "src/common/logging.h"
@@ -103,5 +104,19 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+RngState Rng::GetState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.have_cached_normal = have_cached_normal_;
+  state.cached_normal_bits = std::bit_cast<uint64_t>(cached_normal_);
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = std::bit_cast<double>(state.cached_normal_bits);
+}
 
 }  // namespace smfl

@@ -16,6 +16,15 @@
 
 namespace smfl {
 
+// Complete engine state, capturable and restorable bit-exactly. The cached
+// Box–Muller normal is carried as raw bits so a checkpointed stream resumes
+// on the same draw sequence down to the last ulp (src/core/checkpoint.*).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_normal = false;
+  uint64_t cached_normal_bits = 0;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) { Seed(seed); }
@@ -52,6 +61,11 @@ class Rng {
 
   // Derives an independent child stream (for per-worker determinism).
   Rng Fork();
+
+  // Snapshot / restore of the full engine state (crash-safe checkpoints).
+  // RestoreState(GetState()) is an exact no-op on the output stream.
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t s_[4];

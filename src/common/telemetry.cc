@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/durable_io.h"
 #include "src/common/strings.h"
 
 namespace smfl::telemetry {
@@ -80,16 +81,10 @@ std::string EscapeJson(const std::string& s) {
 
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != contents.size() || close_rc != 0) {
-    return Status::IoError("short write to '" + path + "'");
-  }
-  return Status::OK();
+  // Atomic replace (temp + fsync + rename): trace/metrics files rewritten
+  // at checkpoint boundaries never tear, so the previous flush survives a
+  // crash mid-rewrite.
+  return WriteFileDurable(path, contents);
 }
 
 }  // namespace

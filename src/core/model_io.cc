@@ -1,9 +1,9 @@
 #include "src/core/model_io.h"
 
-#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "src/common/durable_io.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
@@ -14,9 +14,17 @@ namespace {
 constexpr const char* kMagic = "smfl-model";
 // v1: factors + landmarks + trace. v2 adds the fitted min-max normalizer
 // so serving transforms fresh rows with the TRAINING ranges (see
-// docs/serving.md). v1 files still load, minus the normalizer.
-constexpr int kVersion = 2;
+// docs/serving.md). v3 wraps the same text body in the checksummed
+// durable-io container (per-section CRC32, atomic replace on save) so a
+// torn write or bit flip surfaces as a clean DataError instead of a
+// silently wrong model. v1/v2 bare-text files still load.
+constexpr int kVersion = 3;
 constexpr int kMinSupportedVersion = 1;
+
+// Section order of the v3 container; the concatenated payloads form
+// exactly the legacy text body, so one parser serves every version.
+constexpr const char* kSectionOrder[] = {"meta", "normalizer", "U",
+                                         "V",    "C",          "trace"};
 
 // A fitted model is N x K + K x M + K x L doubles — a corrupt or hostile
 // header claiming more than these bounds is rejected before any
@@ -67,40 +75,56 @@ Result<Matrix> ReadMatrix(std::istringstream& is, const std::string& name) {
 }  // namespace
 
 std::string SerializeModel(const SmflModel& model) {
-  std::ostringstream os;
-  os << kMagic << " " << kVersion << "\n";
-  os << "spatial_cols " << model.spatial_cols << "\n";
-  os << "iterations " << model.report.iterations << " converged "
-     << (model.report.converged ? 1 : 0) << "\n";
-  // v2: the training normalization ranges ("normalizer 0" = none stored).
-  os.precision(17);
+  // Each logical block becomes one CRC-framed container section; joined in
+  // kSectionOrder the payloads reproduce the legacy (v1/v2-shaped) text
+  // body, just with a bumped version number.
+  std::ostringstream meta;
+  meta << kMagic << " " << kVersion << "\n";
+  meta << "spatial_cols " << model.spatial_cols << "\n";
+  meta << "iterations " << model.report.iterations << " converged "
+       << (model.report.converged ? 1 : 0) << "\n";
+
+  std::ostringstream norm;
+  norm.precision(17);
   if (model.normalizer.has_value()) {
-    os << "normalizer " << model.normalizer->NumCols() << "\n";
+    norm << "normalizer " << model.normalizer->NumCols() << "\n";
     for (Index j = 0; j < model.normalizer->NumCols(); ++j) {
-      os << model.normalizer->ColMin(j) << " " << model.normalizer->ColMax(j)
-         << "\n";
+      norm << model.normalizer->ColMin(j) << " "
+           << model.normalizer->ColMax(j) << "\n";
     }
   } else {
-    os << "normalizer 0\n";
+    norm << "normalizer 0\n";
   }
-  WriteMatrix(os, "U", model.u);
-  WriteMatrix(os, "V", model.v);
-  WriteMatrix(os, "C", model.landmarks);
-  os << "trace " << model.report.objective_trace.size() << "\n";
-  os.precision(17);
-  for (double v : model.report.objective_trace) os << v << "\n";
-  return os.str();
+
+  std::ostringstream u_os, v_os, c_os;
+  WriteMatrix(u_os, "U", model.u);
+  WriteMatrix(v_os, "V", model.v);
+  WriteMatrix(c_os, "C", model.landmarks);
+
+  std::ostringstream trace;
+  trace << "trace " << model.report.objective_trace.size() << "\n";
+  trace.precision(17);
+  for (double v : model.report.objective_trace) trace << v << "\n";
+
+  SectionWriter writer;
+  writer.Add("meta", meta.str());
+  writer.Add("normalizer", norm.str());
+  writer.Add("U", u_os.str());
+  writer.Add("V", v_os.str());
+  writer.Add("C", c_os.str());
+  writer.Add("trace", trace.str());
+  return writer.Finish();
 }
 
 Status SaveModel(const SmflModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  out << SerializeModel(model);
-  if (!out) return Status::IoError("write failed for '" + path + "'");
-  return Status::OK();
+  return WriteFileDurable(path, SerializeModel(model));
 }
 
-Result<SmflModel> DeserializeModel(const std::string& content) {
+namespace {
+
+// Parses the text body shared by every format version (the whole file for
+// v1/v2, the concatenated section payloads for v3+).
+Result<SmflModel> ParseModelBody(const std::string& content) {
   std::istringstream is(content);
   std::string magic;
   int version = -1;
@@ -187,12 +211,40 @@ Result<SmflModel> DeserializeModel(const std::string& content) {
   return model;
 }
 
+}  // namespace
+
+Result<SmflModel> DeserializeModel(const std::string& content) {
+  if (!LooksLikeDurableContainer(content)) {
+    // v1/v2 bare text file.
+    return ParseModelBody(content);
+  }
+  ASSIGN_OR_RETURN(std::vector<Section> sections, ParseSections(content));
+  constexpr size_t kNumSections =
+      sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
+  if (sections.size() != kNumSections) {
+    return Status::DataError(StrFormat(
+        "model file: expected %zu sections, found %zu", kNumSections,
+        sections.size()));
+  }
+  std::string body;
+  for (size_t i = 0; i < kNumSections; ++i) {
+    if (sections[i].name != kSectionOrder[i]) {
+      return Status::DataError(StrFormat(
+          "model file: expected section '%s' at position %zu, found '%s'",
+          kSectionOrder[i], i, sections[i].name.c_str()));
+    }
+    body += sections[i].payload;
+  }
+  return ParseModelBody(body);
+}
+
 Result<SmflModel> LoadModel(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  auto model = DeserializeModel(buf.str());
+  auto content = ReadFileToString(path);
+  if (!content.ok()) {
+    Status st = content.status();
+    return st.WithContext("while loading '" + path + "'");
+  }
+  auto model = DeserializeModel(content.value());
   if (!model.ok()) {
     Status st = model.status();
     return st.WithContext("while loading '" + path + "'");

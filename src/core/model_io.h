@@ -10,6 +10,13 @@
 // the SAME normalization space the factors were learned in. v1 files
 // still load — with a warning, and without a normalizer (see
 // docs/serving.md for the round-trip contract).
+//
+// Format v3 wraps the identical text body in the durable-io container
+// (src/common/durable_io.h): named sections (meta / normalizer / U / V /
+// C / trace), each length-prefixed and CRC32-checksummed, written with
+// the atomic temp-file + fsync + rename protocol. Torn writes and bit
+// flips surface as DataError at load instead of a silently wrong model.
+// v1/v2 bare-text files remain loadable (docs/robustness.md).
 
 #ifndef SMFL_CORE_MODEL_IO_H_
 #define SMFL_CORE_MODEL_IO_H_

@@ -9,7 +9,9 @@
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
+#include "src/core/checkpoint.h"
 #include "src/core/landmarks.h"
+#include "src/core/model_io.h"
 #include "src/core/training_guard.h"
 #include "src/data/normalize.h"
 #include "src/la/ops.h"
@@ -208,11 +210,82 @@ void UpdateVGradient(const Matrix& x_observed, const Mask& observed,
 }  // namespace
 
 namespace {
+
+// Everything a mid-fit checkpoint must record beyond the solver state
+// itself: where this attempt sits in the restart/retry nest, the
+// fingerprints that gate resume, and the serialized best-so-far model.
+struct CheckpointContext {
+  CheckpointManager* manager = nullptr;
+  uint64_t seed = 0;  // the OUTER FitSmfl seed, not the derived one
+  uint64_t input_fingerprint = 0;
+  uint64_t options_fingerprint = 0;
+  int restart = 0;
+  int attempt = 0;
+  int retries_used = 0;
+  const std::string* best_model = nullptr;
+};
+
 // Single fit at a fixed seed; FitSmflWithGraph wraps it with restarts.
+// `ckpt` (nullable) enables periodic checkpoint writes; `resume`
+// (nullable) restores a checkpointed state instead of initializing.
 Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                                    Index spatial_cols,
                                    const NeighborGraph& graph,
-                                   const SmflOptions& options);
+                                   const SmflOptions& options,
+                                   const CheckpointContext* ckpt,
+                                   const FitCheckpoint* resume);
+
+// FNV-1a over the raw input bytes (values, mask bits, shape,
+// spatial_cols). Resume refuses a checkpoint whose input fingerprint
+// differs — continuing a trajectory against different data would
+// produce a model matching neither run.
+uint64_t FingerprintInput(const Matrix& x, const Mask& observed,
+                          Index spatial_cols) {
+  uint64_t h = Fnv1a64(StrFormat(
+      "%lld %lld %lld", static_cast<long long>(x.rows()),
+      static_cast<long long>(x.cols()), static_cast<long long>(spatial_cols)));
+  h = Fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(x.data()),
+                       sizeof(double) * static_cast<size_t>(x.size())),
+      h);
+  for (Index i = 0; i < observed.rows(); ++i) {
+    h = Fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(observed.RowData(i)),
+                         static_cast<size_t>(observed.cols())),
+        h);
+  }
+  return h;
+}
+
+// FNV-1a over every SmflOptions field the trajectory depends on.
+// `threads` is deliberately absent (results are bitwise identical at any
+// thread count); the checkpoint plumbing fields obviously are too.
+uint64_t FingerprintOptions(const SmflOptions& options) {
+  const std::string repr = StrFormat(
+      "rank=%lld;nn=%lld;gw=%d;lm=%d;update=%d;maxit=%d;kmeans=%d;"
+      "restarts=%d;seed=%llu;retries=%d;guard=%d,%d,%d",
+      static_cast<long long>(options.rank),
+      static_cast<long long>(options.num_neighbors),
+      static_cast<int>(options.graph_weighting),
+      options.use_landmarks ? 1 : 0, static_cast<int>(options.update),
+      options.max_iterations, options.kmeans_max_iterations,
+      options.num_restarts, static_cast<unsigned long long>(options.seed),
+      options.max_numeric_retries, options.guard.enabled ? 1 : 0,
+      options.guard.checkpoint_interval,
+      options.guard.max_recovery_attempts);
+  uint64_t h = Fnv1a64(repr);
+  const double reals[] = {options.lambda,
+                          options.learning_rate,
+                          options.tolerance,
+                          options.guard.objective_slack,
+                          options.guard.eps_bump,
+                          options.guard.perturbation};
+  h = Fnv1a64(std::string_view(reinterpret_cast<const char*>(reals),
+                               sizeof(reals)),
+              h);
+  return h;
+}
+
 }  // namespace
 
 Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
@@ -229,17 +302,84 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
   // escalates the seed and tries again, any other error is deterministic
   // and fails the restart immediately.
   const int max_attempts = 1 + std::max(0, options.max_numeric_retries);
+
+  // Checkpoint/resume plumbing. Fingerprints are computed once per fit
+  // call; resume refuses a checkpoint written for different data or
+  // options, or one pointing outside the live restart/retry nest.
+  const FitCheckpoint* resume = options.resume_from;
+  uint64_t input_fp = 0, options_fp = 0;
+  if (options.checkpoint != nullptr || resume != nullptr) {
+    input_fp = FingerprintInput(x, observed, spatial_cols);
+    options_fp = FingerprintOptions(options);
+  }
+  if (resume != nullptr) {
+    if (resume->input_fingerprint != input_fp) {
+      return Status::InvalidArgument(
+          "resume: checkpoint was written for different input data");
+    }
+    if (resume->options_fingerprint != options_fp) {
+      return Status::InvalidArgument(
+          "resume: checkpoint was written under different fit options");
+    }
+    if (resume->restart >= options.num_restarts ||
+        resume->attempt >= max_attempts) {
+      return Status::InvalidArgument(StrFormat(
+          "resume: checkpoint position (restart %d, attempt %d) exceeds "
+          "num_restarts=%d / max attempts=%d",
+          resume->restart, resume->attempt, options.num_restarts,
+          max_attempts));
+    }
+  }
+
   Result<SmflModel> best = Status::Internal("no restart succeeded");
   Status last_error = Status::OK();
   int retries_used = 0;
-  for (int r = 0; r < options.num_restarts; ++r) {
+  int start_restart = 0;
+  // Serialized best-so-far, carried into checkpoints so a resumed
+  // num_restarts > 1 fit keeps the winner without refitting.
+  std::string best_serialized;
+  if (resume != nullptr) {
+    start_restart = resume->restart;
+    retries_used = resume->retries_used;
+    if (!resume->best_model.empty()) {
+      auto prior = DeserializeModel(resume->best_model);
+      if (!prior.ok()) {
+        Status st = prior.status();
+        st.WithContext("resume: stored best-so-far model");
+        return st;
+      }
+      best = std::move(prior).value();
+      best_serialized = resume->best_model;
+    }
+  }
+  for (int r = start_restart; r < options.num_restarts; ++r) {
     Result<SmflModel> model = Status::Internal("restart not attempted");
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const int start_attempt =
+        (resume != nullptr && r == resume->restart) ? resume->attempt : 0;
+    for (int attempt = start_attempt; attempt < max_attempts; ++attempt) {
       SmflOptions single = options;
       single.num_restarts = 1;
       single.seed = options.seed + static_cast<uint64_t>(r) * 0x9e3779b9ULL +
                     static_cast<uint64_t>(attempt) * 0xc2b2ae3d27d4eb4fULL;
-      model = FitOnceWithGraph(x, observed, spatial_cols, graph, single);
+      single.checkpoint = nullptr;
+      single.resume_from = nullptr;
+      CheckpointContext ctx;
+      ctx.manager = options.checkpoint;
+      ctx.seed = options.seed;
+      ctx.input_fingerprint = input_fp;
+      ctx.options_fingerprint = options_fp;
+      ctx.restart = r;
+      ctx.attempt = attempt;
+      ctx.retries_used = retries_used;
+      ctx.best_model = &best_serialized;
+      const FitCheckpoint* attempt_resume =
+          (resume != nullptr && r == resume->restart &&
+           attempt == resume->attempt)
+              ? resume
+              : nullptr;
+      model = FitOnceWithGraph(x, observed, spatial_cols, graph, single,
+                               options.checkpoint != nullptr ? &ctx : nullptr,
+                               attempt_resume);
       if (model.ok() ||
           model.status().code() != StatusCode::kNumericError ||
           attempt + 1 == max_attempts) {
@@ -256,6 +396,9 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
     if (!best.ok() || model->report.final_objective() <
                           best->report.final_objective()) {
       best = std::move(model);
+      if (options.checkpoint != nullptr && r + 1 < options.num_restarts) {
+        best_serialized = SerializeModel(*best);
+      }
     }
   }
   if (!best.ok()) {
@@ -274,7 +417,9 @@ namespace {
 Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                                    Index spatial_cols,
                                    const NeighborGraph& graph,
-                                   const SmflOptions& options) {
+                                   const SmflOptions& options,
+                                   const CheckpointContext* ckpt,
+                                   const FitCheckpoint* resume) {
   SMFL_TRACE_SPAN("smfl.fit");
   if (graph.num_vertices() != x.rows()) {
     return Status::InvalidArgument("FitSmfl: graph size mismatch");
@@ -283,6 +428,22 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
 
   SmflModel model;
   model.spatial_cols = spatial_cols;
+  const Index v_update_begin = options.use_landmarks ? spatial_cols : 0;
+  if (resume != nullptr) {
+    // The checkpoint holds the full accepted state at `resume->iteration`
+    // — factors, landmarks, trace, guard internals. Nothing stochastic is
+    // re-run; the only recomputation below is R_Ω(UV), a pure function of
+    // the restored factors.
+    if (resume->u.rows() != n || resume->u.cols() != k ||
+        resume->v.rows() != k || resume->v.cols() != m ||
+        resume->spatial_cols != spatial_cols) {
+      return Status::InvalidArgument(
+          "resume: checkpoint factor shapes do not match this fit");
+    }
+    model.u = resume->u;
+    model.v = resume->v;
+    model.landmarks = resume->landmarks;
+  } else {
   Rng rng(options.seed);
   model.u = Matrix(n, k);
   model.v = Matrix(k, m);
@@ -293,7 +454,6 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     model.v.data()[i] = rng.Uniform(0.01, 1.0);
   }
 
-  Index v_update_begin = 0;
   if (options.use_landmarks) {
     // Landmarks from K-means over the (mean-filled) SI block.
     Matrix si_filled;
@@ -312,7 +472,6 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     lm.seed = options.seed;
     ASSIGN_OR_RETURN(model.landmarks, GenerateLandmarks(si_filled, k, lm));
     InjectLandmarks(model.v, model.landmarks);
-    v_update_begin = spatial_cols;
 
     // Cluster-consistent initialization: with the first L columns of V
     // frozen at the centers C, a random U starts far from satisfying
@@ -391,6 +550,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
       }
     }
   }
+  }  // resume == nullptr initialization
 
   const Matrix x_observed = data::ApplyMask(x, observed);
   FitReport& report = model.report;
@@ -401,8 +561,13 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   // reconstruction per iteration.
   Matrix uv_masked = ReconstructMasked(model.u, model.v, observed);
   const bool legacy_reconstruct = mf::LegacyReconstructForBench();
-  report.objective_trace.push_back(ObjectiveGiven(
-      x, observed, graph, options.lambda, model.u, uv_masked));
+  if (resume == nullptr) {
+    report.objective_trace.push_back(ObjectiveGiven(
+        x, observed, graph, options.lambda, model.u, uv_masked));
+  } else {
+    report.objective_trace = resume->objective_trace;
+    report.iterations = resume->iteration + 1;
+  }
 
   // The guard checkpoints (U, V, objective) and rolls back on NaN/Inf or —
   // for the multiplicative rules, whose monotonicity is the paper's
@@ -411,8 +576,13 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                       options.update == UpdateMethod::kMultiplicative,
                       options.seed, kDivEps);
   double div_eps = kDivEps;
+  if (resume != nullptr) {
+    guard.RestoreState(resume->guard);
+    div_eps = resume->div_eps;
+  }
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  const int start_iter = resume != nullptr ? resume->iteration + 1 : 0;
+  for (int iter = start_iter; iter < options.max_iterations; ++iter) {
     SMFL_TRACE_SPAN("smfl.fit.iter");
     report.iterations = iter + 1;
     // Baseline-measurement mode recomputes the U update's reconstruction
@@ -500,6 +670,32 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
                                      options.tolerance)) {
       report.converged = true;
       break;
+    }
+    if (ckpt != nullptr && ckpt->manager != nullptr &&
+        ckpt->manager->ShouldCheckpoint(iter)) {
+      FitCheckpoint cp;
+      cp.seed = ckpt->seed;
+      cp.input_fingerprint = ckpt->input_fingerprint;
+      cp.options_fingerprint = ckpt->options_fingerprint;
+      cp.restart = ckpt->restart;
+      cp.attempt = ckpt->attempt;
+      cp.retries_used = ckpt->retries_used;
+      cp.iteration = iter;
+      cp.div_eps = div_eps;
+      cp.u = model.u;
+      cp.v = model.v;
+      cp.landmarks = model.landmarks;
+      cp.spatial_cols = spatial_cols;
+      cp.objective_trace = report.objective_trace;
+      cp.guard = guard.SaveState();
+      if (ckpt->best_model != nullptr) cp.best_model = *ckpt->best_model;
+      Status st = ckpt->manager->Save(cp);
+      if (!st.ok()) {
+        // A failed checkpoint write must never fail the fit — training
+        // continues with a staler resume point (already counted as
+        // smfl.checkpoint.failures by the manager).
+        SMFL_LOG(Warning) << "checkpoint write failed: " << st.ToString();
+      }
     }
   }
   report.rollbacks = guard.rollbacks();

@@ -39,6 +39,11 @@ using la::Matrix;
 using mf::FitReport;
 using spatial::NeighborGraph;
 
+// src/core/checkpoint.h — kept out of this header so SmflOptions only
+// carries pointers to the durability layer.
+class CheckpointManager;
+struct FitCheckpoint;
+
 enum class UpdateMethod {
   kMultiplicative,
   kGradientDescent,
@@ -95,6 +100,17 @@ struct SmflOptions {
   // this many extra times under an escalated seed before giving up on that
   // restart. Other error codes are not retried — they are deterministic.
   int max_numeric_retries = 2;
+  // Crash-safe checkpointing (src/core/checkpoint.h). When non-null, the
+  // fit persists a complete resumable snapshot through this manager every
+  // `manager->config().every` accepted iterations. Checkpoint-write
+  // failures are logged and counted but never fail the fit. Not owned.
+  CheckpointManager* checkpoint = nullptr;
+  // Resume state, typically from CheckpointManager::LoadLatest(). The fit
+  // validates the stored input/options fingerprints against the live call
+  // (InvalidArgument on mismatch) and then continues the EXACT trajectory:
+  // the final model is bitwise identical to the uninterrupted run at any
+  // thread count. Not owned.
+  const FitCheckpoint* resume_from = nullptr;
 };
 
 struct SmflModel {

@@ -82,4 +82,34 @@ Result<TrainingGuard::Action> TrainingGuard::Observe(int iteration,
   return Action::kRolledBack;
 }
 
+TrainingGuard::State TrainingGuard::SaveState() const {
+  State state;
+  state.div_eps = div_eps_;
+  state.prev_objective = prev_objective_;
+  state.checkpoint_objective = checkpoint_objective_;
+  state.checkpoint_iteration = checkpoint_iteration_;
+  state.have_checkpoint = have_checkpoint_;
+  state.rebaseline = rebaseline_;
+  state.rollbacks = rollbacks_;
+  state.recovery_attempts = recovery_attempts_;
+  state.rng = rng_.GetState();
+  state.checkpoint_u = checkpoint_u_;
+  state.checkpoint_v = checkpoint_v_;
+  return state;
+}
+
+void TrainingGuard::RestoreState(const State& state) {
+  div_eps_ = state.div_eps;
+  prev_objective_ = state.prev_objective;
+  checkpoint_objective_ = state.checkpoint_objective;
+  checkpoint_iteration_ = state.checkpoint_iteration;
+  have_checkpoint_ = state.have_checkpoint;
+  rebaseline_ = state.rebaseline;
+  rollbacks_ = state.rollbacks;
+  recovery_attempts_ = state.recovery_attempts;
+  rng_.SetState(state.rng);
+  checkpoint_u_ = state.checkpoint_u;
+  checkpoint_v_ = state.checkpoint_v;
+}
+
 }  // namespace smfl::core

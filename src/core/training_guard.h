@@ -87,6 +87,26 @@ class TrainingGuard {
   double last_good_objective() const { return checkpoint_objective_; }
   int last_good_iteration() const { return checkpoint_iteration_; }
 
+  // Complete mutable guard state, capturable for crash-safe checkpoints
+  // (src/core/checkpoint.*) and restorable bit-exactly: a resumed fit
+  // makes the same rollback/recovery decisions — and, when perturbing,
+  // draws the same jitter — as the uninterrupted run.
+  struct State {
+    double div_eps = 0.0;
+    double prev_objective = 0.0;
+    double checkpoint_objective = 0.0;
+    int checkpoint_iteration = -1;
+    bool have_checkpoint = false;
+    bool rebaseline = false;
+    int rollbacks = 0;
+    int recovery_attempts = 0;
+    RngState rng;
+    la::Matrix checkpoint_u;
+    la::Matrix checkpoint_v;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   bool IsViolation(double objective) const;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/common/durable_io.h"
 #include "src/common/fault.h"
 #include "src/common/strings.h"
 
@@ -159,8 +160,9 @@ Status WriteCsv(const std::string& path, const Table& table,
   if (SMFL_FAULT_FIRED("io.write.fail")) {
     return Status::IoError("injected write failure for '" + path + "'");
   }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  // Rendered in memory, then atomically replaced on disk (temp + fsync +
+  // rename): a crash mid-write can never leave a truncated CSV behind.
+  std::ostringstream out;
   const auto& names = table.column_names();
   for (size_t j = 0; j < names.size(); ++j) {
     if (j > 0) out << delimiter;
@@ -175,8 +177,7 @@ Status WriteCsv(const std::string& path, const Table& table,
     }
     out << "\n";
   }
-  if (!out) return Status::IoError("write failed for '" + path + "'");
-  return Status::OK();
+  return WriteFileDurable(path, out.str());
 }
 
 Status WriteCsv(const std::string& path, const Table& table, char delimiter) {

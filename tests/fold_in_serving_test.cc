@@ -4,9 +4,9 @@
 //    any thread count (the PR 2 determinism contract),
 //  * per-row faults degrade through the report tiers instead of aborting
 //    the batch,
-//  * fit -> save -> load -> serve round-trips bitwise through the v2
+//  * fit -> save -> load -> serve round-trips bitwise through the v3
 //    model format (including the persisted normalizer),
-//  * v1 model files still load,
+//  * v1/v2 bare-text model files still load,
 //  * `smfl apply` serves in the TRAINING normalization space — the old
 //    per-batch re-fit produced systematically different (wrong) values.
 
@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/cli/commands.h"
+#include "src/common/durable_io.h"
 #include "src/common/parallel.h"
 #include "src/core/fold_in.h"
 #include "src/core/model_io.h"
@@ -234,19 +235,29 @@ TEST(FoldInServingTest, SaveLoadServeRoundTripIsBitwise) {
   }
 }
 
+// Reassembles the legacy text body from a v3 container: the concatenated
+// section payloads ARE the v1/v2-shaped body (with a v3 version header).
+std::string LegacyBody(const std::string& serialized) {
+  auto sections = ParseSections(serialized);
+  SMFL_CHECK(sections.ok());
+  std::string body;
+  for (const Section& s : *sections) body += s.payload;
+  return body;
+}
+
 TEST(FoldInServingTest, V1ModelFilesStillLoadWithoutNormalizer) {
   Fitted f = TrainOnPrefix(160, 140, 9);
-  std::string v2 = SerializeModel(f.model);
-  // Hand-build the v1 form: old version header, no normalizer block.
-  std::string v1 = v2;
+  // Hand-build the v1 form: bare text body, old version header, no
+  // normalizer block.
+  std::string v1 = LegacyBody(SerializeModel(f.model));
   const size_t norm_pos = v1.find("\nnormalizer ");
   const size_t u_pos = v1.find("\nU ");
   ASSERT_NE(norm_pos, std::string::npos);
   ASSERT_NE(u_pos, std::string::npos);
   v1.erase(norm_pos, u_pos - norm_pos);
-  const size_t ver_pos = v1.find("smfl-model 2");
+  const size_t ver_pos = v1.find("smfl-model 3");
   ASSERT_EQ(ver_pos, 0u);
-  v1.replace(0, std::string("smfl-model 2").size(), "smfl-model 1");
+  v1.replace(0, std::string("smfl-model 3").size(), "smfl-model 1");
 
   auto restored = DeserializeModel(v1);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
@@ -259,7 +270,9 @@ TEST(FoldInServingTest, V1ModelFilesStillLoadWithoutNormalizer) {
 
 TEST(FoldInServingTest, CorruptDimensionsRejectedBeforeAllocation) {
   Fitted f = TrainOnPrefix(120, 100, 11);
-  std::string good = SerializeModel(f.model);
+  // Tamper with the bare text body (the v2-era attack surface: a hand-
+  // edited or bit-rotted legacy file with no CRC protection).
+  std::string good = LegacyBody(SerializeModel(f.model));
   // A hostile U header claiming astronomically many elements must be a
   // clean DataError, not an overflowed allocation.
   const size_t pos = good.find("\nU ");

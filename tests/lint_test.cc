@@ -1,5 +1,5 @@
 // Tests for tools/smfl_lint: one positive and one suppressed fixture per
-// rule (R1-R6), plus lexer and suppression-validation coverage. Fixtures
+// rule (R1-R7), plus lexer and suppression-validation coverage. Fixtures
 // are written into a temp directory shaped like the repo (src/...), so the
 // per-path rule scoping is exercised exactly as in production runs.
 
@@ -373,6 +373,62 @@ TEST_F(LintTest, RawLogAllowedInLoggingImpl) {
   WriteFile("src/common/logging.cc",
             "#include <iostream>\n"
             "void Emit(const char* m) { std::cerr << m; }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R7: raw-file-write
+
+TEST_F(LintTest, RawFileWritePositive) {
+  WriteFile("src/exp/report.cc",
+            "#include <fstream>\n"
+            "#include <cstdio>\n"
+            "void Dump() { std::ofstream out(\"/tmp/r.csv\"); }\n"
+            "void Legacy() { FILE* f = fopen(\"/tmp/r.bin\", \"wb\"); }\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 2u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "raw-file-write");
+  EXPECT_EQ(r.violations[0].line, 3);
+  EXPECT_EQ(r.violations[1].rule, "raw-file-write");
+  EXPECT_EQ(r.violations[1].line, 4);
+}
+
+TEST_F(LintTest, RawFileWriteSuppressed) {
+  WriteFile("src/exp/report.cc",
+            "#include <fstream>\n"
+            "void Dump() {\n"
+            "  // smfl-lint: allow(raw-file-write) append-only debug stream\n"
+            "  std::ofstream out(\"/tmp/r.csv\");\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "raw-file-write");
+}
+
+TEST_F(LintTest, RawFileWriteAllowedInDurableIoAndTests) {
+  WriteFile("src/common/durable_io.cc",
+            "#include <cstdio>\n"
+            "bool W(const char* p) { return fopen(p, \"wb\") != nullptr; }\n");
+  WriteFile("tests/io_test.cc",
+            "#include <fstream>\n"
+            "void Fixture() { std::ofstream out(\"/tmp/fixture\"); }\n");
+  LintOptions options;
+  options.repo_root = root_.string();
+  options.roots = {"src", "tests"};
+  LintResult r;
+  std::string error;
+  ASSERT_TRUE(RunLint(options, &r, &error)) << error;
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, RawFileWriteIgnoresReadsAndMembers) {
+  WriteFile("src/exp/report.cc",
+            "#include <fstream>\n"
+            "void Load() { std::ifstream in(\"/tmp/r.csv\"); }\n"
+            "void Member(Vfs& vfs) { vfs.fopen(\"/tmp/x\"); }\n"
+            "void Other() { posix::fopen(\"/tmp/x\"); }\n");
   const LintResult r = Run();
   EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
 }

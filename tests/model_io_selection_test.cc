@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "src/common/durable_io.h"
 #include "src/core/model_io.h"
 #include "src/core/model_selection.h"
 #include "src/data/generators.h"
@@ -105,13 +106,51 @@ TEST(ModelIoTest, RejectsCorruptInput) {
   EXPECT_FALSE(DeserializeModel("smfl-model 999\n").ok());  // bad version
   Scenario s = MakeScenario(30, 9);
   std::string good = SerializeModel(FitSmall(s));
-  // Truncation anywhere must be caught.
+  // Truncation anywhere must be caught by the section framing.
   EXPECT_FALSE(DeserializeModel(good.substr(0, good.size() / 2)).ok());
-  // Tampered rank consistency.
-  std::string tampered = good;
+  // A single flipped byte anywhere in the container is a CRC (or framing)
+  // mismatch -> clean DataError, never a silently wrong model.
+  std::string flipped = good;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x01);
+  auto bitrot = DeserializeModel(flipped);
+  ASSERT_FALSE(bitrot.ok());
+  EXPECT_EQ(bitrot.status().code(), StatusCode::kDataError);
+  // Tampered rank consistency on the bare text body (the legacy v1/v2
+  // surface, which carries no checksums).
+  auto sections = ParseSections(good);
+  ASSERT_TRUE(sections.ok());
+  std::string tampered;
+  for (const Section& sec : *sections) tampered += sec.payload;
   const size_t pos = tampered.find("U ");
+  ASSERT_NE(pos, std::string::npos);
   tampered.replace(pos, 3, "U 9");
   EXPECT_FALSE(DeserializeModel(tampered).ok());
+}
+
+TEST(ModelIoTest, V3ContainerShapeAndLegacyBodyEquivalence) {
+  Scenario s = MakeScenario(40, 13);
+  SmflModel model = FitSmall(s);
+  const std::string serialized = SerializeModel(model);
+  ASSERT_TRUE(LooksLikeDurableContainer(serialized));
+  auto sections = ParseSections(serialized);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->size(), 6u);
+  const char* expected[] = {"meta", "normalizer", "U", "V", "C", "trace"};
+  std::string body;
+  for (size_t i = 0; i < sections->size(); ++i) {
+    EXPECT_EQ((*sections)[i].name, expected[i]);
+    body += (*sections)[i].payload;
+  }
+  // The concatenated payloads are themselves a loadable text body, and
+  // parse to the same model as the container.
+  EXPECT_EQ(body.rfind("smfl-model 3", 0), 0u);
+  auto from_body = DeserializeModel(body);
+  ASSERT_TRUE(from_body.ok());
+  auto from_container = DeserializeModel(serialized);
+  ASSERT_TRUE(from_container.ok());
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(from_body->u, from_container->u), 0.0);
+  EXPECT_DOUBLE_EQ(la::MaxAbsDiff(from_body->v, from_container->v), 0.0);
 }
 
 TEST(ModelIoTest, LoadMissingFileFails) {

@@ -5,15 +5,19 @@
 #                     (-Wall -Wextra -Wconversion -Wshadow promoted to errors)
 #   2. tier1-tests    the full ctest suite in that build tree
 #   3. smfl-lint      repo-contract static analysis (docs/static-analysis.md)
-#   4. asan           tier-1 suite under AddressSanitizer (+ leak check)
-#   5. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
-#   6. tsan           threading-sensitive subset under ThreadSanitizer;
+#   4. crash-recovery the kill-mid-fit durability harness on its own line:
+#                     SIGKILLs real fits between checkpoint writes and
+#                     requires --resume to reach the bitwise-identical
+#                     model (docs/robustness.md)
+#   5. asan           tier-1 suite under AddressSanitizer (+ leak check)
+#   6. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
+#   7. tsan           threading-sensitive subset under ThreadSanitizer;
 #                     auto-skipped (and recorded as such) when the toolchain
 #                     lacks TSan support
 #
 # Every step's outcome lands in CHECKS.json ({"steps": [{name, status,
 # seconds, detail}...], "ok": bool}); the script exits nonzero if any step
-# fails. Skips are not failures. `--fast` runs only steps 1-3 (the
+# fails. Skips are not failures. `--fast` runs only steps 1-4 (the
 # sanitizer suites are three extra full builds).
 #
 # Usage: tools/run_checks.sh [--fast] [--out CHECKS.json]
@@ -91,6 +95,12 @@ if [[ "${step_statuses[0]}" == pass ]]; then
   run_step smfl-lint "repo contracts clean (see $log_dir/smfl-lint.json)" \
     "$build_dir/tools/smfl_lint" --repo-root "$repo_root" \
     --json "$log_dir/smfl-lint.json" src
+  # Already part of tier1-tests, but durability regressions deserve their
+  # own line in CHECKS.json: this is the harness that SIGKILLs real fits
+  # and proves --resume is bitwise-identical.
+  run_step crash-recovery "kill-mid-fit + resume bitwise-identical harness" \
+    ctest --test-dir "$build_dir" --output-on-failure \
+    -R '^crash_recovery_test$'
 else
   echo "==> skipping tests and lint: the gate build failed"
 fi

@@ -20,8 +20,8 @@ namespace {
 namespace fs = std::filesystem;
 
 const std::set<std::string> kKnownRules = {
-    "thread",   "nondet",   "unordered-iter",
-    "discard-status", "float-eq", "raw-log", "all",
+    "thread",   "nondet",   "unordered-iter", "discard-status",
+    "float-eq", "raw-log",  "raw-file-write", "all",
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -63,6 +63,12 @@ bool RuleApplies(const std::string& rule, const std::string& rel,
   }
   if (rule == "raw-log") {
     return !test && rel != "src/common/logging.cc";
+  }
+  if (rule == "raw-file-write") {
+    // The durability layer itself and the logger's sink are the only places
+    // allowed to open files for writing directly.
+    return !test && rel != "src/common/durable_io.cc" &&
+           rel != "src/common/logging.cc";
   }
   return true;
 }
@@ -139,6 +145,9 @@ void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
   }
   if (RuleApplies("raw-log", file.rel_path, options)) {
     CheckRawLog(file, &raw);
+  }
+  if (RuleApplies("raw-file-write", file.rel_path, options)) {
+    CheckRawFileWrite(file, &raw);
   }
 
   for (Diagnostic& d : raw) {

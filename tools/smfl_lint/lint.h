@@ -21,6 +21,11 @@
 //                        test files.
 //   raw-log         (R6) std::cerr/std::clog outside src/common/logging.cc —
 //                        diagnostics must go through the SMFL_LOG macros.
+//   raw-file-write  (R7) std::ofstream or fopen()/freopen() outside
+//                        src/common/durable_io.cc and logging.cc — output
+//                        files must be written via smfl::WriteFileDurable
+//                        (temp + fsync + atomic rename) so a crash can never
+//                        leave a truncated artifact. Reads are unaffected.
 //
 // Any finding can be suppressed inline with a justified comment on the same
 // line or the line above:

@@ -26,6 +26,7 @@ int Usage() {
                "  discard-status  Status/Result results must be consumed\n"
                "  float-eq        no ==/!= against float literals\n"
                "  raw-log         no std::cerr outside logging.cc\n"
+               "  raw-file-write  file writes only via WriteFileDurable\n"
                "Suppress inline: // smfl-lint: allow(<rule>) <reason>\n";
   return 2;
 }
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
             << result.suppressed.size() << " suppressed\n";
 
   if (!json_path.empty()) {
+    // smfl-lint: allow(raw-file-write) lint cannot depend on what it checks
     std::ofstream out(json_path);
     if (!out) {
       std::cout << "smfl_lint: cannot write " << json_path << "\n";

@@ -404,4 +404,40 @@ void CheckRawLog(const LexedFile& file, std::vector<Diagnostic>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R7: raw-file-write
+
+void CheckRawFileWrite(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+
+    // Member accesses (obj.fopen(), x->ofstream) are someone else's symbol.
+    const bool member =
+        i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    // `foo::fopen` for a namespace other than std is not the libc function.
+    const bool qualified = i > 0 && IsPunct(toks[i - 1], "::");
+    const bool std_qualified =
+        qualified && i >= 2 && IsIdent(toks[i - 2], "std");
+    const bool callish = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+
+    if (t.text == "ofstream" && !member && (!qualified || std_qualified)) {
+      Emit(file, "raw-file-write", t.line,
+           "direct 'std::ofstream' bypasses crash-safe output; render to a "
+           "string and call smfl::WriteFileDurable (temp + fsync + rename), "
+           "or justify with smfl-lint: allow(raw-file-write)",
+           out);
+    } else if ((t.text == "fopen" || t.text == "freopen") && callish &&
+               !member && (!qualified || std_qualified)) {
+      Emit(file, "raw-file-write", t.line,
+           "'" + t.text +
+               "()' bypasses crash-safe output; use smfl::WriteFileDurable "
+               "(temp + fsync + rename) for writes, or justify with "
+               "smfl-lint: allow(raw-file-write)",
+           out);
+    }
+  }
+}
+
 }  // namespace smfl::lint

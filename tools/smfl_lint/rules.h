@@ -36,6 +36,12 @@ void CheckFloatEq(const LexedFile& file, std::vector<Diagnostic>* out);
 // R6 "raw-log": std::cerr / std::clog.
 void CheckRawLog(const LexedFile& file, std::vector<Diagnostic>* out);
 
+// R7 "raw-file-write": std::ofstream (or a bare `ofstream` after a
+// using-directive) and fopen()/freopen() calls. Durable output must go
+// through smfl::WriteFileDurable (temp + fsync + rename); ifstream reads
+// are fine.
+void CheckRawFileWrite(const LexedFile& file, std::vector<Diagnostic>* out);
+
 }  // namespace smfl::lint
 
 #endif  // SMFL_TOOLS_SMFL_LINT_RULES_H_
