@@ -1,18 +1,23 @@
-// Kernel-level microbenchmarks for the PR 2 parallel execution layer:
+// Kernel-level microbenchmarks for the parallel execution + SIMD layers:
 //
 //   * MatMul / MatMulAtB / MatMulABt at --threads-controlled parallelism
 //     (set SMFL_THREADS before launching; results are bitwise identical at
-//     any setting, so only wall clock varies).
+//     any setting, so only wall clock varies). SMFL_SIMD=0 pins the scalar
+//     microkernel tier — tools/run_bench.sh runs the suite twice to
+//     publish scalar-vs-SIMD ratios, which are valid on any host because
+//     both runs share one core count.
 //   * MaskedReconstruct (fused R_Ω(UV)) against the unfused
 //     ApplyMask(MatMul(u, v)) it replaced, across observed rates. The
 //     fused kernel computes only the Ω entries, so its advantage grows as
 //     the mask gets sparser — the regime of the paper's Table VII
 //     high-missing-rate experiments.
+//   * MaskedSquaredError at the same observed rates (the objective half of
+//     every fit iteration, SIMD-dispatched on dense rows).
 //   * Batched fold-in serving throughput (rows/sec) against a frozen model
 //     at the process thread count (PR 3): grouped-gemm numerators plus the
 //     threaded per-row multiplicative solves of core::FoldIn.
 //
-// tools/run_bench.sh aggregates this into BENCH_PR4.json.
+// tools/run_bench.sh aggregates this into BENCH_PR7.json.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +26,7 @@
 #include "src/core/fold_in.h"
 #include "src/data/mask.h"
 #include "src/la/ops.h"
+#include "src/la/simd.h"
 
 using namespace smfl;
 using data::Mask;
@@ -109,6 +115,23 @@ void BM_MaskedReconstructUnfused(benchmark::State& state) {
 BENCHMARK(BM_MaskedReconstructUnfused)->Arg(90)->Arg(50)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 
+// The objective evaluation paired with every reconstruction: sum of
+// squared residuals over Ω. Dense rows take the SIMD sq_diff kernel.
+void BM_MaskedSquaredError(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  const Matrix u = RandomMatrix(kReconN, kReconK, 3);
+  const Matrix v = RandomMatrix(kReconK, kReconM, 4);
+  const Mask mask = RandomMask(kReconN, kReconM, 5, rate);
+  const Matrix x = RandomMatrix(kReconN, kReconM, 6);
+  const Matrix r = data::MaskedReconstruct(u, v, mask);
+  for (auto _ : state) {
+    double err = data::MaskedSquaredError(x, mask, r);
+    benchmark::DoNotOptimize(err);
+  }
+}
+BENCHMARK(BM_MaskedSquaredError)->Arg(90)->Arg(50)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
 // Batched fold-in serving: Arg(0) fresh rows against a synthetic frozen
 // model (rank 12, 16 columns, 2 spatial). ~80% observed with coordinates
 // always present, so most rows take the landmark-kernel tier. Throughput
@@ -159,4 +182,15 @@ BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so the resolved SIMD tier lands in
+// the JSON context block — tools/run_bench.sh records it in BENCH_PR7.json
+// and refuses to gate on SIMD speedups when the tier is "scalar".
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "simd_tier", la::simd::TierName(la::simd::ActiveTier()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "src/impute/fallback.h"
 #include "src/impute/mf_imputers.h"
 #include "src/impute/registry.h"
+#include "src/la/simd.h"
 #include "src/repair/detector.h"
 #include "src/repair/fallback.h"
 #include "src/repair/repairer.h"
@@ -119,10 +120,12 @@ Result<std::unique_ptr<impute::Imputer>> MakeTunedImputer(
     ASSIGN_OR_RETURN(int64_t neighbors,
                      flags.GetInt("neighbors", options.num_neighbors));
     ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+    ASSIGN_OR_RETURN(int64_t simd, flags.GetInt("simd", -1));
     options.rank = static_cast<Index>(rank);
     options.lambda = lambda;
     options.num_neighbors = static_cast<Index>(neighbors);
     options.threads = static_cast<int>(threads);
+    options.simd = static_cast<int>(simd);
     if (key == "smf") {
       return std::unique_ptr<impute::Imputer>(
           new impute::SmfImputer(options));
@@ -170,6 +173,10 @@ std::string UsageText() {
       "shared flags:\n"
       "  --threads=N worker threads for the numeric kernels (default:\n"
       "              SMFL_THREADS env, else hardware concurrency).\n"
+      "              Results are bitwise identical at any setting\n"
+      "  --simd=0|1  0 pins the numeric kernels to the scalar tier, 1\n"
+      "              requests the vector tier (default: SMFL_SIMD env,\n"
+      "              else the CPU probe — AVX2/NEON when available).\n"
       "              Results are bitwise identical at any setting\n"
       "  --lenient   quarantine malformed CSV rows instead of failing the\n"
       "              file; the quarantine report is printed per row\n"
@@ -349,6 +356,7 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   ASSIGN_OR_RETURN(int64_t neighbors,
                    flags.GetInt("neighbors", options.num_neighbors));
   ASSIGN_OR_RETURN(int64_t fit_threads, flags.GetInt("threads", 0));
+  ASSIGN_OR_RETURN(int64_t fit_simd, flags.GetInt("simd", -1));
   ASSIGN_OR_RETURN(int64_t seed,
                    flags.GetInt("seed", static_cast<int64_t>(options.seed)));
   if (seed < 0) {
@@ -358,6 +366,7 @@ Status RunFitCommand(const Flags& flags, std::string* output) {
   options.lambda = lambda;
   options.num_neighbors = static_cast<Index>(neighbors);
   options.threads = static_cast<int>(fit_threads);
+  options.simd = static_cast<int>(fit_simd);
   options.seed = static_cast<uint64_t>(seed);
 
   // Crash-safe checkpointing (docs/robustness.md).
@@ -621,6 +630,15 @@ Status Run(const Flags& flags, std::string* output) {
     return Status::InvalidArgument("--threads must be >= 1 (or 0 for auto)");
   }
   if (threads > 0) parallel::SetParallelism(static_cast<int>(threads));
+  // Global SIMD tier for every numeric kernel this invocation runs.
+  // SMFL_SIMD=0 in the environment pins scalar and cannot be overridden by
+  // the flag (mirrors the SMFL_TELEMETRY pin); either setting is bitwise
+  // identical to the other.
+  ASSIGN_OR_RETURN(int64_t simd, flags.GetInt("simd", -1));
+  if (simd > 1 || simd < -1) {
+    return Status::InvalidArgument("--simd must be 0 or 1");
+  }
+  if (simd >= 0) la::simd::SetEnabled(simd == 1);
   const std::string& command = flags.positional().front();
   Status status;
   if (command == "impute") {

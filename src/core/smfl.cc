@@ -15,6 +15,7 @@
 #include "src/core/training_guard.h"
 #include "src/data/normalize.h"
 #include "src/la/ops.h"
+#include "src/la/simd.h"
 #include "src/mf/nmf.h"
 
 namespace smfl::core {
@@ -108,6 +109,12 @@ Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
   const Index k = a.cols(), m = b.cols() - col_begin;
   Matrix c(k, m);
   constexpr Index kRowGrain = 16;
+  // Resolved on the calling thread so a ScopedSimd override reaches the
+  // pool workers (simd.h, dispatch resolution).
+  const la::simd::Kernels& ker = la::simd::Active();
+  if (ker.tier != la::simd::Tier::kScalar) {
+    SMFL_COUNTER_INC("la.simd.dispatch.matmul_atb_cols");
+  }
   parallel::ParallelFor(0, k, kRowGrain, [&](Index r0, Index r1) {
     for (Index p = 0; p < a.rows(); ++p) {
       auto arow = a.Row(p);
@@ -116,8 +123,7 @@ Matrix MatMulAtBColsFrom(const Matrix& a, const Matrix& b, Index col_begin) {
         const double av = arow[i];
         // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
         if (av == 0.0) continue;
-        auto crow = c.Row(i);
-        for (Index j = 0; j < m; ++j) crow[j] += av * brow[col_begin + j];
+        ker.axpy(m, av, brow.data() + col_begin, c.Row(i).data());
       }
     }
   });
@@ -258,8 +264,9 @@ uint64_t FingerprintInput(const Matrix& x, const Mask& observed,
 }
 
 // FNV-1a over every SmflOptions field the trajectory depends on.
-// `threads` is deliberately absent (results are bitwise identical at any
-// thread count); the checkpoint plumbing fields obviously are too.
+// `threads` and `simd` are deliberately absent (results are bitwise
+// identical at any thread count and under any SIMD tier — see
+// docs/performance.md); the checkpoint plumbing fields obviously are too.
 uint64_t FingerprintOptions(const SmflOptions& options) {
   const std::string repr = StrFormat(
       "rank=%lld;nn=%lld;gw=%d;lm=%d;update=%d;maxit=%d;kmeans=%d;"
@@ -293,6 +300,9 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
                                    const NeighborGraph& graph,
                                    const SmflOptions& options) {
   parallel::ScopedParallelism scoped_threads(options.threads);
+  la::simd::ScopedSimd scoped_simd(options.simd);
+  SMFL_GAUGE_SET("la.simd.tier",
+                 static_cast<double>(la::simd::ActiveTier()));
   RETURN_NOT_OK(ValidateInputs(x, observed, spatial_cols, options));
   if (options.num_restarts < 1) {
     return Status::InvalidArgument("FitSmfl: num_restarts must be >= 1");

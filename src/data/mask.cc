@@ -1,6 +1,10 @@
 #include "src/data/mask.h"
 
+#include <vector>
+
 #include "src/common/parallel.h"
+#include "src/common/telemetry.h"
+#include "src/la/simd.h"
 
 namespace smfl::data {
 
@@ -102,7 +106,14 @@ Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
   const double* vd = v.data();
   double* od = out.data();
   constexpr Index kRowGrain = 16;
+  // Kernel table resolved on the calling thread (thread-local ScopedSimd
+  // overrides must reach the pool workers running the chunks — simd.h).
+  const la::simd::Kernels& ker = la::simd::Active();
+  if (ker.tier != la::simd::Tier::kScalar) {
+    SMFL_COUNTER_INC("la.simd.dispatch.masked_reconstruct");
+  }
   parallel::ParallelFor(0, n, kRowGrain, [&](Index r0, Index r1) {
+    std::vector<Index> cols;
     for (Index i = r0; i < r1; ++i) {
       const uint8_t* obs = mask.RowData(i);
       const double* urow = ud + i * k;
@@ -112,15 +123,14 @@ Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
       // Dense row path: stream the rows of V in ascending-k order (the
       // per-element summation order of la::MatMul, zero-skip included),
       // then zero the unobserved entries. For rows with few observed
-      // entries the strided per-entry dot is cheaper despite the column
+      // entries the gathered per-entry dot is cheaper despite the column
       // stride.
       if (observed * 4 >= m) {
         for (Index p = 0; p < k; ++p) {
           const double uv = urow[p];
           // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
           if (uv == 0.0) continue;
-          const double* vrow = vd + p * m;
-          for (Index j = 0; j < m; ++j) orow[j] += uv * vrow[j];
+          ker.axpy(m, uv, vd + p * m, orow);
         }
         if (observed != m) {
           for (Index j = 0; j < m; ++j) {
@@ -128,18 +138,12 @@ Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask) {
           }
         }
       } else {
+        cols.clear();
         for (Index j = 0; j < m; ++j) {
-          if (!obs[j]) continue;
-          double acc = 0.0;
-          const double* vcol = vd + j;
-          for (Index p = 0; p < k; ++p) {
-            const double uv = urow[p];
-            // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
-            if (uv == 0.0) continue;
-            acc += uv * vcol[p * m];
-          }
-          orow[j] = acc;
+          if (obs[j]) cols.push_back(j);
         }
+        ker.masked_dot_cols(k, m, urow, vd, cols.data(),
+                            static_cast<Index>(cols.size()), orow);
       }
     }
   });
@@ -153,17 +157,36 @@ double MaskedSquaredError(const Matrix& x, const Mask& mask,
   SMFL_CHECK_EQ(x.cols(), mask.cols());
   const Index m = x.cols();
   constexpr Index kRowGrain = 64;
+  const la::simd::Kernels& ker = la::simd::Active();
+  if (ker.tier != la::simd::Tier::kScalar) {
+    SMFL_COUNTER_INC("la.simd.dispatch.masked_sq_err");
+  }
   return parallel::ParallelReduce(
       0, x.rows(), kRowGrain, [&](Index r0, Index r1) {
+        std::vector<double> sq(static_cast<size_t>(m));
         double acc = 0.0;
         for (Index i = r0; i < r1; ++i) {
           const uint8_t* obs = mask.RowData(i);
           const double* xrow = x.data() + i * m;
           const double* rrow = uv_masked.data() + i * m;
-          for (Index j = 0; j < m; ++j) {
-            if (!obs[j]) continue;
-            const double d = xrow[j] - rrow[j];
-            acc += d * d;
+          const Index observed = mask.RowCount(i);
+          if (observed == 0) continue;
+          // Dense rows: vectorize the elementwise (x - r)^2 into a scratch
+          // row, then fold the observed entries in the same ascending-j
+          // order the scalar loop used — each d*d is one sub and one mul
+          // in both paths, and the accumulation itself never vectorizes,
+          // so the chunk sum is bitwise identical across tiers.
+          if (observed * 4 >= m) {
+            ker.sq_diff(m, xrow, rrow, sq.data());
+            for (Index j = 0; j < m; ++j) {
+              if (obs[j]) acc += sq[j];
+            }
+          } else {
+            for (Index j = 0; j < m; ++j) {
+              if (!obs[j]) continue;
+              const double d = xrow[j] - rrow[j];
+              acc += d * d;
+            }
           }
         }
         return acc;

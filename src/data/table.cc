@@ -4,8 +4,10 @@
 
 namespace smfl::data {
 
-Result<Table> Table::Create(std::vector<std::string> column_names,
-                            Matrix values, Index spatial_cols) {
+Result<Table> Table::Create(
+    std::vector<std::string> column_names,
+    // smfl-lint: allow(const-ref) sink parameter, moved into the Table
+    Matrix values, Index spatial_cols) {
   if (static_cast<Index>(column_names.size()) != values.cols()) {
     return Status::InvalidArgument(
         "Table: column name count does not match matrix width");

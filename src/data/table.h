@@ -24,8 +24,10 @@ class Table {
 
   // Takes ownership of the values. `spatial_cols` is the paper's L: the
   // first L columns of `values` are spatial information.
-  static Result<Table> Create(std::vector<std::string> column_names,
-                              Matrix values, Index spatial_cols);
+  static Result<Table> Create(
+      std::vector<std::string> column_names,
+      // smfl-lint: allow(const-ref) sink parameter, moved into the Table
+      Matrix values, Index spatial_cols);
 
   Index NumRows() const { return values_.rows(); }
   Index NumCols() const { return values_.cols(); }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/common/parallel.h"
+#include "src/common/telemetry.h"
+#include "src/la/simd.h"
 
 namespace smfl::la {
 
@@ -30,6 +33,11 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   double* cd = c.data();
   const double* ad = a.data();
   const double* bd = b.data();
+  // Resolve the microkernel table on the calling thread: ScopedSimd is a
+  // thread-local override, and the chunks below execute on pool workers
+  // that must inherit the caller's choice (simd.h, dispatch resolution).
+  const simd::Kernels& ker = simd::Active();
+  if (ker.tier != simd::Tier::kScalar) SMFL_COUNTER_INC("la.simd.dispatch.matmul");
   parallel::ParallelFor(0, n, kGemmRowGrain, [&](Index r0, Index r1) {
     for (Index i0 = r0; i0 < r1; i0 += kBlock) {
       const Index i1 = std::min(i0 + kBlock, r1);
@@ -44,7 +52,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
               if (av == 0.0) continue;
               const double* brow = bd + p * m;
               double* crow = cd + i * m;
-              for (Index j = j0; j < j1; ++j) crow[j] += av * brow[j];
+              ker.axpy(j1 - j0, av, brow + j0, crow + j0);
             }
           }
         }
@@ -61,6 +69,10 @@ Matrix MatMulAtB(const Matrix& a, const Matrix& b) {
   double* cd = c.data();
   const double* ad = a.data();
   const double* bd = b.data();
+  const simd::Kernels& ker = simd::Active();
+  if (ker.tier != simd::Tier::kScalar) {
+    SMFL_COUNTER_INC("la.simd.dispatch.matmul_atb");
+  }
   // c[i][j] = sum_p a[p][i] * b[p][j]. Each chunk owns output rows
   // [r0, r1) and streams the rows of a and b once, so the per-element sum
   // stays in ascending-p order no matter how the rows are partitioned.
@@ -72,8 +84,7 @@ Matrix MatMulAtB(const Matrix& a, const Matrix& b) {
         const double av = arow[i];
         // smfl-lint: allow(float-eq) exact zero-skip: 0.0 adds nothing
         if (av == 0.0) continue;
-        double* crow = cd + i * m;
-        for (Index j = 0; j < m; ++j) crow[j] += av * brow[j];
+        ker.axpy(m, av, brow, cd + i * m);
       }
     }
   });
@@ -84,15 +95,25 @@ Matrix MatMulABt(const Matrix& a, const Matrix& b) {
   SMFL_CHECK_EQ(a.cols(), b.cols());
   const Index n = a.rows(), k = a.cols(), m = b.rows();
   Matrix c(n, m);
-  // c[i][j] = dot(a.row(i), b.row(j)): both contiguous, rows independent.
+  double* cd = c.data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  const simd::Kernels& ker = simd::Active();
+  if (ker.tier != simd::Tier::kScalar) {
+    SMFL_COUNTER_INC("la.simd.dispatch.matmul_abt");
+  }
+  // c[i][j] = dot(a.row(i), b.row(j)). Rows of b are packed into
+  // kPanelWidth-column panels so each output element gets its own vector
+  // lane with the ascending-p accumulation chain intact (simd.h contract);
+  // the panel is re-packed per chunk, then amortized over the chunk's rows.
   parallel::ParallelFor(0, n, kDotRowGrain, [&](Index r0, Index r1) {
-    for (Index i = r0; i < r1; ++i) {
-      auto arow = a.Row(i);
-      for (Index j = 0; j < m; ++j) {
-        auto brow = b.Row(j);
-        double acc = 0.0;
-        for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        c(i, j) = acc;
+    std::vector<double> panel(
+        static_cast<size_t>(simd::kPanelWidth * std::max<Index>(k, 1)));
+    for (Index j0 = 0; j0 < m; j0 += simd::kPanelWidth) {
+      const Index lanes = std::min(simd::kPanelWidth, m - j0);
+      simd::PackRowPanel(bd + j0 * k, k, lanes, k, panel.data());
+      for (Index i = r0; i < r1; ++i) {
+        ker.dot_panel(k, ad + i * k, panel.data(), lanes, cd + i * m + j0);
       }
     }
   });

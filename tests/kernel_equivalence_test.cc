@@ -18,6 +18,7 @@
 #include "src/data/mask.h"
 #include "src/data/normalize.h"
 #include "src/la/ops.h"
+#include "src/la/simd.h"
 
 namespace smfl {
 namespace {
@@ -121,16 +122,22 @@ TEST(KernelEquivalenceTest,
 TEST(KernelEquivalenceTest, MaskedReconstructMatchesUnfusedForm) {
   // The fused kernel must be a drop-in for ApplyMask(MatMul(u, v)) — same
   // ascending-k summation order, same zero-skip — or the objective
-  // trajectories (and the Prop 5/7 guards) would shift.
+  // trajectories (and the Prop 5/7 guards) would shift. The equality must
+  // hold under both SIMD tiers (tests/simd_kernel_test.cc covers the
+  // tiers against each other; this covers fused-vs-unfused within each).
   for (uint64_t seed = 0; seed < 5; ++seed) {
     const Matrix u = RandomMatrix(83, 9, seed * 11 + 1, 0.2);
     const Matrix v = RandomMatrix(9, 61, seed * 11 + 2, 0.2);
     for (double rate : {0.05, 0.5, 1.0}) {
       const Mask mask = RandomMask(83, 61, seed * 11 + 3, rate);
-      ExpectBitwiseEqual(data::MaskedReconstruct(u, v, mask),
-                         data::ApplyMask(la::MatMul(u, v), mask),
-                         "fused vs unfused, seed " + std::to_string(seed) +
-                             " rate " + std::to_string(rate));
+      for (int simd_mode : {0, 1}) {
+        la::simd::ScopedSimd scoped(simd_mode);
+        ExpectBitwiseEqual(data::MaskedReconstruct(u, v, mask),
+                           data::ApplyMask(la::MatMul(u, v), mask),
+                           "fused vs unfused, seed " + std::to_string(seed) +
+                               " rate " + std::to_string(rate) + " simd " +
+                               std::to_string(simd_mode));
+      }
     }
   }
 }

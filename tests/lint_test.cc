@@ -1,5 +1,5 @@
 // Tests for tools/smfl_lint: one positive and one suppressed fixture per
-// rule (R1-R7), plus lexer and suppression-validation coverage. Fixtures
+// rule (R1-R9), plus lexer and suppression-validation coverage. Fixtures
 // are written into a temp directory shaped like the repo (src/...), so the
 // per-path rule scoping is exercised exactly as in production runs.
 
@@ -430,6 +430,114 @@ TEST_F(LintTest, RawFileWriteIgnoresReadsAndMembers) {
             "void Member(Vfs& vfs) { vfs.fopen(\"/tmp/x\"); }\n"
             "void Other() { posix::fopen(\"/tmp/x\"); }\n");
   const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R8: raw-simd
+
+TEST_F(LintTest, RawSimdPositive) {
+  WriteFile("src/core/fast_path.cc",
+            "#include <immintrin.h>\n"
+            "void F(double* y, const double* x) {\n"
+            "  __m256d a = _mm256_loadu_pd(x);\n"
+            "  _mm256_storeu_pd(y, a);\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 4u) << ResultToJson(r);
+  for (const auto& d : r.violations) EXPECT_EQ(d.rule, "raw-simd");
+  EXPECT_EQ(r.violations[0].line, 1);  // the #include itself
+}
+
+TEST_F(LintTest, RawSimdNeonPositive) {
+  WriteFile("src/core/fast_path.cc",
+            "#include <arm_neon.h>\n"
+            "void F(double* y, const double* x) {\n"
+            "  float64x2_t a = vld1q_f64(x);\n"
+            "  vst1q_f64(y, vaddq_f64(a, vdupq_n_f64(1.0)));\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_GE(r.violations.size(), 5u) << ResultToJson(r);
+  for (const auto& d : r.violations) EXPECT_EQ(d.rule, "raw-simd");
+}
+
+TEST_F(LintTest, RawSimdSuppressed) {
+  WriteFile("src/core/fast_path.cc",
+            "void F(double* y) {\n"
+            "  // smfl-lint: allow(raw-simd) one-off prefetch, no arithmetic\n"
+            "  _mm_prefetch(y, 1);\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "raw-simd");
+}
+
+TEST_F(LintTest, RawSimdAllowedInDispatchLayer) {
+  WriteFile("src/la/simd.cc",
+            "#include <immintrin.h>\n"
+            "void F(double* y, const double* x) {\n"
+            "  _mm256_storeu_pd(y, _mm256_loadu_pd(x));\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, RawSimdIgnoresOrdinaryIdentifiers) {
+  WriteFile("src/core/plain.cc",
+            "int vmax_f64_count = 0;\n"      // no 'q'
+            "void visit(int v) { (void)v; }\n"
+            "double mm_ratio = 1.5;\n");     // no leading underscore
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R9: const-ref
+
+TEST_F(LintTest, ConstRefPositive) {
+  WriteFile("src/core/api.cc",
+            "double Sum(Matrix m);\n"
+            "double Mix(const Matrix& a, Table t, int n);\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 2u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "const-ref");
+  EXPECT_EQ(r.violations[0].line, 1);
+  EXPECT_EQ(r.violations[1].rule, "const-ref");
+  EXPECT_EQ(r.violations[1].line, 2);
+}
+
+TEST_F(LintTest, ConstRefSuppressed) {
+  WriteFile("src/core/api.cc",
+            "// smfl-lint: allow(const-ref) sink parameter, moved from\n"
+            "void Consume(Matrix m);\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "const-ref");
+}
+
+TEST_F(LintTest, ConstRefIgnoresReferencesDeclarationsAndMacros) {
+  WriteFile("src/core/api.cc",
+            "double Ok(const Matrix& a, Mask* b);\n"
+            "void Local() { Matrix c(3, 4); Matrix u = c; }\n"
+            "Status Harvest() {\n"
+            "  ASSIGN_OR_RETURN(Matrix z, LoadMatrix());\n"
+            "  SMFL_CHECK_EQ(z.rows(), 3);\n"
+            "  return Status::OK();\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, ConstRefExemptInTests) {
+  WriteFile("tests/helper_test.cc", "double Sum(Matrix m);\n");
+  LintOptions options;
+  options.repo_root = root_.string();
+  options.roots = {"tests"};
+  LintResult r;
+  std::string error;
+  ASSERT_TRUE(RunLint(options, &r, &error)) << error;
   EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
 }
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Benchmark baseline: measures the deterministic parallel execution layer,
-# the fused masked-reconstruction kernel, fold-in serving throughput, and
-# the telemetry disabled-path overhead, and writes the results to
-# BENCH_PR4.json at the repository root (superseding the PR 2 baseline,
-# which lacked the host block and the telemetry guard).
+# Benchmark baseline: measures the SIMD microkernel layer, the
+# deterministic parallel execution layer, the fused masked-reconstruction
+# kernel, fold-in serving throughput, and the telemetry disabled-path
+# overhead, and writes the results to BENCH_PR7.json at the repository
+# root (superseding BENCH_PR4.json, which predated the SIMD dispatch and
+# published 1-core thread-scaling ratios as if they were data).
 #
 # What runs:
 #   1. bench_fig9_scalability (MF family: NMF / SMF / SMFL, lake dataset,
@@ -12,43 +13,135 @@
 #   2. The same slice at 1 thread with SMFL_BENCH_LEGACY_RECONSTRUCT=1 —
 #      the pre-fusion 3-reconstructions-per-iteration cost — to isolate
 #      the single-threaded win of MaskedReconstruct + hoisting.
-#   3. bench_kernels: MatMul/MatMulAtB/MatMulABt at each thread count,
-#      fused MaskedReconstruct vs unfused ApplyMask(MatMul) at observed
-#      rates 90/50/10% (the fused kernel computes only Ω entries, so its
-#      advantage grows as the mask gets sparser), and BM_FoldInBatch —
-#      batched fold-in serving throughput, reported as rows/sec per
-#      thread count.
+#   3. bench_kernels TWICE at 1 thread: once with the runtime-dispatched
+#      SIMD tier (whatever the CPU probe resolves — recorded as
+#      host.simd_tier from the benchmark's JSON context) and once with
+#      SMFL_SIMD=0 pinning the scalar tier. The per-kernel ratio is the
+#      SIMD speedup, valid on ANY host because both runs share one core
+#      count. Then once per thread count for the thread-scaling curves.
 #   4. bench_table4_imputation (all methods, all datasets, 1 trial) at the
 #      same thread counts, timed end to end.
 #   5. BM_TelemetryOverhead (inside bench_kernels): the per-instrument cost
-#      with collection off (must stay at nanoseconds — the disabled-path
-#      guard) and on (the number quoted in docs/observability.md).
+#      with collection off and on.
 #
-# Results are bitwise identical across thread counts by construction (see
-# docs/performance.md); this script only measures wall clock. Speedups are
-# whatever the hardware gives: on a single-core container the threaded
-# numbers will hover near 1.0x and only the fusion win is visible.
+# Results are bitwise identical across thread counts AND SIMD tiers by
+# construction (see docs/performance.md); this script only measures wall
+# clock. When the host has a single core, every thread-scaling curve is
+# noise around 1.0 by construction and is tagged "noise": true in the
+# JSON — the SIMD ratios and the fusion ratios remain valid.
 #
 # Usage: tools/run_bench.sh [--quick]
+#        tools/run_bench.sh --gate [--build-dir=DIR]
 #   --quick  fewer rows for table4 (smoke-test the harness, not a baseline)
+#   --gate   fast regression gate (used by tools/run_checks.sh): runs only
+#            the fusion pair and one gemm, checks the speedups against the
+#            committed thresholds, prints PASS/FAIL per check, and exits
+#            nonzero on a regression. The SIMD check auto-skips when the
+#            host resolves to the scalar tier.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
-out_json="$repo_root/BENCH_PR4.json"
+out_json="$repo_root/BENCH_PR7.json"
 
+mode="full"
 table4_rows=400
 table4_trials=1
-if [[ "${1:-}" == "--quick" ]]; then
-  table4_rows=150
-fi
+for arg in "$@"; do
+  case "$arg" in
+    --quick) table4_rows=150 ;;
+    --gate) mode="gate" ;;
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
-if [[ ! -x "$build_dir/bench/bench_fig9_scalability" ]]; then
+if [[ ! -x "$build_dir/bench/bench_kernels" ]]; then
   echo "==> bench binaries missing; building $build_dir"
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" -j
 fi
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+# ---------------------------------------------------------------------------
+# Gate mode: the perf-regression step of tools/run_checks.sh. Thresholds
+# are deliberately below the measured baselines (BENCH_PR7.json records
+# ~3x fusion at 10% observed and >2x SIMD on MatMul) so scheduler noise
+# cannot flake the gate, while a real regression — losing the fused path
+# or the vector dispatch — still fails loudly.
+if [[ "$mode" == "gate" ]]; then
+  gate_filter='BM_MaskedReconstruct(Fused|Unfused)/10$|BM_MatMul/256$'
+  gate_flags=(--benchmark_filter="$gate_filter" --benchmark_repetitions=3
+              --benchmark_report_aggregates_only=true
+              --benchmark_out_format=json)
+  echo "==> bench gate: dispatched tier @ 1 thread"
+  SMFL_THREADS=1 "$build_dir/bench/bench_kernels" \
+      "${gate_flags[@]}" --benchmark_out="$scratch/gate_simd.json" >/dev/null
+  echo "==> bench gate: scalar tier (SMFL_SIMD=0) @ 1 thread"
+  SMFL_THREADS=1 SMFL_SIMD=0 "$build_dir/bench/bench_kernels" \
+      "${gate_flags[@]}" --benchmark_out="$scratch/gate_scalar.json" >/dev/null
+
+  SCRATCH="$scratch" python3 - <<'PY'
+import json, os, sys
+
+# Regression thresholds. Measured baselines are well above these; see the
+# "bench gate" section of docs/performance.md before changing them.
+# Fusion is checked on the SCALAR tier: the fused kernel's advantage
+# (skipping unobserved entries) is a property of the algorithm, and the
+# scalar-vs-scalar ratio is stable across vector units, whereas under
+# AVX2 the unfused dense gemm vectorizes better than the fused sparse
+# gather path and the ratio compresses toward ~1.3 at 10% observed.
+FUSION_MIN_10PCT = 1.5   # fused vs unfused MaskedReconstruct @ 10%, scalar tier
+SIMD_MIN_MATMUL = 1.4    # SIMD vs scalar BM_MatMul/256 (skipped on scalar hosts)
+
+scratch = os.environ["SCRATCH"]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    medians = {b["run_name"]: b["real_time"] for b in doc["benchmarks"]
+               if b.get("aggregate_name") == "median"}
+    return doc.get("context", {}), medians
+
+ctx, simd = load(f"{scratch}/gate_simd.json")
+_, scalar = load(f"{scratch}/gate_scalar.json")
+tier = ctx.get("simd_tier", "unknown")
+
+failures = []
+
+fused = scalar["BM_MaskedReconstructFused/10"]
+unfused = scalar["BM_MaskedReconstructUnfused/10"]
+fusion_speedup = unfused / fused
+status = "PASS" if fusion_speedup >= FUSION_MIN_10PCT else "FAIL"
+print(f"[{status}] fusion speedup @ 10% observed (scalar tier): "
+      f"{fusion_speedup:.2f}x (threshold {FUSION_MIN_10PCT}x)")
+if status == "FAIL":
+    failures.append("masked-reconstruct fusion regressed")
+
+if tier == "scalar":
+    print(f"[SKIP] SIMD speedup check: host tier is scalar "
+          f"(no vector unit or SMFL_SIMD pinned)")
+else:
+    simd_speedup = scalar["BM_MatMul/256"] / simd["BM_MatMul/256"]
+    status = "PASS" if simd_speedup >= SIMD_MIN_MATMUL else "FAIL"
+    print(f"[{status}] SIMD ({tier}) speedup on MatMul/256: "
+          f"{simd_speedup:.2f}x (threshold {SIMD_MIN_MATMUL}x)")
+    if status == "FAIL":
+        failures.append(f"SIMD ({tier}) gemm speedup regressed")
+
+if failures:
+    print("bench gate FAILED: " + "; ".join(failures))
+    sys.exit(1)
+print("bench gate passed")
+PY
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# Full baseline run.
 
 ncores="$(nproc)"
 cpu_model="$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo \
@@ -57,9 +150,6 @@ cpu_model="${cpu_model:-unknown}"
 thread_counts="1 2 4 $ncores"
 # Deduplicate while preserving order (e.g. ncores = 1, 2 or 4).
 thread_counts="$(tr ' ' '\n' <<<"$thread_counts" | awk '!seen[$0]++' | tr '\n' ' ')"
-
-scratch="$(mktemp -d)"
-trap 'rm -rf "$scratch"' EXIT
 
 fig9_filter='Fig9/lake/(NMF|SMF|SMFL)'
 
@@ -83,6 +173,10 @@ SMFL_THREADS=1 SMFL_BENCH_LEGACY_RECONSTRUCT=1 \
     "$build_dir/bench/bench_fig9_scalability" \
     "${fig9_flags[@]}" --benchmark_out="$scratch/fig9_legacy.json" >/dev/null
 
+echo "==> fig9 slice @ 1 thread, scalar tier (SMFL_SIMD=0)"
+SMFL_THREADS=1 SMFL_SIMD=0 "$build_dir/bench/bench_fig9_scalability" \
+    "${fig9_flags[@]}" --benchmark_out="$scratch/fig9_scalar.json" >/dev/null
+
 kernel_flags=(--benchmark_repetitions=3 --benchmark_report_aggregates_only=true
               --benchmark_out_format=json)
 for t in $thread_counts; do
@@ -91,6 +185,11 @@ for t in $thread_counts; do
       "${kernel_flags[@]}" --benchmark_out="$scratch/kernels_t$t.json" \
       >/dev/null
 done
+
+echo "==> kernel microbench @ 1 thread, scalar tier (SMFL_SIMD=0)"
+SMFL_THREADS=1 SMFL_SIMD=0 "$build_dir/bench/bench_kernels" \
+    "${kernel_flags[@]}" --benchmark_out="$scratch/kernels_scalar.json" \
+    >/dev/null
 
 for t in $thread_counts; do
   echo "==> table4 imputation @ $t thread(s) (rows=$table4_rows)"
@@ -111,16 +210,31 @@ import json, os, re
 scratch = os.environ["SCRATCH"]
 threads = [int(t) for t in os.environ["THREAD_COUNTS"].split()]
 ncores = int(os.environ["NCORES"])
+# With one physical core the threaded runs contend for the same cpu, so
+# every speedup_vs_1_thread curve is noise around 1.0 by construction —
+# tagged, not published as data. SIMD and fusion ratios are unaffected
+# (both sides of those ratios run at the same parallelism).
+scaling_noise = ncores == 1
+
+def bench_doc(path):
+    with open(path) as f:
+        return json.load(f)
 
 def fig9_times(path):
     """base benchmark name -> median real_time in ms across repetitions."""
-    with open(path) as f:
-        doc = json.load(f)
-    return {b["run_name"]: b["real_time"] for b in doc["benchmarks"]
+    return {b["run_name"]: b["real_time"]
+            for b in bench_doc(path)["benchmarks"]
             if b.get("aggregate_name") == "median"}
+
+def tag_scaling(entry):
+    """Marks a thread-scaling curve as noise on 1-core hosts."""
+    if scaling_noise:
+        entry["noise"] = True
+    return entry
 
 per_thread = {t: fig9_times(f"{scratch}/fig9_t{t}.json") for t in threads}
 legacy = fig9_times(f"{scratch}/fig9_legacy.json")
+fig9_scalar = fig9_times(f"{scratch}/fig9_scalar.json")
 base = per_thread[1]
 
 fig9 = {}
@@ -130,17 +244,26 @@ for name in sorted(base):
         "dataset": m.group(1), "method": m.group(2), "rows": int(m.group(3)),
         "ms_per_thread_count": {str(t): round(per_thread[t][name], 3)
                                 for t in threads},
-        "speedup_vs_1_thread": {str(t): round(base[name] / per_thread[t][name], 3)
-                                for t in threads},
+        "speedup_vs_1_thread": tag_scaling(
+            {str(t): round(base[name] / per_thread[t][name], 3)
+             for t in threads}),
     }
     if name in legacy:
         entry["legacy_unfused_ms_1_thread"] = round(legacy[name], 3)
         entry["fusion_speedup_1_thread"] = round(legacy[name] / base[name], 3)
+    if name in fig9_scalar:
+        entry["scalar_tier_ms_1_thread"] = round(fig9_scalar[name], 3)
+        entry["simd_speedup_1_thread"] = round(
+            fig9_scalar[name] / base[name], 3)
     fig9[name] = entry
 
 kernels_per_thread = {t: fig9_times(f"{scratch}/kernels_t{t}.json")
                       for t in threads}
 kbase = kernels_per_thread[1]
+kscalar = fig9_times(f"{scratch}/kernels_scalar.json")
+simd_tier = bench_doc(f"{scratch}/kernels_t1.json").get(
+    "context", {}).get("simd_tier", "unknown")
+
 kernels = {}
 for name in sorted(kbase):
     if name.startswith("BM_TelemetryOverhead"):
@@ -148,10 +271,27 @@ for name in sorted(kbase):
     kernels[name] = {
         "ms_per_thread_count": {str(t): round(kernels_per_thread[t][name], 4)
                                 for t in threads},
-        "speedup_vs_1_thread": {
-            str(t): round(kbase[name] / kernels_per_thread[t][name], 3)
-            for t in threads},
+        "speedup_vs_1_thread": tag_scaling(
+            {str(t): round(kbase[name] / kernels_per_thread[t][name], 3)
+             for t in threads}),
     }
+
+# Scalar-vs-SIMD per-kernel ratios at 1 thread: both runs share the same
+# parallelism and host, so these are valid on any machine (the dimension
+# the thread curves lack on small hosts). Excludes fold-in and telemetry,
+# which measure other layers.
+simd_kernels = {}
+for name in sorted(kbase):
+    if name.startswith(("BM_TelemetryOverhead", "BM_FoldInBatch")):
+        continue
+    if name not in kscalar:
+        continue
+    simd_kernels[name] = {
+        "scalar_ms": round(kscalar[name], 4),
+        "simd_ms": round(kbase[name], 4),
+        "speedup": round(kscalar[name] / kbase[name], 3),
+    }
+
 fusion = {}
 for arg in (90, 50, 10):
     fused = kbase[f"BM_MaskedReconstructFused/{arg}"]
@@ -175,19 +315,17 @@ for arg in (64, 512, 2048):
         "ms_per_batch_per_thread_count": {
             str(t): round(kernels_per_thread[t][name], 4) for t in threads},
         "rows_per_sec_per_thread_count": per_thread_rps,
-        "speedup_vs_1_thread": {
-            str(t): round(kbase[name] / kernels_per_thread[t][name], 3)
-            for t in threads},
+        "speedup_vs_1_thread": tag_scaling(
+            {str(t): round(kbase[name] / kernels_per_thread[t][name], 3)
+             for t in threads}),
     }
 
 # Telemetry overhead: median real_time is ns per loop iteration, and each
 # iteration runs 3 instruments (counter + histogram + span), so ns/3 is
 # the per-instrument cost. Arg 0 = collection off (the disabled-path
 # guard), Arg 1 = on.
-with open(f"{scratch}/kernels_t1.json") as f:
-    kdoc = json.load(f)
 telemetry_units = {b["run_name"]: b.get("time_unit", "ns")
-                   for b in kdoc["benchmarks"]
+                   for b in bench_doc(f"{scratch}/kernels_t1.json")["benchmarks"]
                    if b.get("aggregate_name") == "median"}
 telemetry = {}
 for arg, label in ((0, "disabled"), (1, "enabled")):
@@ -211,22 +349,32 @@ t4_base = table4["1"]["wall_ms"]
 for t in threads:
     table4[str(t)]["speedup_vs_1_thread"] = round(
         t4_base / table4[str(t)]["wall_ms"], 3)
+if scaling_noise:
+    table4["noise"] = True
 
+best_simd = max(simd_kernels.items(), key=lambda kv: kv[1]["speedup"]) \
+    if simd_kernels else (None, {"speedup": None})
 largest = max((e for e in fig9.values() if e["method"] == "SMFL"),
               key=lambda e: e["rows"])
 out = {
-    "pr": 4,
+    "pr": 7,
     "generated_by": "tools/run_bench.sh",
     "host": {
         "cores": ncores,
         "cpu_model": os.environ["CPU_MODEL"],
+        "simd_tier": simd_tier,
         "thread_counts": threads,
-        "note": ("thread-scaling numbers are bounded by physical cores; "
-                 "on a 1-core machine only the fusion speedup is visible"),
+        "thread_scaling_noise": scaling_noise,
+        "note": ("thread-scaling curves carry \"noise\": true when the "
+                 "host has one core (the ratios are ~1.0 by construction); "
+                 "simd_kernel_speedups and the fusion ratios compare runs "
+                 "at equal parallelism and are valid on any host"),
     },
-    "determinism": "outputs bitwise identical across all thread counts "
-                   "and with telemetry on or off "
-                   "(tests/kernel_equivalence_test.cc)",
+    "determinism": "outputs bitwise identical across all thread counts, "
+                   "SIMD tiers (SMFL_SIMD=0/1), and with telemetry on or "
+                   "off (tests/kernel_equivalence_test.cc, "
+                   "tests/simd_kernel_test.cc)",
+    "simd_kernel_speedups_1_thread": simd_kernels,
     "fig9_scalability_mf_family": fig9,
     "kernel_microbench": kernels,
     "masked_reconstruct_fusion_1_thread": fusion,
@@ -237,6 +385,11 @@ out = {
         "per_thread_count": table4,
     },
     "headline": {
+        "simd_tier": simd_tier,
+        "best_simd_kernel": best_simd[0],
+        "best_simd_kernel_speedup": best_simd[1]["speedup"],
+        "end_to_end_simd_speedup_1_thread":
+            largest.get("simd_speedup_1_thread"),
         "largest_config": f"Fig9/lake/SMFL/{largest['rows']}",
         "end_to_end_fusion_speedup_1_thread":
             largest.get("fusion_speedup_1_thread"),

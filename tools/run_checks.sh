@@ -9,16 +9,21 @@
 #                     SIGKILLs real fits between checkpoint writes and
 #                     requires --resume to reach the bitwise-identical
 #                     model (docs/robustness.md)
-#   5. asan           tier-1 suite under AddressSanitizer (+ leak check)
-#   6. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
-#   7. tsan           threading-sensitive subset under ThreadSanitizer;
+#   5. bench          perf-regression gate (tools/run_bench.sh --gate):
+#                     masked-reconstruct fusion and SIMD gemm speedups must
+#                     stay above the committed thresholds; a regression
+#                     fails the gate exactly like a lint finding would
+#   6. asan           tier-1 suite under AddressSanitizer (+ leak check)
+#   7. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
+#   8. tsan           threading-sensitive subset under ThreadSanitizer;
 #                     auto-skipped (and recorded as such) when the toolchain
 #                     lacks TSan support
 #
 # Every step's outcome lands in CHECKS.json ({"steps": [{name, status,
 # seconds, detail}...], "ok": bool}); the script exits nonzero if any step
-# fails. Skips are not failures. `--fast` runs only steps 1-4 (the
-# sanitizer suites are three extra full builds).
+# fails. Skips are not failures. `--fast` runs only steps 1-4 (the bench
+# gate wants an unloaded machine and the sanitizer suites are three extra
+# full builds).
 #
 # Usage: tools/run_checks.sh [--fast] [--out CHECKS.json]
 
@@ -106,6 +111,12 @@ else
 fi
 
 if [[ $fast -eq 0 ]]; then
+  if [[ "${step_statuses[0]}" == pass ]]; then
+    run_step bench "fusion + SIMD speedups above thresholds (run_bench.sh --gate)" \
+      "$repo_root/tools/run_bench.sh" --gate --build-dir="$build_dir"
+  else
+    echo "==> skipping bench gate: the gate build failed"
+  fi
   run_step asan "tier-1 suite under AddressSanitizer" \
     "$repo_root/tools/run_sanitizers.sh" address
   run_step ubsan "tier-1 suite under UndefinedBehaviorSanitizer" \

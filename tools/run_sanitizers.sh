@@ -4,7 +4,7 @@
 #
 #   address    full tier-1 suite under AddressSanitizer (+ leak check)
 #   undefined  full tier-1 suite under UndefinedBehaviorSanitizer
-#   thread     the threading-sensitive subset (parallel_test,
+#   thread     the threading-sensitive subset (parallel_test, simd_kernel_test,
 #              kernel_equivalence_test, smfl_monotonicity_property_test,
 #              fold_in_serving_test, telemetry_test, crash_recovery_test)
 #              under ThreadSanitizer, with SMFL_THREADS=4 so the pool is
@@ -65,7 +65,7 @@ for san in "${sanitizers[@]}"; do
     thread)
       SMFL_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir "$build_dir" --output-on-failure \
-          -R '^(parallel_test|kernel_equivalence_test|smfl_monotonicity_property_test|fold_in_serving_test|telemetry_test|crash_recovery_test)$'
+          -R '^(parallel_test|simd_kernel_test|kernel_equivalence_test|smfl_monotonicity_property_test|fold_in_serving_test|telemetry_test|crash_recovery_test)$'
       ;;
   esac
   echo "==> $san: PASSED"

@@ -21,7 +21,8 @@ namespace fs = std::filesystem;
 
 const std::set<std::string> kKnownRules = {
     "thread",   "nondet",   "unordered-iter", "discard-status",
-    "float-eq", "raw-log",  "raw-file-write", "all",
+    "float-eq", "raw-log",  "raw-file-write", "raw-simd",
+    "const-ref", "all",
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -69,6 +70,16 @@ bool RuleApplies(const std::string& rule, const std::string& rel,
     // allowed to open files for writing directly.
     return !test && rel != "src/common/durable_io.cc" &&
            rel != "src/common/logging.cc";
+  }
+  if (rule == "raw-simd") {
+    // The dispatch layer is the single home for raw intrinsics; everywhere
+    // else (tests included) goes through the la::simd kernel table.
+    return !StartsWith(rel, "src/la/simd.");
+  }
+  if (rule == "const-ref") {
+    // Tests and benches copy small fixtures freely; production code must
+    // not deep-copy Matrix/Table/Mask per call.
+    return !test && !StartsWith(rel, "bench/");
   }
   return true;
 }
@@ -148,6 +159,12 @@ void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
   }
   if (RuleApplies("raw-file-write", file.rel_path, options)) {
     CheckRawFileWrite(file, &raw);
+  }
+  if (RuleApplies("raw-simd", file.rel_path, options)) {
+    CheckRawSimd(file, &raw);
+  }
+  if (RuleApplies("const-ref", file.rel_path, options)) {
+    CheckConstRef(file, &raw);
   }
 
   for (Diagnostic& d : raw) {

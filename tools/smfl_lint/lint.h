@@ -26,6 +26,16 @@
 //                        files must be written via smfl::WriteFileDurable
 //                        (temp + fsync + atomic rename) so a crash can never
 //                        leave a truncated artifact. Reads are unaffected.
+//   raw-simd        (R8) SIMD intrinsic headers or _mm*/__m###/v*q_f64
+//                        tokens outside src/la/simd.* — vector code must go
+//                        through the la::simd runtime-dispatch table so the
+//                        scalar fallback and bitwise-determinism argument
+//                        stay centralized in one file.
+//   const-ref       (R9) a Matrix/Table/Mask function parameter passed by
+//                        value — a full deep copy of the heap buffer per
+//                        call; take `const T&`. ALL_CAPS macro callees
+//                        (ASSIGN_OR_RETURN declares locals inside its
+//                        parens) are exempt.
 //
 // Any finding can be suppressed inline with a justified comment on the same
 // line or the line above:

@@ -440,4 +440,157 @@ void CheckRawFileWrite(const LexedFile& file, std::vector<Diagnostic>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R8: raw-simd
+
+namespace {
+
+// Intrinsic headers whose inclusion marks raw vector code.
+bool IsSimdHeader(const std::string& preproc) {
+  if (preproc.find("include") == std::string::npos) return false;
+  static const char* const kHeaders[] = {
+      "immintrin.h", "arm_neon.h", "xmmintrin.h", "emmintrin.h",
+      "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+      "avxintrin.h", "avx2intrin.h", "x86intrin.h",
+  };
+  for (const char* h : kHeaders) {
+    if (preproc.find(h) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// x86 intrinsic calls (_mm_/_mm256_/_mm512_...) and vector register types
+// (__m128, __m256d, __m512i, ...).
+bool IsX86SimdIdent(const std::string& s) {
+  if (s.rfind("_mm", 0) == 0) return true;
+  return s.rfind("__m", 0) == 0 && s.size() > 3 && s[3] >= '0' && s[3] <= '9';
+}
+
+// NEON double-precision intrinsics (vaddq_f64, vdupq_n_f64, vld1q_f64,
+// vfmaq_f64, ...) and their register type.
+bool IsNeonSimdIdent(const std::string& s) {
+  if (s == "float64x2_t" || s == "float32x4_t") return true;
+  if (s.empty() || s[0] != 'v') return false;
+  if (s.size() < 6 || s.compare(s.size() - 4, 4, "_f64") != 0) return false;
+  return s.find('q') != std::string::npos;
+}
+
+}  // namespace
+
+void CheckRawSimd(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Kind::kPreproc) {
+      if (IsSimdHeader(t.text)) {
+        Emit(file, "raw-simd", t.line,
+             "SIMD intrinsic header outside src/la/simd.*; vector code must "
+             "go through the la::simd dispatch table so the determinism "
+             "contract stays centralized",
+             out);
+      }
+      continue;
+    }
+    if (t.kind != Kind::kIdent) continue;
+    if (IsX86SimdIdent(t.text) || IsNeonSimdIdent(t.text)) {
+      Emit(file, "raw-simd", t.line,
+           "raw SIMD intrinsic '" + t.text +
+               "' outside src/la/simd.*; use the la::simd kernel table "
+               "(runtime dispatch + scalar fallback + bitwise-determinism "
+               "contract) or justify with smfl-lint: allow(raw-simd)",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R9: const-ref
+
+namespace {
+
+// Heap-owning numeric types that must never be function parameters by
+// value.
+bool IsHeavyType(const std::string& s) {
+  return s == "Matrix" || s == "Table" || s == "Mask";
+}
+
+// Walks backward from `i` to the nearest unmatched '('. Returns its index,
+// or SIZE_MAX when a top-level ';', '{', or '}' is hit first (i.e. `i` is
+// not inside a parenthesized region).
+size_t EnclosingOpenParen(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  while (i > 0) {
+    --i;
+    if (IsPunct(toks[i], ")")) {
+      ++depth;
+    } else if (IsPunct(toks[i], "(")) {
+      if (depth == 0) return i;
+      --depth;
+    } else if (depth == 0 &&
+               (IsPunct(toks[i], ";") || IsPunct(toks[i], "{") ||
+                IsPunct(toks[i], "}"))) {
+      return static_cast<size_t>(-1);
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+// ALL_CAPS macro-style identifier (ASSIGN_OR_RETURN, SMFL_CHECK_EQ, ...).
+bool IsMacroLikeIdent(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') {
+      has_alpha = true;
+    } else if (c != '_' && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return has_alpha;
+}
+
+}  // namespace
+
+void CheckConstRef(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent || !IsHeavyType(t.text)) continue;
+    // Qualified uses (la::Matrix is fine — the last identifier is what we
+    // matched), template arguments (vector<Matrix>), and member accesses
+    // are not parameter type heads.
+    if (i > 0 && (IsPunct(toks[i - 1], "<") || IsPunct(toks[i - 1], ".") ||
+                  IsPunct(toks[i - 1], "->"))) {
+      continue;
+    }
+    // `Matrix name` followed by ',' or ')' — the by-value parameter shape.
+    // References (`Matrix& name`), pointers, and declarations with
+    // constructors (`Matrix c(n, m)`) or initializers (`Matrix u = ...`)
+    // don't match.
+    const Token& name = toks[i + 1];
+    if (name.kind != Kind::kIdent || IsIdent(name, "const")) continue;
+    const Token& after = toks[i + 2];
+    if (!IsPunct(after, ",") && !IsPunct(after, ")")) continue;
+    const size_t open = EnclosingOpenParen(toks, i);
+    if (open == static_cast<size_t>(-1) || open == 0) continue;
+    // The token before the '(' must be the declared function's name; macro
+    // invocations (ASSIGN_OR_RETURN(Matrix z, ...)) declare locals inside
+    // their parens, and control-flow parens never hold declarations.
+    const Token& callee = toks[open - 1];
+    if (callee.kind != Kind::kIdent) continue;
+    if (IsMacroLikeIdent(callee.text)) continue;
+    if (IsIdent(callee, "if") || IsIdent(callee, "for") ||
+        IsIdent(callee, "while") || IsIdent(callee, "switch") ||
+        IsIdent(callee, "return")) {
+      continue;
+    }
+    Emit(file, "const-ref", t.line,
+         "parameter '" + name.text + "' passes " + t.text +
+             " by value — a full deep copy of its heap buffer per call; "
+             "take `const " + t.text +
+             "&` (or justify the copy with smfl-lint: allow(const-ref))",
+         out);
+  }
+}
+
 }  // namespace smfl::lint

@@ -42,6 +42,18 @@ void CheckRawLog(const LexedFile& file, std::vector<Diagnostic>* out);
 // are fine.
 void CheckRawFileWrite(const LexedFile& file, std::vector<Diagnostic>* out);
 
+// R8 "raw-simd": SIMD intrinsic headers (<immintrin.h>/<arm_neon.h> and
+// friends), x86 `_mm*`/`__m128/256/512` tokens, and NEON `v*q_*`
+// intrinsics / `float64x2_t`. Raw vector code outside src/la/simd.* would
+// bypass the runtime dispatch and its determinism contract.
+void CheckRawSimd(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R9 "const-ref": a Matrix/Table/Mask function parameter passed by value.
+// These types own O(n*m) heap buffers; a by-value parameter is a full deep
+// copy per call. Macro-style ALL_CAPS callees (ASSIGN_OR_RETURN and
+// friends declare locals inside their parens) are exempt.
+void CheckConstRef(const LexedFile& file, std::vector<Diagnostic>* out);
+
 }  // namespace smfl::lint
 
 #endif  // SMFL_TOOLS_SMFL_LINT_RULES_H_
