@@ -7,17 +7,21 @@
 //     publish scalar-vs-SIMD ratios, which are valid on any host because
 //     both runs share one core count.
 //   * MaskedReconstruct (fused R_Ω(UV)) against the unfused
-//     ApplyMask(MatMul(u, v)) it replaced, across observed rates. The
-//     fused kernel computes only the Ω entries, so its advantage grows as
-//     the mask gets sparser — the regime of the paper's Table VII
+//     ApplyMask(MatMul(u, v)) it replaced, across observed rates down to
+//     1%. The fused kernel computes only the Ω entries, so its advantage
+//     grows as the mask gets sparser — the regime of the paper's Table VII
 //     high-missing-rate experiments.
+//   * MaskedReconstructIndexed: the same kernel consuming a prebuilt
+//     data::ObservedIndex (what the fit loop actually runs since PR 8) —
+//     the mask-vs-index gap is the per-call row-scan cost the CSR layout
+//     eliminates.
 //   * MaskedSquaredError at the same observed rates (the objective half of
 //     every fit iteration, SIMD-dispatched on dense rows).
 //   * Batched fold-in serving throughput (rows/sec) against a frozen model
 //     at the process thread count (PR 3): grouped-gemm numerators plus the
 //     threaded per-row multiplicative solves of core::FoldIn.
 //
-// tools/run_bench.sh aggregates this into BENCH_PR7.json.
+// tools/run_bench.sh aggregates this into BENCH_PR8.json.
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +29,7 @@
 #include "src/common/telemetry.h"
 #include "src/core/fold_in.h"
 #include "src/data/mask.h"
+#include "src/data/observed_index.h"
 #include "src/la/ops.h"
 #include "src/la/simd.h"
 
@@ -99,8 +104,25 @@ void BM_MaskedReconstructFused(benchmark::State& state) {
     benchmark::DoNotOptimize(r.data());
   }
 }
-BENCHMARK(BM_MaskedReconstructFused)->Arg(90)->Arg(50)->Arg(10)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaskedReconstructFused)->Arg(90)->Arg(50)->Arg(10)->Arg(5)
+    ->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The same fused kernel fed a prebuilt CSR index (built once per fit, so
+// its O(n·m) construction is amortized away from the per-iteration cost
+// being measured here).
+void BM_MaskedReconstructIndexed(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  const Matrix u = RandomMatrix(kReconN, kReconK, 3);
+  const Matrix v = RandomMatrix(kReconK, kReconM, 4);
+  const Mask mask = RandomMask(kReconN, kReconM, 5, rate);
+  const data::ObservedIndex omega = data::ObservedIndex::FromMask(mask);
+  for (auto _ : state) {
+    Matrix r = data::MaskedReconstruct(u, v, omega);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_MaskedReconstructIndexed)->Arg(90)->Arg(50)->Arg(10)->Arg(5)
+    ->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_MaskedReconstructUnfused(benchmark::State& state) {
   const double rate = static_cast<double>(state.range(0)) / 100.0;
@@ -112,8 +134,8 @@ void BM_MaskedReconstructUnfused(benchmark::State& state) {
     benchmark::DoNotOptimize(r.data());
   }
 }
-BENCHMARK(BM_MaskedReconstructUnfused)->Arg(90)->Arg(50)->Arg(10)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaskedReconstructUnfused)->Arg(90)->Arg(50)->Arg(10)->Arg(5)
+    ->Arg(1)->Unit(benchmark::kMillisecond);
 
 // The objective evaluation paired with every reconstruction: sum of
 // squared residuals over Ω. Dense rows take the SIMD sq_diff kernel.
@@ -129,7 +151,7 @@ void BM_MaskedSquaredError(benchmark::State& state) {
     benchmark::DoNotOptimize(err);
   }
 }
-BENCHMARK(BM_MaskedSquaredError)->Arg(90)->Arg(50)->Arg(10)
+BENCHMARK(BM_MaskedSquaredError)->Arg(90)->Arg(50)->Arg(10)->Arg(5)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
 // Batched fold-in serving: Arg(0) fresh rows against a synthetic frozen
@@ -183,7 +205,7 @@ BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN so the resolved SIMD tier lands in
-// the JSON context block — tools/run_bench.sh records it in BENCH_PR7.json
+// the JSON context block — tools/run_bench.sh records it in BENCH_PR8.json
 // and refuses to gate on SIMD speedups when the tier is "scalar".
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);

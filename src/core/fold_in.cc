@@ -9,6 +9,7 @@
 
 #include "src/common/parallel.h"
 #include "src/common/telemetry.h"
+#include "src/data/observed_index.h"
 #include "src/la/ops.h"
 #include "src/mf/factorization.h"
 
@@ -302,6 +303,12 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
 
   // Group solvable rows by usable-column pattern and fold each group's
   // iteration-invariant numerators into one gemm against the frozen V.
+  // The CSR index over the usable cells serves both the grouping key (a
+  // row's observed-column span, byte-viewed) and each group's column list
+  // directly — no per-row rescans of the byte grid, and the key for a
+  // sparse row is proportional to its observed count, not to m.
+  const data::ObservedIndex usable_index =
+      data::ObservedIndex::FromRowMajorBytes(n, m, usable.data());
   constexpr size_t kColumnMeanGroup = static_cast<size_t>(-1);
   std::unordered_map<std::string, size_t> group_of_pattern;
   std::vector<ObsGroup> groups;
@@ -312,17 +319,15 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
         FoldInTier::kColumnMean) {
       continue;
     }
-    std::string pattern(
-        reinterpret_cast<const char*>(&usable[static_cast<size_t>(i * m)]),
-        static_cast<size_t>(m));
+    const std::span<const Index> row_cols = usable_index.RowCols(i);
+    std::string pattern(reinterpret_cast<const char*>(row_cols.data()),
+                        row_cols.size() * sizeof(Index));
     auto [it, inserted] =
         group_of_pattern.emplace(std::move(pattern), groups.size());
     if (inserted) {
       groups.emplace_back();
       ObsGroup& g = groups.back();
-      for (Index j = 0; j < m; ++j) {
-        if (usable[static_cast<size_t>(i * m + j)]) g.obs.push_back(j);
-      }
+      g.obs.assign(row_cols.begin(), row_cols.end());
     }
     ObsGroup& g = groups[it->second];
     row_group[static_cast<size_t>(i)] = it->second;

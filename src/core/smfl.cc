@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "src/common/fault.h"
 #include "src/common/parallel.h"
@@ -14,6 +15,7 @@
 #include "src/core/model_io.h"
 #include "src/core/training_guard.h"
 #include "src/data/normalize.h"
+#include "src/data/observed_index.h"
 #include "src/la/ops.h"
 #include "src/la/simd.h"
 #include "src/mf/nmf.h"
@@ -33,14 +35,20 @@ double SmflObjective(const Matrix& x, const Mask& observed,
 
 namespace {
 
-// R_Ω(U V) for the iteration hot path. The fused kernel is bitwise
-// identical to the unfused ApplyMask(MatMul(u, v)) form; the latter stays
-// reachable via SMFL_BENCH_LEGACY_RECONSTRUCT=1 so tools/run_bench.sh can
-// measure the pre-optimization per-iteration cost.
+// R_Ω(U V) for the iteration hot path, preferring the CSR observed index
+// (`omega`, nullable) built once per fit attempt over per-call mask scans
+// — the three forms are bitwise identical. The unfused
+// ApplyMask(MatMul(u, v)) stays reachable via
+// SMFL_BENCH_LEGACY_RECONSTRUCT=1 so tools/run_bench.sh can measure the
+// pre-optimization per-iteration cost.
 Matrix ReconstructMasked(const Matrix& u, const Matrix& v,
-                         const Mask& observed) {
+                         const Mask& observed,
+                         const data::ObservedIndex* omega) {
   if (mf::LegacyReconstructForBench()) {
     return data::ApplyMask(la::MatMul(u, v), observed);
+  }
+  if (omega != nullptr) {
+    return data::MaskedReconstruct(u, v, *omega);
   }
   return data::MaskedReconstruct(u, v, observed);
 }
@@ -50,9 +58,12 @@ Matrix ReconstructMasked(const Matrix& u, const Matrix& v,
 // non-finite U still poisons the objective the way it always did).
 double ObjectiveGiven(const Matrix& x, const Mask& observed,
                       const NeighborGraph& graph, double lambda,
-                      const Matrix& u, const Matrix& uv_masked) {
-  return data::MaskedSquaredError(x, observed, uv_masked) +
-         lambda * graph.LaplacianQuadraticForm(u);
+                      const Matrix& u, const Matrix& uv_masked,
+                      const data::ObservedIndex* omega) {
+  const double err = omega != nullptr
+                         ? data::MaskedSquaredError(x, *omega, uv_masked)
+                         : data::MaskedSquaredError(x, observed, uv_masked);
+  return err + lambda * graph.LaplacianQuadraticForm(u);
 }
 
 }  // namespace
@@ -159,10 +170,10 @@ void UpdateUMultiplicative(const Matrix& x_observed,
 // been updated, so R_Ω(U_new V) must be recomputed here — it cannot be
 // shared with the U update, which needed R_Ω(U_old V).
 void UpdateVMultiplicative(const Matrix& x_observed, const Mask& observed,
-                           const Matrix& u, double div_eps, Matrix& v,
-                           Index col_begin) {
+                           const data::ObservedIndex* omega, const Matrix& u,
+                           double div_eps, Matrix& v, Index col_begin) {
   if (col_begin >= v.cols()) return;
-  Matrix uv_masked = ReconstructMasked(u, v, observed);
+  Matrix uv_masked = ReconstructMasked(u, v, observed, omega);
   Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
   Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
   for (Index i = 0; i < v.rows(); ++i) {
@@ -197,10 +208,10 @@ void UpdateUGradient(const Matrix& x_observed,
 
 // Projected gradient step for the free columns of V.
 void UpdateVGradient(const Matrix& x_observed, const Mask& observed,
-                     const Matrix& u, double delta, Matrix& v,
-                     Index col_begin) {
+                     const data::ObservedIndex* omega, const Matrix& u,
+                     double delta, Matrix& v, Index col_begin) {
   if (col_begin >= v.cols()) return;
-  Matrix uv_masked = ReconstructMasked(u, v, observed);
+  Matrix uv_masked = ReconstructMasked(u, v, observed, omega);
   Matrix num = MatMulAtBColsFrom(u, x_observed, col_begin);
   Matrix den = MatMulAtBColsFrom(u, uv_masked, col_begin);
   for (Index i = 0; i < v.rows(); ++i) {
@@ -255,10 +266,11 @@ uint64_t FingerprintInput(const Matrix& x, const Mask& observed,
                        sizeof(double) * static_cast<size_t>(x.size())),
       h);
   for (Index i = 0; i < observed.rows(); ++i) {
-    h = Fnv1a64(
-        std::string_view(reinterpret_cast<const char*>(observed.RowData(i)),
-                         static_cast<size_t>(observed.cols())),
-        h);
+    // smfl-lint: allow(mask-scan) fingerprinting hashes the raw mask bytes once per fit call, not per iteration
+    const auto* row_bytes = observed.RowData(i);
+    h = Fnv1a64(std::string_view(reinterpret_cast<const char*>(row_bytes),
+                                 static_cast<size_t>(observed.cols())),
+                h);
   }
   return h;
 }
@@ -563,17 +575,27 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   }  // resume == nullptr initialization
 
   const Matrix x_observed = data::ApplyMask(x, observed);
+  // Ω in CSR form (with the observed values packed alongside), built once
+  // per attempt: every reconstruction and objective evaluation below —
+  // including the TrainingGuard rollback rebuild — reuses it instead of
+  // rescanning the byte mask twice per row per call.
+  std::optional<data::ObservedIndex> omega_storage;
+  if (data::ObservedIndexEnabled()) {
+    omega_storage.emplace(data::ObservedIndex::FromMask(observed, x));
+  }
+  const data::ObservedIndex* omega =
+      omega_storage.has_value() ? &omega_storage.value() : nullptr;
   FitReport& report = model.report;
   // R_Ω(UV) for the current iterates. Computed once per accepted state:
   // the objective evaluation at the end of each iteration doubles as the
   // input to the next iteration's U update (which needs exactly
   // R_Ω(U_old V_old)), replacing what used to be a third independent
   // reconstruction per iteration.
-  Matrix uv_masked = ReconstructMasked(model.u, model.v, observed);
+  Matrix uv_masked = ReconstructMasked(model.u, model.v, observed, omega);
   const bool legacy_reconstruct = mf::LegacyReconstructForBench();
   if (resume == nullptr) {
     report.objective_trace.push_back(ObjectiveGiven(
-        x, observed, graph, options.lambda, model.u, uv_masked));
+        x, observed, graph, options.lambda, model.u, uv_masked, omega));
   } else {
     report.objective_trace = resume->objective_trace;
     report.iterations = resume->iteration + 1;
@@ -599,7 +621,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     // from scratch, restoring the pre-optimization three-per-iteration
     // cost profile.
     if (legacy_reconstruct) {
-      uv_masked = ReconstructMasked(model.u, model.v, observed);
+      uv_masked = ReconstructMasked(model.u, model.v, observed, omega);
     }
     switch (options.update) {
       case UpdateMethod::kMultiplicative: {
@@ -610,8 +632,8 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
         }
         {
           SMFL_TRACE_SPAN("smfl.fit.update_v");
-          UpdateVMultiplicative(x_observed, observed, model.u, div_eps,
-                                model.v, v_update_begin);
+          UpdateVMultiplicative(x_observed, observed, omega, model.u,
+                                div_eps, model.v, v_update_begin);
         }
         break;
       }
@@ -623,7 +645,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
         }
         {
           SMFL_TRACE_SPAN("smfl.fit.update_v");
-          UpdateVGradient(x_observed, observed, model.u,
+          UpdateVGradient(x_observed, observed, omega, model.u,
                           options.learning_rate, model.v, v_update_begin);
         }
         break;
@@ -642,10 +664,10 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
     // fault points so an injected corruption is visible to the guard).
     {
       SMFL_TRACE_SPAN("smfl.fit.reconstruct");
-      uv_masked = ReconstructMasked(model.u, model.v, observed);
+      uv_masked = ReconstructMasked(model.u, model.v, observed, omega);
     }
     const double objective = ObjectiveGiven(
-        x, observed, graph, options.lambda, model.u, uv_masked);
+        x, observed, graph, options.lambda, model.u, uv_masked, omega);
     // The paper's headline convergence artifact: the objective trajectory
     // over wall-clock time, as a counter track in the trace file.
     SMFL_TRACE_COUNTER("smfl.fit.objective", objective);
@@ -671,7 +693,7 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
         if (report.objective_trace.size() > keep) {
           report.objective_trace.resize(keep);
         }
-        uv_masked = ReconstructMasked(model.u, model.v, observed);
+        uv_masked = ReconstructMasked(model.u, model.v, observed, omega);
         continue;
       }
     }

@@ -114,7 +114,10 @@ class Mask {
 // order and zero-skip per entry), but computes only what the mask needs
 // and never materializes the unmasked product or a second masking pass.
 // Rows are processed in parallel chunks (deterministic; see
-// common/parallel.h); sparse rows fall back to per-entry dots.
+// common/parallel.h); rows below the active SIMD tier's measured density
+// crossover fall back to per-entry dots. The fit loops use the
+// ObservedIndex overload (observed_index.h), which skips the per-call
+// mask-row scans; this Mask form remains for one-shot callers.
 [[nodiscard]] Matrix MaskedReconstruct(const Matrix& u, const Matrix& v, const Mask& mask);
 
 // ||R_Ω(X) − UV_Ω||_F² given a reconstruction already restricted to Ω

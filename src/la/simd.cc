@@ -73,8 +73,11 @@ void SqDiffScalar(Index n, const double* x, const double* r, double* out) {
   }
 }
 
+// Scalar crossover 1/4: below 25% observed the per-entry dots beat the
+// full-width axpy+restrict pass (the historical `observed * 4 >= m`,
+// confirmed by the BENCH_PR8 observed-rate sweep).
 constexpr Kernels kScalarTable{Tier::kScalar, AxpyScalar, DotPanelScalar,
-                               MaskedDotColsScalar, SqDiffScalar};
+                               MaskedDotColsScalar, SqDiffScalar, 4};
 
 // ---------------------------------------------------------------------------
 // AVX2 tier (x86). Per-function target attributes keep the rest of the
@@ -120,34 +123,12 @@ __attribute__((target("avx2"))) void DotPanelAvx2(Index k, const double* a,
   }
 }
 
-__attribute__((target("avx2"))) void MaskedDotColsAvx2(
-    Index k, Index m, const double* u, const double* v, const Index* cols,
-    Index ncols, double* orow) {
-  static_assert(sizeof(Index) == 8,
-                "i64 gather indexes assume 64-bit Index");
-  Index c = 0;
-  for (; c + 4 <= ncols; c += 4) {
-    const __m256i idx =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + c));
-    __m256d acc = _mm256_setzero_pd();
-    for (Index p = 0; p < k; ++p) {
-      const double up = u[p];
-      if (up == 0.0) {  // smfl-lint: allow(float-eq) exact zero-skip, broadcast-level so all lanes skip together like the scalar path
-        continue;
-      }
-      const __m256d vv = _mm256_i64gather_pd(v + p * m, idx, 8);
-      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(up), vv));
-    }
-    double lane[4];
-    _mm256_storeu_pd(lane, acc);
-    for (Index l = 0; l < 4; ++l) {
-      orow[cols[c + l]] = lane[l];
-    }
-  }
-  if (c < ncols) {
-    MaskedDotColsScalar(k, m, u, v, cols + c, ncols - c, orow);
-  }
-}
+// No AVX2 masked_dot_cols: the _mm256_i64gather_pd kernel that lived here
+// through PR 7 measured 0.85× the scalar per-entry dots at 10% observed
+// (BENCH_PR7.json) — hardware gathers are slow on the server Xeons this
+// repo benches on, and the strided column reads defeat the vector win.
+// The AVX2 table routes sparse rows to MaskedDotColsScalar instead and
+// compensates with an earlier dense crossover (see kAvx2Table).
 
 __attribute__((target("avx2"))) void SqDiffAvx2(Index n, const double* x,
                                                 const double* r, double* out) {
@@ -163,8 +144,11 @@ __attribute__((target("avx2"))) void SqDiffAvx2(Index n, const double* x,
   }
 }
 
+// AVX2 crossover 1/5: the 4-wide axpy pass makes the dense path ~1.7×
+// cheaper than scalar dense, so it overtakes the (scalar) per-entry dots
+// at ~20% observed rather than 25% (BENCH_PR8 observed-rate sweep).
 constexpr Kernels kAvx2Table{Tier::kAvx2, AxpyAvx2, DotPanelAvx2,
-                             MaskedDotColsAvx2, SqDiffAvx2};
+                             MaskedDotColsScalar, SqDiffAvx2, 5};
 
 #endif  // SMFL_SIMD_X86
 
@@ -228,8 +212,10 @@ void SqDiffNeon(Index n, const double* x, const double* r, double* out) {
   }
 }
 
+// NEON crossover 1/5: like AVX2, sparse rows run the scalar dots while the
+// dense path runs 2-wide — break-even sits below the scalar tier's 1/4.
 constexpr Kernels kNeonTable{Tier::kNeon, AxpyNeon, DotPanelNeon,
-                             MaskedDotColsScalar, SqDiffNeon};
+                             MaskedDotColsScalar, SqDiffNeon, 5};
 
 #endif  // SMFL_SIMD_NEON
 

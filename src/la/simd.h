@@ -115,6 +115,17 @@ struct Kernels {
   // accumulation (the caller sums in its own fixed order). Powers
   // MaskedSquaredError's dense rows.
   void (*sq_diff)(Index n, const double* x, const double* r, double* out);
+
+  // Measured dense/gather crossover for the masked kernels' per-row path
+  // choice: a row takes the dense (full-width axpy / sq_diff, then
+  // restrict to Ω) path when `observed * dense_crossover >= m`, and the
+  // per-column masked_dot_cols path below that. Per tier because the
+  // dense path vectorizes while masked_dot_cols is the scalar per-entry
+  // chain on every tier, so the break-even observed rate shifts with the
+  // vector width (tools/run_bench.sh observed-rate sweep; table in
+  // docs/performance.md "Sparse Ω"). Both paths produce bitwise-identical
+  // entries, so the constant only moves wall-clock, never results.
+  Index dense_crossover;
 };
 
 // Resolves the dispatch table for the calling thread. Fetch once per

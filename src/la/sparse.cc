@@ -1,7 +1,9 @@
 #include "src/la/sparse.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 namespace smfl::la {
 
@@ -15,10 +17,21 @@ Result<SparseMatrix> SparseMatrix::FromTriplets(
       return Status::OutOfRange("SparseMatrix: triplet out of range");
     }
   }
-  std::sort(triplets.begin(), triplets.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
+  // Order by (row, col, value-bit-pattern): the value tiebreak makes the
+  // summation order of duplicate (row, col) entries a function of the
+  // duplicate values alone, never of the incoming triplet order — the
+  // documented "duplicates are summed" contract is deterministic down to
+  // the last bit. Bit patterns (not operator<) keep the comparator a
+  // strict weak order even for NaN payloads and distinguish ±0.0; equal
+  // bit patterns are interchangeable summands, so stable_sort's
+  // input-order tie-keeping cannot leak back into the result.
+  std::stable_sort(triplets.begin(), triplets.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     if (a.row != b.row) return a.row < b.row;
+                     if (a.col != b.col) return a.col < b.col;
+                     return std::bit_cast<uint64_t>(a.value) <
+                            std::bit_cast<uint64_t>(b.value);
+                   });
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;

@@ -28,7 +28,9 @@ class SparseMatrix {
   SparseMatrix() = default;
 
   // Builds CSR from unordered triplets; duplicate (row, col) entries are
-  // summed. Fails on out-of-range coordinates.
+  // summed, in ascending value-bit-pattern order, so the stored sum is
+  // bitwise independent of the incoming triplet order. Fails on
+  // out-of-range coordinates.
   static Result<SparseMatrix> FromTriplets(Index rows, Index cols,
                                            std::vector<Triplet> triplets);
 

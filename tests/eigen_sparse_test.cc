@@ -122,6 +122,50 @@ TEST(SparseTest, FromTripletsAndToDense) {
   EXPECT_DOUBLE_EQ(dense(0, 0), 0.0);
 }
 
+TEST(SparseTest, DuplicateSummationIsOrderIndependentBitwise) {
+  // Floating-point addition is not associative: 0.1 + 0.2 + 0.3 and
+  // 0.3 + 0.2 + 0.1 differ in the last bit. FromTriplets must therefore
+  // fix the summation order (ascending value-bit-pattern within each
+  // duplicate group) so the stored sum is bitwise identical no matter how
+  // the triplets arrive.
+  const std::vector<Triplet> canonical = {
+      {0, 0, 0.1}, {0, 0, 0.2}, {0, 0, 0.3},
+      {1, 1, -0.7}, {1, 1, 1e-3}, {1, 1, 0.7},
+      {0, 1, 4.0},
+  };
+  auto reference = SparseMatrix::FromTriplets(2, 2, canonical);
+  ASSERT_TRUE(reference.ok());
+  const Matrix ref_dense = reference->ToDense();
+
+  // A few hand-picked permutations plus seeded shuffles.
+  std::vector<std::vector<Triplet>> permutations;
+  permutations.push_back({{1, 1, 0.7}, {0, 0, 0.3}, {0, 1, 4.0},
+                          {0, 0, 0.1}, {1, 1, -0.7}, {1, 1, 1e-3},
+                          {0, 0, 0.2}});
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    std::vector<Triplet> shuffled = canonical;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(i)));
+      std::swap(shuffled[i - 1], shuffled[j < i ? j : i - 1]);
+    }
+    permutations.push_back(std::move(shuffled));
+  }
+  for (size_t p = 0; p < permutations.size(); ++p) {
+    auto m = SparseMatrix::FromTriplets(2, 2, permutations[p]);
+    ASSERT_TRUE(m.ok()) << "permutation " << p;
+    const Matrix dense = m->ToDense();
+    for (Index i = 0; i < 2; ++i) {
+      for (Index j = 0; j < 2; ++j) {
+        // Bitwise, not approximate: EXPECT_EQ on doubles.
+        EXPECT_EQ(dense(i, j), ref_dense(i, j))
+            << "permutation " << p << " at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
 TEST(SparseTest, RejectsOutOfRange) {
   EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
   EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{0, -1, 1.0}}).ok());

@@ -542,6 +542,50 @@ TEST_F(LintTest, ConstRefExemptInTests) {
 }
 
 // --------------------------------------------------------------------------
+// R10: mask-scan
+
+TEST_F(LintTest, MaskScanPositive) {
+  WriteFile("src/core/loop.cc",
+            "void Iterate(const Mask& observed) {\n"
+            "  const uint8_t* row = observed.RowData(0);\n"
+            "  Index c = observed.RowCount(2);\n"
+            "  auto pts = observed.Entries();\n"
+            "  (void)row; (void)c; (void)pts;\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 3u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "mask-scan");
+  EXPECT_EQ(r.violations[0].line, 2);
+  EXPECT_EQ(r.violations[1].line, 3);
+  EXPECT_EQ(r.violations[2].line, 4);
+}
+
+TEST_F(LintTest, MaskScanSuppressed) {
+  WriteFile("src/mf/probe.cc",
+            "void Hash(const Mask& m) {\n"
+            "  // smfl-lint: allow(mask-scan) fingerprint hashes once per fit\n"
+            "  const uint8_t* row = m.RowData(0);\n"
+            "  (void)row;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "mask-scan");
+}
+
+TEST_F(LintTest, MaskScanIgnoresBareIdentsAndOtherDirs) {
+  // Bare identifiers and declarations are not member-call scan sites.
+  WriteFile("src/core/decl.cc",
+            "Index RowCount(const Mask& m);\n"
+            "void F() { Index Entries = 3; (void)Entries; }\n");
+  // mask.cc (src/data) is the sanctioned home for raw row scans.
+  WriteFile("src/data/mask.cc",
+            "void Scan(const Mask& m) { (void)m.RowData(0); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
 // Suppression hygiene
 
 TEST_F(LintTest, SuppressionWithoutReasonIsViolation) {

@@ -94,6 +94,51 @@ TEST(MaskTest, CombineByMaskImplementsFormula8) {
   EXPECT_DOUBLE_EQ(combined(1, 1), 40.0);
 }
 
+TEST(MaskTest, EdgeShapesZeroByZero) {
+  Mask m(0, 0);
+  EXPECT_EQ(m.Count(), 0);
+  EXPECT_TRUE(m.Entries().empty());
+  EXPECT_TRUE(m.FullySetRows().empty());
+  EXPECT_TRUE(m.Complement() == m);
+  // The masked kernels must survive degenerate shapes, not just never see
+  // them: an empty reconstruction of an empty product.
+  Matrix u(0, 3), v(3, 0);
+  Matrix r = MaskedReconstruct(u, v, m);
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_EQ(r.cols(), 0);
+  EXPECT_EQ(MaskedSquaredError(Matrix(0, 0), m, r), 0.0);
+}
+
+TEST(MaskTest, EdgeShapesZeroColumns) {
+  Mask m(4, 0);
+  EXPECT_EQ(m.Count(), 0);
+  EXPECT_TRUE(m.Entries().empty());
+  // Every row is vacuously fully set.
+  EXPECT_TRUE(m.RowFullySet(0));
+  EXPECT_EQ(m.FullySetRows().size(), 4u);
+  Matrix u(4, 2), v(2, 0);
+  Matrix r = MaskedReconstruct(u, v, m);
+  EXPECT_EQ(r.rows(), 4);
+  EXPECT_EQ(r.cols(), 0);
+  EXPECT_EQ(MaskedSquaredError(Matrix(4, 0), m, r), 0.0);
+}
+
+TEST(MaskTest, EdgeShapesAllUnobservedRows) {
+  Mask m(3, 4);  // nothing set
+  EXPECT_EQ(m.Count(), 0);
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(m.RowCount(i), 0);
+  Matrix u{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix v{{1.0, 0.0, 2.0, 0.0}, {0.0, 1.0, 0.0, 2.0}};
+  Matrix r = MaskedReconstruct(u, v, m);
+  ASSERT_EQ(r.rows(), 3);
+  ASSERT_EQ(r.cols(), 4);
+  for (Index i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r.data()[i], 0.0) << "flat index " << i;
+  }
+  Matrix x{{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}};
+  EXPECT_EQ(MaskedSquaredError(x, m, r), 0.0);
+}
+
 // ---------------------------------------------------------------- Table
 
 TEST(TableTest, CreateAndAccess) {

@@ -1,0 +1,250 @@
+// ObservedIndex contract tests: the CSR layout must reproduce the Mask's
+// set exactly, and the masked kernels consuming it must be bitwise
+// identical to their Mask-scanning twins (and to the unfused
+// ApplyMask(MatMul) form) across observed rates, thread counts, and SIMD
+// tiers. Full fits must walk byte-identical trajectories with the index
+// enabled vs disabled (SMFL_OBSERVED_INDEX=0) — the index is a pure
+// re-layout, never a numeric change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/core/model_io.h"
+#include "src/core/smfl.h"
+#include "src/data/generators.h"
+#include "src/data/inject.h"
+#include "src/data/mask.h"
+#include "src/data/normalize.h"
+#include "src/data/observed_index.h"
+#include "src/la/ops.h"
+#include "src/la/simd.h"
+
+namespace smfl {
+namespace {
+
+using data::Mask;
+using data::ObservedIndex;
+using la::Index;
+using la::Matrix;
+
+Matrix RandomMatrix(Index rows, Index cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (Index i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Mask RandomMask(Index rows, Index cols, uint64_t seed, double set_rate) {
+  Rng rng(seed);
+  Mask mask(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      mask.Set(i, j, rng.Uniform() < set_rate);
+    }
+  }
+  return mask;
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  for (Index i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i])
+        << label << " differs at flat index " << i;
+  }
+}
+
+// RAII toggle for the SMFL_OBSERVED_INDEX escape hatch (the env is
+// re-read per fit attempt precisely so this works in-process).
+class ScopedObservedIndexEnv {
+ public:
+  explicit ScopedObservedIndexEnv(const char* value) {
+    setenv("SMFL_OBSERVED_INDEX", value, /*overwrite=*/1);
+  }
+  ~ScopedObservedIndexEnv() { unsetenv("SMFL_OBSERVED_INDEX"); }
+};
+
+TEST(ObservedIndexTest, LayoutMatchesMask) {
+  for (double rate : {0.0, 0.05, 0.5, 1.0}) {
+    const Mask mask = RandomMask(37, 23, 17, rate);
+    const ObservedIndex index = ObservedIndex::FromMask(mask);
+    ASSERT_EQ(index.rows(), mask.rows());
+    ASSERT_EQ(index.cols(), mask.cols());
+    ASSERT_EQ(index.Count(), mask.Count());
+    EXPECT_FALSE(index.HasValues());
+    for (Index i = 0; i < mask.rows(); ++i) {
+      ASSERT_EQ(index.RowCount(i), mask.RowCount(i)) << "row " << i;
+      const auto cols = index.RowCols(i);
+      size_t c = 0;
+      for (Index j = 0; j < mask.cols(); ++j) {
+        if (!mask.Contains(i, j)) continue;
+        ASSERT_LT(c, cols.size()) << "row " << i;
+        ASSERT_EQ(cols[c], j) << "row " << i;
+        ++c;
+      }
+      ASSERT_EQ(c, cols.size()) << "row " << i;
+      EXPECT_TRUE(index.RowValues(i).empty());
+    }
+  }
+}
+
+TEST(ObservedIndexTest, FromRowMajorBytesMatchesFromMask) {
+  const Mask mask = RandomMask(19, 31, 5, 0.3);
+  std::vector<uint8_t> bytes(
+      static_cast<size_t>(mask.rows()) * static_cast<size_t>(mask.cols()), 0);
+  for (Index i = 0; i < mask.rows(); ++i) {
+    for (Index j = 0; j < mask.cols(); ++j) {
+      // Any nonzero byte counts as observed (fold-in's usable vector uses
+      // values other than 1).
+      bytes[static_cast<size_t>(i * mask.cols() + j)] =
+          mask.Contains(i, j) ? 2 : 0;
+    }
+  }
+  const ObservedIndex from_mask = ObservedIndex::FromMask(mask);
+  const ObservedIndex from_bytes =
+      ObservedIndex::FromRowMajorBytes(mask.rows(), mask.cols(), bytes.data());
+  ASSERT_EQ(from_bytes.Count(), from_mask.Count());
+  for (Index i = 0; i < mask.rows(); ++i) {
+    const auto a = from_mask.RowCols(i);
+    const auto b = from_bytes.RowCols(i);
+    ASSERT_EQ(a.size(), b.size()) << "row " << i;
+    for (size_t c = 0; c < a.size(); ++c) {
+      ASSERT_EQ(a[c], b[c]) << "row " << i << " slot " << c;
+    }
+  }
+}
+
+TEST(ObservedIndexTest, PackedValuesMirrorObservedEntries) {
+  const Mask mask = RandomMask(11, 13, 9, 0.4);
+  const Matrix x = RandomMatrix(11, 13, 21);
+  const ObservedIndex index = ObservedIndex::FromMask(mask, x);
+  EXPECT_TRUE(index.HasValues());
+  for (Index i = 0; i < mask.rows(); ++i) {
+    const auto cols = index.RowCols(i);
+    const auto vals = index.RowValues(i);
+    ASSERT_EQ(cols.size(), vals.size()) << "row " << i;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      ASSERT_EQ(vals[c], x(i, cols[c])) << "row " << i << " slot " << c;
+    }
+  }
+}
+
+TEST(ObservedIndexTest, EmptyShapes) {
+  const ObservedIndex zero = ObservedIndex::FromMask(Mask(0, 0));
+  EXPECT_EQ(zero.rows(), 0);
+  EXPECT_EQ(zero.cols(), 0);
+  EXPECT_EQ(zero.Count(), 0);
+
+  const ObservedIndex no_cols = ObservedIndex::FromMask(Mask(4, 0));
+  EXPECT_EQ(no_cols.rows(), 4);
+  EXPECT_EQ(no_cols.Count(), 0);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_EQ(no_cols.RowCount(i), 0);
+    EXPECT_TRUE(no_cols.RowCols(i).empty());
+  }
+
+  const ObservedIndex unobserved = ObservedIndex::FromMask(Mask(3, 5));
+  EXPECT_EQ(unobserved.Count(), 0);
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_TRUE(unobserved.RowCols(i).empty());
+  }
+}
+
+// The masked kernels consuming the index must match the mask-scanning
+// twins and the unfused ApplyMask(MatMul) form bit for bit, at every
+// observed rate (exercising both sides of the per-tier density
+// crossover), thread count, and SIMD tier.
+TEST(ObservedIndexTest, MaskedKernelsBitwiseEqualMaskPath) {
+  const Index n = 83, m = 57, k = 7;
+  for (double rate : {0.01, 0.1, 0.5, 1.0}) {
+    const uint64_t seed = static_cast<uint64_t>(rate * 1000);
+    const Matrix u = RandomMatrix(n, k, seed + 1);
+    const Matrix v = RandomMatrix(k, m, seed + 2);
+    const Matrix x = RandomMatrix(n, m, seed + 3);
+    const Mask mask = RandomMask(n, m, seed + 4, rate);
+    const ObservedIndex index = ObservedIndex::FromMask(mask);
+    const ObservedIndex index_packed = ObservedIndex::FromMask(mask, x);
+
+    for (int threads : {1, 4}) {
+      parallel::ScopedParallelism scoped_threads(threads);
+      for (int simd_mode : {0, 1}) {
+        la::simd::ScopedSimd scoped_simd(simd_mode);
+        const std::string label = "rate " + std::to_string(rate) + " threads " +
+                                  std::to_string(threads) + " simd " +
+                                  std::to_string(simd_mode);
+        const Matrix unfused = data::ApplyMask(la::MatMul(u, v), mask);
+        const Matrix via_mask = data::MaskedReconstruct(u, v, mask);
+        const Matrix via_index = data::MaskedReconstruct(u, v, index);
+        ExpectBitwiseEqual(via_mask, unfused, label + " mask-vs-unfused");
+        ExpectBitwiseEqual(via_index, via_mask, label + " index-vs-mask");
+
+        const double err_mask = data::MaskedSquaredError(x, mask, via_mask);
+        const double err_index =
+            data::MaskedSquaredError(x, index, via_index);
+        const double err_packed =
+            data::MaskedSquaredError(x, index_packed, via_index);
+        ASSERT_EQ(err_mask, err_index) << label;
+        ASSERT_EQ(err_mask, err_packed) << label << " (packed values)";
+      }
+    }
+  }
+}
+
+// Full-fit equivalence: SerializeModel output (factor bytes and report)
+// must be identical with the ObservedIndex path enabled vs disabled, across
+// seeds x thread counts x SIMD tiers.
+TEST(ObservedIndexTest, FitTrajectoriesIdenticalWithIndexOnVsOff) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto dataset = data::MakeVehicleLike(50, 900 + seed);
+    ASSERT_TRUE(dataset.ok());
+    auto normalizer = data::MinMaxNormalizer::Fit(dataset->table.values());
+    ASSERT_TRUE(normalizer.ok());
+    const Matrix truth = normalizer->Transform(dataset->table.values());
+    data::MissingInjectionOptions inject;
+    inject.missing_rate = 0.5;
+    inject.seed = seed * 13 + 2;
+    auto injection = data::InjectMissing(dataset->table, inject);
+    ASSERT_TRUE(injection.ok());
+    const Matrix x_in = data::ApplyMask(truth, injection->observed);
+
+    core::SmflOptions options;
+    options.rank = 4;
+    options.max_iterations = 25;
+    options.tolerance = 0.0;
+    options.seed = seed * 101 + 7;
+
+    for (int threads : {1, 4}) {
+      options.threads = threads;
+      for (int simd_mode : {0, 1}) {
+        la::simd::ScopedSimd scoped_simd(simd_mode);
+        std::string with_index, without_index;
+        {
+          ScopedObservedIndexEnv env("1");
+          auto fit = core::FitSmfl(x_in, injection->observed, 2, options);
+          ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+          with_index = core::SerializeModel(*fit);
+        }
+        {
+          ScopedObservedIndexEnv env("0");
+          auto fit = core::FitSmfl(x_in, injection->observed, 2, options);
+          ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+          without_index = core::SerializeModel(*fit);
+        }
+        ASSERT_EQ(with_index, without_index)
+            << "seed " << seed << " threads " << threads << " simd "
+            << simd_mode;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smfl

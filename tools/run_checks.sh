@@ -112,7 +112,7 @@ fi
 
 if [[ $fast -eq 0 ]]; then
   if [[ "${step_statuses[0]}" == pass ]]; then
-    run_step bench "fusion + SIMD speedups above thresholds (run_bench.sh --gate)" \
+    run_step bench "fusion + SIMD + sparse masked-path thresholds (run_bench.sh --gate)" \
       "$repo_root/tools/run_bench.sh" --gate --build-dir="$build_dir"
   else
     echo "==> skipping bench gate: the gate build failed"

@@ -6,7 +6,8 @@
 #   undefined  full tier-1 suite under UndefinedBehaviorSanitizer
 #   thread     the threading-sensitive subset (parallel_test, simd_kernel_test,
 #              kernel_equivalence_test, smfl_monotonicity_property_test,
-#              fold_in_serving_test, telemetry_test, crash_recovery_test)
+#              fold_in_serving_test, telemetry_test, crash_recovery_test,
+#              observed_index_test)
 #              under ThreadSanitizer, with SMFL_THREADS=4 so the pool is
 #              actually exercised even on a single-core machine
 #
@@ -65,7 +66,7 @@ for san in "${sanitizers[@]}"; do
     thread)
       SMFL_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir "$build_dir" --output-on-failure \
-          -R '^(parallel_test|simd_kernel_test|kernel_equivalence_test|smfl_monotonicity_property_test|fold_in_serving_test|telemetry_test|crash_recovery_test)$'
+          -R '^(parallel_test|simd_kernel_test|kernel_equivalence_test|smfl_monotonicity_property_test|fold_in_serving_test|telemetry_test|crash_recovery_test|observed_index_test)$'
       ;;
   esac
   echo "==> $san: PASSED"

@@ -22,7 +22,7 @@ namespace fs = std::filesystem;
 const std::set<std::string> kKnownRules = {
     "thread",   "nondet",   "unordered-iter", "discard-status",
     "float-eq", "raw-log",  "raw-file-write", "raw-simd",
-    "const-ref", "all",
+    "const-ref", "mask-scan", "all",
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -80,6 +80,13 @@ bool RuleApplies(const std::string& rule, const std::string& rel,
     // Tests and benches copy small fixtures freely; production code must
     // not deep-copy Matrix/Table/Mask per call.
     return !test && !StartsWith(rel, "bench/");
+  }
+  if (rule == "mask-scan") {
+    // Fit/serving loops must consume the once-per-fit data::ObservedIndex
+    // instead of rescanning the Mask byte grid; mask.cc (src/data) is the
+    // single production home for raw row scans.
+    return !test &&
+           (StartsWith(rel, "src/core/") || StartsWith(rel, "src/mf/"));
   }
   return true;
 }
@@ -165,6 +172,9 @@ void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
   }
   if (RuleApplies("const-ref", file.rel_path, options)) {
     CheckConstRef(file, &raw);
+  }
+  if (RuleApplies("mask-scan", file.rel_path, options)) {
+    CheckMaskScan(file, &raw);
   }
 
   for (Diagnostic& d : raw) {

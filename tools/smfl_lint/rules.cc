@@ -593,4 +593,28 @@ void CheckConstRef(const LexedFile& file, std::vector<Diagnostic>* out) {
   }
 }
 
+void CheckMaskScan(const LexedFile& file, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+    if (t.text != "RowData" && t.text != "RowCount" && t.text != "Entries") {
+      continue;
+    }
+    // Member-call position only: `.RowData(` / `->RowData(`. Bare
+    // identifiers (locals, parameters named row_count, declarations) are
+    // not scan sites.
+    const Token& before = toks[i - 1];
+    if (!IsPunct(before, ".") && !IsPunct(before, "->")) continue;
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    Emit(file, "mask-scan", t.line,
+         "full-grid Mask scan via ." + t.text +
+             "() in fit/serving code — iterate the once-per-fit "
+             "data::ObservedIndex row spans instead (observed_index.h); "
+             "raw row scans belong in src/data/mask.cc (or justify with "
+             "smfl-lint: allow(mask-scan))",
+         out);
+  }
+}
+
 }  // namespace smfl::lint

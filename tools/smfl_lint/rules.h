@@ -54,6 +54,13 @@ void CheckRawSimd(const LexedFile& file, std::vector<Diagnostic>* out);
 // friends declare locals inside their parens) are exempt.
 void CheckConstRef(const LexedFile& file, std::vector<Diagnostic>* out);
 
+// R10 "mask-scan": a `.RowData(` / `.RowCount(` / `.Entries(` member call
+// in src/core|src/mf — the full-grid Mask scan primitives. The fit and
+// serving loops must consume the once-per-fit data::ObservedIndex spans
+// instead of rescanning the byte grid; mask.cc (src/data) is the only
+// production home for raw row scans.
+void CheckMaskScan(const LexedFile& file, std::vector<Diagnostic>* out);
+
 }  // namespace smfl::lint
 
 #endif  // SMFL_TOOLS_SMFL_LINT_RULES_H_
