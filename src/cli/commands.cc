@@ -1,8 +1,10 @@
 #include "src/cli/commands.h"
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 
 #include "src/core/checkpoint.h"
 #include "src/core/fold_in.h"
@@ -11,8 +13,10 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/common/shutdown.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
+#include "src/obs/exporter.h"
 #include "src/data/csv.h"
 #include "src/data/normalize.h"
 #include "src/data/quantile_normalize.h"
@@ -191,6 +195,15 @@ std::string UsageText() {
       "              object per line); implies telemetry collection\n"
       "              (SMFL_TELEMETRY=0 pins collection off; neither file is\n"
       "              written then)\n"
+      "  --metrics-port=N   serve live observability over HTTP while the\n"
+      "              command runs (default: SMFL_METRICS_PORT env; 0 picks\n"
+      "              an ephemeral port, logged at startup): /metrics is\n"
+      "              Prometheus text exposition, /healthz liveness, and\n"
+      "              /statusz live fit progress JSON (iteration, objective,\n"
+      "              convergence delta, checkpoint generation, ETA). Implies\n"
+      "              telemetry collection; see docs/observability.md.\n"
+      "              SMFL_METRICS_LINGER_MS=N keeps the endpoints up that\n"
+      "              long after the command finishes (scrape race buffer)\n"
       "\n"
       "imputation methods: " +
       MethodList(impute::RegisteredImputers()) +
@@ -639,6 +652,30 @@ Status Run(const Flags& flags, std::string* output) {
     return Status::InvalidArgument("--simd must be 0 or 1");
   }
   if (simd >= 0) la::simd::SetEnabled(simd == 1);
+  // Live observability endpoints (docs/observability.md). The flag wins
+  // over the SMFL_METRICS_PORT env; port 0 asks the kernel for an
+  // ephemeral port, logged below so a wrapper script can scrape it.
+  int64_t metrics_port = -1;
+  if (const char* env_port = std::getenv("SMFL_METRICS_PORT")) {
+    if (env_port[0] != '\0') metrics_port = std::atoll(env_port);
+  }
+  ASSIGN_OR_RETURN(metrics_port, flags.GetInt("metrics-port", metrics_port));
+  if (metrics_port > 65535) {
+    return Status::InvalidArgument("--metrics-port must be <= 65535");
+  }
+  obs::MetricsExporter exporter;
+  if (metrics_port >= 0) {
+    // The live endpoints only carry data while instruments record, so a
+    // port implies collection (the SMFL_TELEMETRY=0 pin still wins; the
+    // server then serves the obs.http.* / process.* instruments only).
+    telemetry::SetEnabled(true);
+    obs::MetricsExporter::Options exporter_options;
+    exporter_options.port = static_cast<int>(metrics_port);
+    RETURN_NOT_OK(exporter.Start(exporter_options));
+    SMFL_LOG(Info) << "observability endpoints on http://127.0.0.1:"
+                   << exporter.port()
+                   << " (/metrics /healthz /statusz)";
+  }
   const std::string& command = flags.positional().front();
   Status status;
   if (command == "impute") {
@@ -674,6 +711,22 @@ Status Run(const Flags& flags, std::string* output) {
       if (!write.ok()) return status.ok() ? write : status;
       *output += StrFormat("metrics -> %s\n", metrics_out.c_str());
     }
+  }
+  if (exporter.running()) {
+    // Optionally keep the endpoints up after the command finishes so a
+    // wrapper scraping concurrently (tools/run_checks.sh obs-scrape) never
+    // races process exit. A shutdown signal cuts the linger short.
+    long long linger_ms = 0;
+    if (const char* env = std::getenv("SMFL_METRICS_LINGER_MS")) {
+      linger_ms = std::atoll(env);
+    }
+    const int64_t linger_deadline_us =
+        telemetry::NowMicros() + linger_ms * 1000;
+    while (linger_ms > 0 && telemetry::NowMicros() < linger_deadline_us &&
+           !ShutdownRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    exporter.Stop();
   }
   return status;
 }

@@ -1,0 +1,45 @@
+#include "src/common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace smfl {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+// Async-signal-safe: one atomic store plus signal(), which POSIX.1-2008
+// lists as safe to call from a handler. Re-arming the default disposition
+// means a second Ctrl-C kills the process immediately even if the
+// cooperative unwind is wedged.
+void HandleShutdownSignal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_signal.store(SIGTERM, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTesting() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace smfl

@@ -1,0 +1,37 @@
+// Cooperative SIGINT/SIGTERM shutdown for long-running commands.
+//
+// The handler does the only async-signal-safe thing possible: it sets an
+// atomic flag. Long loops (the FitSmfl iteration loop) poll
+// ShutdownRequested() and unwind normally — writing a final checkpoint and
+// returning a non-OK Status — so the CLI's ordinary export-on-exit path
+// durably flushes --trace-out/--metrics-out instead of the process dying
+// with the telemetry buffers in memory.
+//
+// A SECOND signal restores the default disposition, so a stuck process
+// stays killable with a repeated Ctrl-C.
+
+#ifndef SMFL_COMMON_SHUTDOWN_H_
+#define SMFL_COMMON_SHUTDOWN_H_
+
+namespace smfl {
+
+// Installs the SIGINT/SIGTERM handlers. Idempotent; call once from main().
+void InstallShutdownHandlers();
+
+// True after the first SIGINT/SIGTERM (or RequestShutdown) was seen.
+bool ShutdownRequested();
+
+// The signal number that triggered shutdown, 0 if none.
+int ShutdownSignal();
+
+// Sets the flag programmatically, exactly as the handler would. Used by
+// tests and by the metrics-linger loop to cut the wait short.
+void RequestShutdown();
+
+// Clears the flag so one test's simulated interrupt never leaks into the
+// next. Does not reinstall or remove handlers.
+void ResetShutdownForTesting();
+
+}  // namespace smfl
+
+#endif  // SMFL_COMMON_SHUTDOWN_H_

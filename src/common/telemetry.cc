@@ -178,6 +178,9 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
   }
   Snapshot snap;
   snap.count = count;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.bucket_counts[static_cast<size_t>(i)] = buckets[i];
+  }
   if (count == 0) return snap;
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.min = min_.load(std::memory_order_relaxed);
@@ -236,26 +239,57 @@ void MetricsRegistry::ResetForTesting() {
   for (auto& [name, h] : histograms_) h->ResetForTesting();
 }
 
-std::string MetricsRegistry::MetricsJsonl() const {
+MetricsRegistry::MetricsSnapshot MetricsRegistry::SnapshotAll() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out;
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    out += StrFormat("{\"name\":\"%s\",\"type\":\"counter\",\"value\":%lld}\n",
-                     EscapeJson(name).c_str(),
-                     static_cast<long long>(c->value()));
+    snap.counters.emplace_back(name, c->value());
   }
+  snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
-    out += StrFormat("{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%.17g}\n",
-                     EscapeJson(name).c_str(), g->value());
+    snap.gauges.emplace_back(name, g->value());
   }
+  snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    const Histogram::Snapshot s = h->GetSnapshot();
+    snap.histograms.emplace_back(name, h->GetSnapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::MetricsJsonl() const {
+  const MetricsSnapshot snap = SnapshotAll();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("{\"name\":\"%s\",\"type\":\"counter\",\"value\":%lld}\n",
+                     EscapeJson(name).c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += StrFormat("{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%.17g}\n",
+                     EscapeJson(name).c_str(), value);
+  }
+  for (const auto& [name, s] : snap.histograms) {
     out += StrFormat(
         "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%lld,"
         "\"sum\":%.10g,\"min\":%.10g,\"max\":%.10g,"
-        "\"p50\":%.10g,\"p95\":%.10g,\"p99\":%.10g}\n",
+        "\"p50\":%.10g,\"p95\":%.10g,\"p99\":%.10g,\"buckets\":[",
         EscapeJson(name).c_str(), static_cast<long long>(s.count), s.sum,
         s.min, s.max, s.p50, s.p95, s.p99);
+    // Exact cumulative counts as [upper_edge, count_le_edge] pairs, up to
+    // the highest non-empty bucket; the final overflow bucket's cumulative
+    // count is the "count" field, so it is never repeated here.
+    int highest = -1;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (s.bucket_counts[static_cast<size_t>(b)] > 0) highest = b;
+    }
+    int64_t cumulative = 0;
+    for (int b = 0; b <= highest && b < Histogram::kNumBuckets - 1; ++b) {
+      cumulative += s.bucket_counts[static_cast<size_t>(b)];
+      out += StrFormat("%s[%.17g,%lld]", b > 0 ? "," : "",
+                       Histogram::BucketLowerBound(b + 1),
+                       static_cast<long long>(cumulative));
+    }
+    out += "]}\n";
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #ifndef SMFL_COMMON_TELEMETRY_H_
 #define SMFL_COMMON_TELEMETRY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -36,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -116,6 +118,11 @@ class Histogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    // Exact per-bucket sample counts (bucket b covers [BucketLowerBound(b),
+    // BucketLowerBound(b+1)); the last absorbs overflow). Exported so the
+    // Prometheus serializer can emit exact cumulative `le` buckets instead
+    // of interpolated percentiles.
+    std::array<int64_t, kNumBuckets> bucket_counts{};
   };
   // A consistent-enough view under concurrent writers: counts are relaxed
   // loads, so a snapshot taken mid-Record may lag by in-flight updates.
@@ -153,10 +160,22 @@ class MetricsRegistry {
   // cached inside macros) stay valid — essential for test isolation.
   void ResetForTesting();
 
+  // A point-in-time copy of every instrument, sorted by name (std::map
+  // order). This is the one API exporters build on: the JSONL writer below
+  // and the Prometheus text serializer (src/obs/prometheus.h) both consume
+  // it, so a scrape never holds the registry mutex longer than the copy.
+  struct MetricsSnapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  MetricsSnapshot SnapshotAll() const;
+
   // One JSON object per line, sorted by name:
   //   {"name":"smfl.guard.rollbacks","type":"counter","value":3}
   //   {"name":"smfl.fit.objective","type":"gauge","value":12.25}
-  //   {"name":"smfl.fit.update_u","type":"histogram","count":40,...}
+  //   {"name":"smfl.fit.update_u","type":"histogram","count":40,...,
+  //    "buckets":[[1,0],[2,3],...]}  // [upper_edge, cumulative_count]
   std::string MetricsJsonl() const;
   Status WriteMetricsJsonl(const std::string& path) const;
 

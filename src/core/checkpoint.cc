@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "src/common/durable_io.h"
+#include "src/common/fit_progress.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
@@ -418,6 +419,9 @@ Status CheckpointManager::Save(const FitCheckpoint& checkpoint) {
   }
   ++next_generation_;
   ++writes_;
+  // /statusz reports the generation a --resume would restart from.
+  GlobalFitProgress().checkpoint_generation.store(generation,
+                                                  std::memory_order_relaxed);
   SMFL_COUNTER_INC("smfl.checkpoint.writes");
   SMFL_HISTOGRAM_RECORD("smfl.checkpoint.bytes",
                         static_cast<double>(bytes.size()));

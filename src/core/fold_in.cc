@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/common/fit_progress.h"
 #include "src/common/parallel.h"
 #include "src/common/telemetry.h"
 #include "src/data/observed_index.h"
@@ -423,6 +424,12 @@ Result<Matrix> FoldIn(const SmflModel& model, const Matrix& x,
     }
     SMFL_COUNTER_INC("foldin.batches");
     SMFL_COUNTER_ADD("foldin.rows", n);
+    // Serving-side /statusz progress (src/obs): always on, relaxed, never
+    // read by numeric code.
+    GlobalFitProgress().foldin_batches.fetch_add(1, std::memory_order_relaxed);
+    GlobalFitProgress().foldin_rows.fetch_add(static_cast<int64_t>(n),
+                                              std::memory_order_relaxed);
+    GlobalFitProgress().updates.fetch_add(1, std::memory_order_relaxed);
     SMFL_COUNTER_ADD("foldin.tier.landmark_kernel", landmark);
     SMFL_COUNTER_ADD("foldin.tier.uniform_u", uniform);
     SMFL_COUNTER_ADD("foldin.tier.column_mean", column_mean);

@@ -6,8 +6,10 @@
 #include <optional>
 
 #include "src/common/fault.h"
+#include "src/common/fit_progress.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/shutdown.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
 #include "src/core/checkpoint.h"
@@ -394,6 +396,10 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
       ctx.attempt = attempt;
       ctx.retries_used = retries_used;
       ctx.best_model = &best_serialized;
+      // Live-progress publication for /statusz (src/obs): where this
+      // attempt sits in the restart/retry nest.
+      GlobalFitProgress().restart.store(r, std::memory_order_relaxed);
+      GlobalFitProgress().attempt.store(attempt, std::memory_order_relaxed);
       const FitCheckpoint* attempt_resume =
           (resume != nullptr && r == resume->restart &&
            attempt == resume->attempt)
@@ -413,6 +419,9 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
     if (!model.ok()) {
       last_error = model.status();
       last_error.WithContext(StrFormat("restart %d", r));
+      // An interrupted attempt (SIGINT/SIGTERM) already wrote its final
+      // checkpoint; burning the remaining restarts would fight the user.
+      if (ShutdownRequested()) break;
       continue;
     }
     if (!best.ok() || model->report.final_objective() <
@@ -423,6 +432,10 @@ Result<SmflModel> FitSmflWithGraph(const Matrix& x, const Mask& observed,
       }
     }
   }
+  // A requested shutdown outranks a best-so-far model: the caller must
+  // see the interruption (and not durably publish a half-trained model),
+  // and --resume continues from the final checkpoint.
+  if (ShutdownRequested() && !last_error.ok()) return last_error;
   if (!best.ok()) {
     // Surface the last restart's actual failure (code + message) rather
     // than a generic Internal error.
@@ -614,6 +627,49 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
   }
 
   const int start_iter = resume != nullptr ? resume->iteration + 1 : 0;
+
+  // Live-progress publication for /statusz (src/obs): a handful of relaxed
+  // atomic stores per ITERATION, always on — nothing numeric ever reads
+  // them, so determinism is untouched (tests/obs_endpoint_test.cc proves
+  // byte-identical models with a concurrent scraper).
+  FitProgress& progress = GlobalFitProgress();
+  progress.max_iterations.store(options.max_iterations,
+                                std::memory_order_relaxed);
+  progress.fit_active.store(true, std::memory_order_relaxed);
+  struct FitActiveReset {
+    ~FitActiveReset() {
+      GlobalFitProgress().fit_active.store(false, std::memory_order_relaxed);
+    }
+  } fit_active_reset;
+
+  // Durable snapshot of the full accepted state after iteration `iter`.
+  // Shared by the periodic ShouldCheckpoint path and the signal-shutdown
+  // flush below. A failed write must never fail the fit — training
+  // continues with a staler resume point (already counted as
+  // smfl.checkpoint.failures by the manager).
+  const auto save_checkpoint = [&](int iter) {
+    FitCheckpoint cp;
+    cp.seed = ckpt->seed;
+    cp.input_fingerprint = ckpt->input_fingerprint;
+    cp.options_fingerprint = ckpt->options_fingerprint;
+    cp.restart = ckpt->restart;
+    cp.attempt = ckpt->attempt;
+    cp.retries_used = ckpt->retries_used;
+    cp.iteration = iter;
+    cp.div_eps = div_eps;
+    cp.u = model.u;
+    cp.v = model.v;
+    cp.landmarks = model.landmarks;
+    cp.spatial_cols = spatial_cols;
+    cp.objective_trace = report.objective_trace;
+    cp.guard = guard.SaveState();
+    if (ckpt->best_model != nullptr) cp.best_model = *ckpt->best_model;
+    Status st = ckpt->manager->Save(cp);
+    if (!st.ok()) {
+      SMFL_LOG(Warning) << "checkpoint write failed: " << st.ToString();
+    }
+  };
+
   for (int iter = start_iter; iter < options.max_iterations; ++iter) {
     SMFL_TRACE_SPAN("smfl.fit.iter");
     report.iterations = iter + 1;
@@ -698,36 +754,40 @@ Result<SmflModel> FitOnceWithGraph(const Matrix& x, const Mask& observed,
       }
     }
     report.objective_trace.push_back(objective);
+    {
+      // /statusz progress: iteration, objective, and the same relative
+      // improvement RelativeImprovementBelow tests against tolerance.
+      const size_t len = report.objective_trace.size();
+      const double prev = len >= 2 ? report.objective_trace[len - 2]
+                                   : objective;
+      const double denom = prev > 1e-300 ? prev : 1e-300;
+      PublishFitIteration(iter + 1, objective, (prev - objective) / denom);
+    }
     if (mf::RelativeImprovementBelow(report.objective_trace,
                                      options.tolerance)) {
       report.converged = true;
       break;
     }
+    // SIGINT/SIGTERM unwind cooperatively: flush a final checkpoint at
+    // this (accepted) iteration, then surface the interruption. The CLI's
+    // export-on-exit path durably writes --trace-out/--metrics-out, and a
+    // later --resume continues from exactly here.
+    const bool interrupted = ShutdownRequested();
     if (ckpt != nullptr && ckpt->manager != nullptr &&
-        ckpt->manager->ShouldCheckpoint(iter)) {
-      FitCheckpoint cp;
-      cp.seed = ckpt->seed;
-      cp.input_fingerprint = ckpt->input_fingerprint;
-      cp.options_fingerprint = ckpt->options_fingerprint;
-      cp.restart = ckpt->restart;
-      cp.attempt = ckpt->attempt;
-      cp.retries_used = ckpt->retries_used;
-      cp.iteration = iter;
-      cp.div_eps = div_eps;
-      cp.u = model.u;
-      cp.v = model.v;
-      cp.landmarks = model.landmarks;
-      cp.spatial_cols = spatial_cols;
-      cp.objective_trace = report.objective_trace;
-      cp.guard = guard.SaveState();
-      if (ckpt->best_model != nullptr) cp.best_model = *ckpt->best_model;
-      Status st = ckpt->manager->Save(cp);
-      if (!st.ok()) {
-        // A failed checkpoint write must never fail the fit — training
-        // continues with a staler resume point (already counted as
-        // smfl.checkpoint.failures by the manager).
-        SMFL_LOG(Warning) << "checkpoint write failed: " << st.ToString();
-      }
+        (interrupted || ckpt->manager->ShouldCheckpoint(iter))) {
+      save_checkpoint(iter);
+    }
+    if (interrupted) {
+      report.rollbacks = guard.rollbacks();
+      report.recovery_attempts = guard.recovery_attempts();
+      SMFL_COUNTER_INC("smfl.fit.interrupted");
+      return Status::ResourceExhausted(
+          StrFormat("FitSmfl: interrupted by signal %d at iteration %d; "
+                    "telemetry flushed%s",
+                    ShutdownSignal(), iter + 1,
+                    ckpt != nullptr && ckpt->manager != nullptr
+                        ? ", final checkpoint written (use --resume)"
+                        : ""));
     }
   }
   report.rollbacks = guard.rollbacks();

@@ -1,0 +1,326 @@
+#include "src/obs/http_server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/common/telemetry.h"
+
+// This file is the single sanctioned home for raw socket syscalls (the
+// smfl-lint `raw-socket` rule scopes them here), so everything below the
+// Options layer — socket/bind/listen/accept4/poll and the fd lifecycle —
+// is deliberately local and unabstracted.
+
+namespace smfl::obs {
+
+namespace {
+
+// The server's own instruments, resolved once. Registered directly on the
+// registry (not through the SMFL_* macros) so scrape traffic is visible in
+// /metrics even when file telemetry is disabled: these record on the obs
+// thread only and never feed numeric code.
+struct ServerMetrics {
+  telemetry::Counter& requests;
+  telemetry::Counter& bad_requests;
+  telemetry::Counter& rejected_connections;
+  telemetry::Gauge& active_connections;
+  telemetry::Histogram& scrape_us;
+};
+
+ServerMetrics& Metrics() {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static ServerMetrics* metrics = new ServerMetrics{
+      registry.GetCounter("obs.http.requests"),
+      registry.GetCounter("obs.http.bad_requests"),
+      registry.GetCounter("obs.http.rejected_connections"),
+      registry.GetGauge("obs.http.active_connections"),
+      registry.GetHistogram("obs.http.scrape_us"),
+  };
+  return *metrics;
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  return StrFormat(
+             "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+             "Connection: close\r\n\r\n",
+             response.status_code, ReasonPhrase(response.status_code),
+             response.content_type.c_str(), response.body.size()) +
+         response.body;
+}
+
+std::string ErrorResponse(int code) {
+  HttpResponse response;
+  response.status_code = code;
+  response.body = StrFormat("%d %s\n", code, ReasonPhrase(code));
+  return SerializeResponse(response);
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start(const Options& options) {
+  if (running_) {
+    return Status::FailedPrecondition("HttpServer: already running");
+  }
+  options_ = options;
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("HttpServer: socket(): %s",
+                                     std::strerror(errno)));
+  }
+  // Without SO_REUSEADDR a restart within TIME_WAIT of the previous
+  // process's connections would fail to bind.
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (options_.bind_address.empty() || options_.bind_address == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (options_.bind_address == "127.0.0.1" ||
+             options_.bind_address == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        "HttpServer: bind_address must be 127.0.0.1, localhost, or 0.0.0.0");
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    // EADDRINUSE is the operationally interesting case: --metrics-port
+    // colliding with another process must be a clean error, not a crash.
+    Status st = Status::IoError(
+        StrFormat("HttpServer: cannot bind port %d on %s: %s", options_.port,
+                  options_.bind_address.c_str(), std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    Status st = Status::IoError(
+        StrFormat("HttpServer: listen(): %s", std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // Read the port back: with Options::port == 0 the kernel picked one.
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    Status st = Status::IoError(
+        StrFormat("HttpServer: getsockname(): %s", std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  // Self-pipe: Stop() writes one byte to wake the poll loop immediately.
+  if (pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    Status st = Status::IoError(
+        StrFormat("HttpServer: pipe2(): %s", std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // The one obs server thread, outside the deterministic parallel pool.
+  // smfl-lint: allow(thread) observational-only thread; reads telemetry
+  thread_ = std::thread([this] { Loop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  // One byte on the self-pipe is the shutdown message.
+  const char byte = 'q';
+  ssize_t ignored = write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  thread_.join();
+  close(listen_fd_);
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  running_ = false;
+}
+
+void HttpServer::AcceptPending(std::vector<Connection>* conns,
+                               int64_t now_us) {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: drained; other errors: retry next poll
+    Connection conn;
+    conn.fd = fd;
+    conn.opened_us = now_us;
+    if (conns->size() >= static_cast<size_t>(options_.max_connections)) {
+      // Over the cap: answer 503 and close, so the client sees an explicit
+      // rejection instead of a hung socket.
+      Metrics().rejected_connections.Increment();
+      conn.out = ErrorResponse(503);
+      conn.responding = true;
+    }
+    conns->push_back(std::move(conn));
+  }
+}
+
+void HttpServer::BuildResponse(Connection* conn) {
+  const int64_t handle_start_us = telemetry::NowMicros();
+  Metrics().requests.Increment();
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const size_t line_end = conn->in.find("\r\n");
+  const std::string line = conn->in.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    Metrics().bad_requests.Increment();
+    conn->out = ErrorResponse(400);
+    conn->responding = true;
+    return;
+  }
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = request.path.find('?');
+  if (query != std::string::npos) request.path.resize(query);
+  if (request.method != "GET") {
+    conn->out = ErrorResponse(405);
+    conn->responding = true;
+    return;
+  }
+  const auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    conn->out = ErrorResponse(404);
+    conn->responding = true;
+    return;
+  }
+  conn->out = SerializeResponse(it->second(request));
+  conn->responding = true;
+  Metrics().scrape_us.Record(
+      static_cast<double>(telemetry::NowMicros() - handle_start_us));
+}
+
+void HttpServer::Loop() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> pfds;
+  bool stopping = false;
+  while (!stopping) {
+    pfds.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const Connection& conn : conns) {
+      pfds.push_back(pollfd{
+          conn.fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN),
+          0});
+    }
+    // The 250 ms cap bounds the idle-connection sweep latency.
+    const int n = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 250);
+    if (n < 0 && errno != EINTR) break;
+    const int64_t now_us = telemetry::NowMicros();
+    if ((pfds[1].revents & POLLIN) != 0) {
+      stopping = true;
+      break;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) AcceptPending(&conns, now_us);
+    const int64_t idle_cutoff_us =
+        now_us - static_cast<int64_t>(options_.idle_timeout_ms) * 1000;
+    std::vector<Connection> live;
+    live.reserve(conns.size());
+    for (size_t i = 0; i < conns.size(); ++i) {
+      Connection& conn = conns[i];
+      // New connections accepted this round have no pollfd yet.
+      const short revents =
+          i + 2 < pfds.size() && pfds[i + 2].fd == conn.fd
+              ? pfds[i + 2].revents
+              : 0;
+      bool close_conn = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                        (revents & POLLIN) == 0 && !conn.responding;
+      if (!close_conn && !conn.responding && (revents & POLLIN) != 0) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t got = recv(conn.fd, buf, sizeof(buf), 0);
+          if (got > 0) {
+            conn.in.append(buf, static_cast<size_t>(got));
+            if (conn.in.size() >
+                static_cast<size_t>(options_.max_request_bytes)) {
+              Metrics().bad_requests.Increment();
+              conn.out = ErrorResponse(431);
+              conn.responding = true;
+              break;
+            }
+            if (conn.in.find("\r\n\r\n") != std::string::npos) {
+              BuildResponse(&conn);
+              break;
+            }
+            continue;
+          }
+          if (got == 0) close_conn = true;  // peer went away
+          break;  // 0 or EAGAIN/error: wait for the next poll round
+        }
+      }
+      if (!close_conn && conn.responding) {
+        const size_t remaining = conn.out.size() - conn.out_written;
+        if (remaining > 0) {
+          // MSG_NOSIGNAL: a peer that closed early must surface as EPIPE,
+          // not kill the process with SIGPIPE.
+          const ssize_t sent =
+              send(conn.fd, conn.out.data() + conn.out_written, remaining,
+                   MSG_NOSIGNAL);
+          if (sent > 0) {
+            conn.out_written += static_cast<size_t>(sent);
+          } else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            close_conn = true;
+          }
+        }
+        if (conn.out_written == conn.out.size()) close_conn = true;  // done
+      }
+      if (!close_conn && conn.opened_us < idle_cutoff_us) close_conn = true;
+      if (close_conn) {
+        close(conn.fd);
+      } else {
+        live.push_back(std::move(conn));
+      }
+    }
+    conns = std::move(live);
+    Metrics().active_connections.Set(static_cast<double>(conns.size()));
+  }
+  for (const Connection& conn : conns) close(conn.fd);
+  Metrics().active_connections.Set(0.0);
+}
+
+}  // namespace smfl::obs

@@ -1,0 +1,118 @@
+// A minimal HTTP/1.1 server for the observability plane: one background
+// poll(2) thread, a hand-rolled request parser, bounded connections, and
+// zero third-party dependencies. It exists to serve small, read-only
+// telemetry payloads (/metrics, /healthz, /statusz — see exporter.h); it
+// is NOT a general web server:
+//
+//   * GET only (anything else gets 405), no keep-alive (every response
+//     carries `Connection: close`), no body parsing, no TLS.
+//   * Requests are capped at Options::max_request_bytes (431 above it) and
+//     concurrent connections at Options::max_connections (excess accepts
+//     are answered 503 and closed, never silently dropped).
+//   * The server thread never touches numeric state: handlers read
+//     telemetry snapshots, so the bitwise-determinism contract of the
+//     parallel layer is untouched (tests/obs_endpoint_test.cc proves a fit
+//     scraped mid-run is byte-identical to an unscraped one).
+//
+// Threading: Start() spawns exactly one background thread outside the
+// deterministic parallel pool. Handlers run on that thread and must be
+// thread-safe against the rest of the process (the exporter's handlers
+// only read atomics and registry snapshots). Stop() (and the destructor)
+// joins it via a self-pipe wakeup.
+
+#ifndef SMFL_OBS_HTTP_SERVER_H_
+#define SMFL_OBS_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smfl::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped)
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    // TCP port to listen on; 0 picks an ephemeral port (read it back with
+    // port() after Start).
+    int port = 0;
+    // Interface to bind. Loopback by default: the exporter serves process
+    // introspection, and exposing it beyond the host is an explicit choice.
+    std::string bind_address = "127.0.0.1";
+    // Concurrent connection cap; the cheapest defense against fd
+    // exhaustion. Excess connections are answered 503 and closed.
+    int max_connections = 16;
+    // Request header cap (431 above it). Scrape requests are one line.
+    int max_request_bytes = 16 * 1024;
+    // A connection idle longer than this (no complete request, unfinished
+    // write) is closed on the next poll sweep.
+    int idle_timeout_ms = 5000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers a handler for an exact path. Must be called before Start().
+  void Handle(std::string path, Handler handler);
+
+  // Binds, listens, and spawns the server thread. A port already in use
+  // (or any other socket failure) is a clean kIoError, never a crash.
+  Status Start(const Options& options);
+
+  // Idempotent; joins the server thread and closes every fd.
+  void Stop();
+
+  // The bound port (the actual one when Options::port was 0); 0 before
+  // Start().
+  int port() const { return port_; }
+  bool running() const { return running_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;        // bytes read so far, until "\r\n\r\n"
+    std::string out;       // serialized response being written
+    size_t out_written = 0;
+    int64_t opened_us = 0;  // NowMicros() at accept, for the idle sweep
+    bool responding = false;
+  };
+
+  void Loop();
+  void AcceptPending(std::vector<Connection>* conns, int64_t now_us);
+  // Parses conn->in and fills conn->out; switches it to write mode.
+  void BuildResponse(Connection* conn);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  bool running_ = false;
+  // The one obs server thread, outside the deterministic parallel pool.
+  // smfl-lint: allow(thread) observational-only thread; reads telemetry
+  std::thread thread_;
+};
+
+}  // namespace smfl::obs
+
+#endif  // SMFL_OBS_HTTP_SERVER_H_

@@ -1,0 +1,109 @@
+#include "src/obs/prometheus.h"
+
+#include <cstddef>
+
+#include "src/common/strings.h"
+
+namespace smfl::obs {
+
+namespace {
+
+using telemetry::Histogram;
+
+bool ValidNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void AppendHeader(const std::string& mangled, const std::string& original,
+                  const char* type, std::string* out) {
+  *out += StrFormat("# HELP %s smfl metric %s\n", mangled.c_str(),
+                    EscapeHelpText(original).c_str());
+  *out += StrFormat("# TYPE %s %s\n", mangled.c_str(), type);
+}
+
+}  // namespace
+
+std::string MangleMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (ValidNameChar(c, /*first=*/out.empty())) {
+      out += c;
+    } else if (out.empty() && c >= '0' && c <= '9') {
+      // A digit may not lead a metric name; keep it, prefixed.
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(
+    const telemetry::MetricsRegistry::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string mangled = MangleMetricName(name) + "_total";
+    AppendHeader(mangled, name, "counter", &out);
+    out += StrFormat("%s %lld\n", mangled.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string mangled = MangleMetricName(name);
+    AppendHeader(mangled, name, "gauge", &out);
+    out += StrFormat("%s %.17g\n", mangled.c_str(), value);
+  }
+  for (const auto& [name, snap] : snapshot.histograms) {
+    const std::string mangled = MangleMetricName(name);
+    AppendHeader(mangled, name, "histogram", &out);
+    // Cumulative buckets from the exact per-bucket counts. Buckets above
+    // the highest non-empty one add no information below +Inf, so the
+    // page stays small for low-magnitude histograms.
+    int highest = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (snap.bucket_counts[static_cast<size_t>(b)] > 0) highest = b;
+    }
+    int64_t cumulative = 0;
+    for (int b = 0; b <= highest && b < Histogram::kNumBuckets - 1; ++b) {
+      cumulative += snap.bucket_counts[static_cast<size_t>(b)];
+      out += StrFormat("%s_bucket{le=\"%g\"} %lld\n", mangled.c_str(),
+                       Histogram::BucketLowerBound(b + 1),
+                       static_cast<long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", mangled.c_str(),
+                     static_cast<long long>(snap.count));
+    out += StrFormat("%s_sum %.17g\n", mangled.c_str(), snap.sum);
+    out += StrFormat("%s_count %lld\n", mangled.c_str(),
+                     static_cast<long long>(snap.count));
+  }
+  return out;
+}
+
+std::string RenderGlobalPrometheusText() {
+  return RenderPrometheusText(
+      telemetry::MetricsRegistry::Global().SnapshotAll());
+}
+
+}  // namespace smfl::obs

@@ -1,0 +1,51 @@
+// Prometheus text-exposition (version 0.0.4) serialization over the
+// telemetry MetricsRegistry. Pure functions over a registry snapshot — no
+// I/O, no global state — so the format is testable byte-for-byte
+// (tests/prometheus_format_test.cc).
+//
+// Mapping from the repo's dot-separated metric names (docs/observability.md
+// has the full table):
+//   * dots and every other character outside [a-zA-Z0-9_:] become '_'
+//     ("smfl.fit.iter" -> "smfl_fit_iter"); a leading digit gets a '_'
+//     prefix.
+//   * counters are suffixed `_total` per the Prometheus naming convention.
+//   * histograms expand into cumulative `name_bucket{le="..."}` samples
+//     (upper bucket edges are the registry's power-of-two boundaries, plus
+//     the mandatory `le="+Inf"`), `name_sum`, and `name_count`, computed
+//     from the exact per-bucket counts in Histogram::Snapshot — no
+//     percentile interpolation is involved.
+//   * every metric gets `# HELP` (carrying the original dotted name) and
+//     `# TYPE` lines.
+
+#ifndef SMFL_OBS_PROMETHEUS_H_
+#define SMFL_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/common/telemetry.h"
+
+namespace smfl::obs {
+
+// "smfl.fit.iter" -> "smfl_fit_iter"; never returns an empty or invalid
+// Prometheus metric name for non-empty input.
+std::string MangleMetricName(const std::string& name);
+
+// Escapes a HELP-line value (backslash and newline, per the exposition
+// format).
+std::string EscapeHelpText(const std::string& text);
+
+// Renders a full exposition page from a snapshot.
+std::string RenderPrometheusText(
+    const telemetry::MetricsRegistry::MetricsSnapshot& snapshot);
+
+// Convenience: snapshot the global registry and render it.
+std::string RenderGlobalPrometheusText();
+
+// The Content-Type the exposition format mandates.
+inline const char* PrometheusContentType() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+}  // namespace smfl::obs
+
+#endif  // SMFL_OBS_PROMETHEUS_H_

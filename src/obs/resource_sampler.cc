@@ -1,0 +1,128 @@
+#include "src/obs/resource_sampler.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/telemetry.h"
+
+namespace smfl::obs {
+
+namespace {
+
+// /proc/self/statm: "size resident shared ..." in pages.
+double ReadRssBytes() {
+  std::ifstream in("/proc/self/statm");
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  if (!(in >> size_pages >> resident_pages)) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident_pages) *
+         static_cast<double>(page > 0 ? page : 4096);
+}
+
+// /proc/self/stat fields 14/15 (utime/stime) in clock ticks. The second
+// field (comm) may contain spaces and parentheses, so parsing starts after
+// the LAST ')'.
+double ReadCpuSeconds() {
+  std::ifstream in("/proc/self/stat");
+  std::string line;
+  if (!std::getline(in, line)) return 0.0;
+  const size_t close = line.rfind(')');
+  if (close == std::string::npos) return 0.0;
+  std::istringstream rest(line.substr(close + 1));
+  std::string field;
+  // After ')': state(1) then fields 4..13 precede utime (field 14).
+  long long utime = 0;
+  long long stime = 0;
+  for (int i = 0; i < 11; ++i) {
+    if (!(rest >> field)) return 0.0;
+  }
+  if (!(rest >> utime >> stime)) return 0.0;
+  const long ticks = sysconf(_SC_CLK_TCK);
+  return static_cast<double>(utime + stime) /
+         static_cast<double>(ticks > 0 ? ticks : 100);
+}
+
+double CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  long long count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  // ".", "..", and the directory's own fd inflate the count by 3.
+  return static_cast<double>(count > 3 ? count - 3 : count);
+}
+
+double ReadThreadCount() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream value(line.substr(8));
+      long long threads = 0;
+      if (value >> threads) return static_cast<double>(threads);
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ResourceSample ReadResourceSample() {
+  ResourceSample sample;
+  sample.rss_bytes = ReadRssBytes();
+  sample.cpu_seconds = ReadCpuSeconds();
+  sample.open_fds = CountOpenFds();
+  sample.threads = ReadThreadCount();
+  return sample;
+}
+
+void ResourceSampler::SampleOnce() {
+  const ResourceSample sample = ReadResourceSample();
+  // Direct registry writes (not the SMFL_GAUGE_SET macro): the gauges must
+  // be live on /metrics even when file telemetry is disabled, and nothing
+  // numeric ever reads them.
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetGauge("process.rss_bytes").Set(sample.rss_bytes);
+  registry.GetGauge("process.cpu_seconds").Set(sample.cpu_seconds);
+  registry.GetGauge("process.open_fds").Set(sample.open_fds);
+  registry.GetGauge("process.threads").Set(sample.threads);
+}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start(int interval_ms) {
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  // smfl-lint: allow(thread) observational sampler thread, not a worker
+  thread_ = std::thread([this, interval_ms] {
+    SampleOnce();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return stop_; })) {
+      lock.unlock();
+      SampleOnce();
+      lock.lock();
+    }
+  });
+}
+
+void ResourceSampler::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+}  // namespace smfl::obs

@@ -1,0 +1,60 @@
+// Periodic /proc/self sampler feeding process-level gauges into the
+// telemetry registry, so a /metrics scrape carries host-resource context
+// next to the solver's own instruments:
+//
+//   process.rss_bytes      resident set size (statm * page size)
+//   process.cpu_seconds    user + system CPU consumed (utime + stime)
+//   process.open_fds       open file-descriptor count (/proc/self/fd)
+//   process.threads        thread count (/proc/self/status Threads:)
+//
+// The sampler runs one background thread outside the deterministic
+// parallel pool; it only READS /proc and writes gauges, never anything
+// numeric code consumes. On platforms without /proc the gauges simply
+// stay at their last (or zero) values — Start() still succeeds.
+
+#ifndef SMFL_OBS_RESOURCE_SAMPLER_H_
+#define SMFL_OBS_RESOURCE_SAMPLER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace smfl::obs {
+
+struct ResourceSample {
+  double rss_bytes = 0.0;
+  double cpu_seconds = 0.0;
+  double open_fds = 0.0;
+  double threads = 0.0;
+};
+
+// Reads /proc/self once. Fields that cannot be read are left at zero.
+ResourceSample ReadResourceSample();
+
+class ResourceSampler {
+ public:
+  ResourceSampler() = default;
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  // Samples immediately, then every `interval_ms` until Stop().
+  void Start(int interval_ms = 1000);
+  void Stop();
+
+  // One synchronous sample into the gauges (also what the thread does).
+  static void SampleOnce();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  // smfl-lint: allow(thread) observational sampler thread, not a worker
+  std::thread thread_;
+};
+
+}  // namespace smfl::obs
+
+#endif  // SMFL_OBS_RESOURCE_SAMPLER_H_

@@ -1,5 +1,5 @@
 // Tests for tools/smfl_lint: one positive and one suppressed fixture per
-// rule (R1-R9), plus lexer and suppression-validation coverage. Fixtures
+// rule (R1-R12), plus lexer and suppression-validation coverage. Fixtures
 // are written into a temp directory shaped like the repo (src/...), so the
 // per-path rule scoping is exercised exactly as in production runs.
 
@@ -250,7 +250,10 @@ TEST_F(LintTest, UnorderedIterSeesThroughAlias) {
 
 TEST_F(LintTest, DiscardStatusPositive) {
   WriteFile("src/core/io.h",
-            "Status SaveThing(const char* path);\n");
+            "#ifndef SMFL_CORE_IO_H_\n"
+            "#define SMFL_CORE_IO_H_\n"
+            "Status SaveThing(const char* path);\n"
+            "#endif\n");
   WriteFile("src/core/use.cc",
             "#include \"src/core/io.h\"\n"
             "void Checkpoint() {\n"
@@ -264,7 +267,11 @@ TEST_F(LintTest, DiscardStatusPositive) {
 }
 
 TEST_F(LintTest, DiscardStatusVoidCast) {
-  WriteFile("src/core/io.h", "Status SaveThing(const char* path);\n");
+  WriteFile("src/core/io.h",
+            "#ifndef SMFL_CORE_IO_H_\n"
+            "#define SMFL_CORE_IO_H_\n"
+            "Status SaveThing(const char* path);\n"
+            "#endif\n");
   WriteFile("src/core/use.cc",
             "#include \"src/core/io.h\"\n"
             "void A() { (void)SaveThing(\"/tmp/x\"); }\n"
@@ -276,7 +283,11 @@ TEST_F(LintTest, DiscardStatusVoidCast) {
 }
 
 TEST_F(LintTest, DiscardStatusSuppressed) {
-  WriteFile("src/core/io.h", "Status SaveThing(const char* path);\n");
+  WriteFile("src/core/io.h",
+            "#ifndef SMFL_CORE_IO_H_\n"
+            "#define SMFL_CORE_IO_H_\n"
+            "Status SaveThing(const char* path);\n"
+            "#endif\n");
   WriteFile("src/core/use.cc",
             "#include \"src/core/io.h\"\n"
             "void Shutdown() {\n"
@@ -291,8 +302,11 @@ TEST_F(LintTest, DiscardStatusSuppressed) {
 
 TEST_F(LintTest, DiscardStatusConsumedIsFine) {
   WriteFile("src/core/io.h",
+            "#ifndef SMFL_CORE_IO_H_\n"
+            "#define SMFL_CORE_IO_H_\n"
             "Status SaveThing(const char* path);\n"
-            "Result<int> LoadThing(const char* path);\n");
+            "Result<int> LoadThing(const char* path);\n"
+            "#endif\n");
   WriteFile("src/core/use.cc",
             "#include \"src/core/io.h\"\n"
             "Status Checkpoint() {\n"
@@ -581,6 +595,98 @@ TEST_F(LintTest, MaskScanIgnoresBareIdentsAndOtherDirs) {
   // mask.cc (src/data) is the sanctioned home for raw row scans.
   WriteFile("src/data/mask.cc",
             "void Scan(const Mask& m) { (void)m.RowData(0); }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R11: raw-socket
+
+TEST_F(LintTest, RawSocketPositive) {
+  WriteFile("src/core/push.cc",
+            "void Push() {\n"
+            "  int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+            "  bind(fd, nullptr, 0);\n"
+            "  listen(fd, 8);\n"
+            "  poll(nullptr, 0, 100);\n"
+            "}\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 4u) << ResultToJson(r);
+  for (const Diagnostic& d : r.violations) {
+    EXPECT_EQ(d.rule, "raw-socket");
+  }
+  EXPECT_EQ(r.violations[0].line, 2);
+}
+
+TEST_F(LintTest, RawSocketSuppressed) {
+  WriteFile("src/core/push.cc",
+            "void Push() {\n"
+            "  // smfl-lint: allow(raw-socket) UDP beacon, fire-and-forget\n"
+            "  int fd = socket(AF_INET, SOCK_DGRAM, 0);\n"
+            "  (void)fd;\n"
+            "}\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "raw-socket");
+}
+
+TEST_F(LintTest, RawSocketIgnoresQualifiedMemberAndServerHome) {
+  // std::bind and member .bind(...) are not the socket syscall; the obs
+  // HTTP server is the sanctioned home and tests may open sockets freely.
+  WriteFile("src/core/cb.cc",
+            "void F() {\n"
+            "  auto g = std::bind(h, 1);\n"
+            "  server.listen(80);\n"
+            "  q->poll();\n"
+            "  int accept = 0; (void)accept; (void)g;\n"
+            "}\n");
+  WriteFile("src/obs/http_server.cc",
+            "void Start() { int fd = socket(AF_INET, SOCK_STREAM, 0);"
+            " (void)fd; }\n");
+  WriteFile("tests/net_test.cc",
+            "void T() { int fd = socket(AF_INET, SOCK_STREAM, 0);"
+            " (void)fd; }\n");
+  const LintResult r = Run();
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R12: header-hygiene
+
+TEST_F(LintTest, HeaderHygieneMissingGuard) {
+  WriteFile("src/obs/widget.h", "struct Widget { int x; };\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "header-hygiene");
+  EXPECT_NE(r.violations[0].message.find("SMFL_OBS_WIDGET_H_"),
+            std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, HeaderHygieneWrongGuardNamesConvention) {
+  WriteFile("src/obs/widget.h",
+            "#ifndef WIDGET_H\n"
+            "#define WIDGET_H\n"
+            "struct Widget { int x; };\n"
+            "#endif\n");
+  const LintResult r = Run();
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "header-hygiene");
+  EXPECT_NE(r.violations[0].message.find("WIDGET_H"), std::string::npos);
+  EXPECT_NE(r.violations[0].message.find("SMFL_OBS_WIDGET_H_"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, HeaderHygieneCompliantAndNonHeadersPass) {
+  WriteFile("src/obs/widget.h",
+            "#ifndef SMFL_OBS_WIDGET_H_\n"
+            "#define SMFL_OBS_WIDGET_H_\n"
+            "// A comment before the guard is fine.\n"
+            "struct Widget { int x; };\n"
+            "#endif  // SMFL_OBS_WIDGET_H_\n");
+  WriteFile("src/obs/widget.cc", "int unguarded_translation_unit = 1;\n");
+  WriteFile("tests/fixture.h", "struct NoGuardNeeded {};\n");
   const LintResult r = Run();
   EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
 }

@@ -1,0 +1,205 @@
+// Prometheus text-exposition conformance tests for src/obs/prometheus.*:
+// name mangling, HELP escaping, counter `_total` suffixing, histogram
+// cumulative `le` buckets (monotone, +Inf == _count), and the line grammar
+// of a full rendered page. No sockets here — obs_endpoint_test covers the
+// HTTP path; this file pins down the serializer alone.
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/telemetry.h"
+#include "src/obs/prometheus.h"
+
+namespace smfl::obs {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --------------------------------------------------------------------------
+// Name mangling
+
+TEST(MangleMetricNameTest, DotsBecomeUnderscores) {
+  EXPECT_EQ(MangleMetricName("smfl.fit.iter"), "smfl_fit_iter");
+  EXPECT_EQ(MangleMetricName("process.rss_bytes"), "process_rss_bytes");
+}
+
+TEST(MangleMetricNameTest, ValidNamesPassThrough) {
+  EXPECT_EQ(MangleMetricName("already_valid_name"), "already_valid_name");
+  EXPECT_EQ(MangleMetricName("ns:subsystem_total"), "ns:subsystem_total");
+  EXPECT_EQ(MangleMetricName("_leading_underscore"), "_leading_underscore");
+}
+
+TEST(MangleMetricNameTest, InvalidCharactersBecomeUnderscores) {
+  EXPECT_EQ(MangleMetricName("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(MangleMetricName("weird%name!"), "weird_name_");
+}
+
+TEST(MangleMetricNameTest, LeadingDigitIsPrefixed) {
+  EXPECT_EQ(MangleMetricName("99th_percentile"), "_99th_percentile");
+  EXPECT_EQ(MangleMetricName("9"), "_9");
+}
+
+TEST(MangleMetricNameTest, EmptyNameYieldsPlaceholder) {
+  EXPECT_EQ(MangleMetricName(""), "_");
+}
+
+TEST(EscapeHelpTextTest, BackslashAndNewline) {
+  EXPECT_EQ(EscapeHelpText("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeHelpText("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeHelpText("plain"), "plain");
+}
+
+// --------------------------------------------------------------------------
+// Rendering
+
+TEST(RenderPrometheusTextTest, CounterGetsTotalSuffixAndHeaders) {
+  MetricsRegistry::MetricsSnapshot snap;
+  snap.counters.emplace_back("smfl.fit.restarts", int64_t{7});
+  const std::string page = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(
+      page, "# HELP smfl_fit_restarts_total smfl metric smfl.fit.restarts\n"))
+      << page;
+  EXPECT_TRUE(Contains(page, "# TYPE smfl_fit_restarts_total counter\n"))
+      << page;
+  EXPECT_TRUE(Contains(page, "\nsmfl_fit_restarts_total 7\n")) << page;
+}
+
+TEST(RenderPrometheusTextTest, GaugeRendersValue) {
+  MetricsRegistry::MetricsSnapshot snap;
+  snap.gauges.emplace_back("process.rss_bytes", 12345.0);
+  const std::string page = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(page, "# TYPE process_rss_bytes gauge\n")) << page;
+  EXPECT_TRUE(Contains(page, "\nprocess_rss_bytes 12345\n")) << page;
+}
+
+TEST(RenderPrometheusTextTest, HistogramBucketsAreCumulativeAndMonotone) {
+  Histogram h;
+  h.Record(0.5);  // bucket 0: [0, 1)
+  h.Record(1.5);  // bucket 1: [1, 2)
+  h.Record(3.0);  // bucket 2: [2, 4)
+  h.Record(3.5);  // bucket 2
+  MetricsRegistry::MetricsSnapshot snap;
+  snap.histograms.emplace_back("obs.scrape_us", h.GetSnapshot());
+  const std::string page = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(page, "# TYPE obs_scrape_us histogram\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_bucket{le=\"1\"} 1\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_bucket{le=\"2\"} 2\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_bucket{le=\"4\"} 4\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_bucket{le=\"+Inf\"} 4\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_sum 8.5\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_scrape_us_count 4\n")) << page;
+
+  // The cumulative counts must be non-decreasing down the page and the
+  // +Inf bucket must equal _count exactly.
+  std::istringstream in(page);
+  std::string line;
+  int64_t prev = 0;
+  int64_t inf_value = -1;
+  int bucket_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("obs_scrape_us_bucket{", 0) != 0) continue;
+    ++bucket_lines;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const int64_t value = std::stoll(line.substr(sp + 1));
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+    if (Contains(line, "le=\"+Inf\"")) inf_value = value;
+  }
+  EXPECT_EQ(bucket_lines, 4);
+  EXPECT_EQ(inf_value, 4);
+}
+
+TEST(RenderPrometheusTextTest, EmptyHistogramStillHasInfSumCount) {
+  Histogram h;
+  MetricsRegistry::MetricsSnapshot snap;
+  snap.histograms.emplace_back("obs.idle_us", h.GetSnapshot());
+  const std::string page = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(page, "obs_idle_us_bucket{le=\"+Inf\"} 0\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_idle_us_sum 0\n")) << page;
+  EXPECT_TRUE(Contains(page, "obs_idle_us_count 0\n")) << page;
+}
+
+// Every non-comment, non-blank line of a mixed page must parse as
+// `<name>[{label="value"}] <number>` — the exposition line grammar.
+TEST(RenderPrometheusTextTest, EveryLineMatchesExpositionGrammar) {
+  Histogram h;
+  h.Record(2.0);
+  MetricsRegistry::MetricsSnapshot snap;
+  snap.counters.emplace_back("a.b", int64_t{1});
+  snap.gauges.emplace_back("c.d", -0.5);
+  snap.histograms.emplace_back("e.f", h.GetSnapshot());
+  const std::string page = RenderPrometheusText(snap);
+
+  std::istringstream in(page);
+  std::string line;
+  int sample_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line in exposition page";
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    ++sample_lines;
+    // Name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    size_t i = 0;
+    ASSERT_LT(i, line.size());
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_' || line[0] == ':')
+        << line;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    // Optional label block.
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      i = close + 1;
+    }
+    // Exactly one space, then a value strtod can fully consume.
+    ASSERT_LT(i, line.size()) << line;
+    EXPECT_EQ(line[i], ' ') << line;
+    const std::string value = line.substr(i + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    size_t pos = 0;
+    if (value == "+Inf" || value == "-Inf" || value == "NaN") {
+      pos = value.size();
+    } else {
+      (void)std::stod(value, &pos);
+    }
+    EXPECT_EQ(pos, value.size()) << line;
+  }
+  EXPECT_GE(sample_lines, 6);  // counter + gauge + >=4 histogram lines
+}
+
+TEST(RenderGlobalPrometheusTextTest, ReflectsTheGlobalRegistry) {
+  MetricsRegistry::Global().ResetForTesting();
+  MetricsRegistry::Global().GetCounter("promtest.pages").Add(3);
+  const std::string page = RenderGlobalPrometheusText();
+  EXPECT_TRUE(Contains(page, "promtest_pages_total 3\n")) << page;
+  MetricsRegistry::Global().ResetForTesting();
+}
+
+TEST(PrometheusContentTypeTest, IsTextVersion004) {
+  EXPECT_EQ(std::string(PrometheusContentType()),
+            "text/plain; version=0.0.4; charset=utf-8");
+}
+
+}  // namespace
+}  // namespace smfl::obs

@@ -193,6 +193,33 @@ TEST_F(TelemetryTest, MetricsJsonlListsEveryInstrumentType) {
       << jsonl;
 }
 
+TEST_F(TelemetryTest, SnapshotBucketCountsAreExact) {
+  Histogram h;
+  h.Record(0.5);  // bucket 0: [0, 1)
+  h.Record(1.5);  // bucket 1: [1, 2)
+  h.Record(3.0);  // bucket 2: [2, 4)
+  h.Record(3.5);  // bucket 2
+  const Histogram::Snapshot s = h.GetSnapshot();
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.bucket_counts[0], 1);
+  EXPECT_EQ(s.bucket_counts[1], 1);
+  EXPECT_EQ(s.bucket_counts[2], 2);
+  int64_t total = 0;
+  for (const int64_t c : s.bucket_counts) total += c;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST_F(TelemetryTest, MetricsJsonlHistogramBucketsAreCumulative) {
+  SMFL_HISTOGRAM_RECORD("test.lat_us", 0.5);
+  SMFL_HISTOGRAM_RECORD("test.lat_us", 1.5);
+  SMFL_HISTOGRAM_RECORD("test.lat_us", 3.0);
+  SMFL_HISTOGRAM_RECORD("test.lat_us", 3.5);
+  const std::string jsonl = MetricsRegistry::Global().MetricsJsonl();
+  // Pairs are [upper_edge, cumulative_count_at_or_below_edge], emitted up
+  // to the highest non-empty bucket.
+  EXPECT_TRUE(Contains(jsonl, "\"buckets\":[[1,1],[2,2],[4,4]]}")) << jsonl;
+}
+
 TEST_F(TelemetryTest, DisabledMacrosRecordNothing) {
   Counter& counter = MetricsRegistry::Global().GetCounter("test.noop");
   Gauge& gauge = MetricsRegistry::Global().GetGauge("test.noop_gauge");

@@ -9,19 +9,24 @@
 #                     SIGKILLs real fits between checkpoint writes and
 #                     requires --resume to reach the bitwise-identical
 #                     model (docs/robustness.md)
-#   5. bench          perf-regression gate (tools/run_bench.sh --gate):
+#   5. obs-scrape     end-to-end observability: runs a real `smfl fit
+#                     --metrics-port=0`, scrapes /metrics, /healthz, and
+#                     /statusz over loopback with bash's /dev/tcp (no curl
+#                     dependency), and validates the Prometheus exposition
+#                     line grammar (docs/observability.md)
+#   6. bench          perf-regression gate (tools/run_bench.sh --gate):
 #                     masked-reconstruct fusion and SIMD gemm speedups must
 #                     stay above the committed thresholds; a regression
 #                     fails the gate exactly like a lint finding would
-#   6. asan           tier-1 suite under AddressSanitizer (+ leak check)
-#   7. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
-#   8. tsan           threading-sensitive subset under ThreadSanitizer;
+#   7. asan           tier-1 suite under AddressSanitizer (+ leak check)
+#   8. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
+#   9. tsan           threading-sensitive subset under ThreadSanitizer;
 #                     auto-skipped (and recorded as such) when the toolchain
 #                     lacks TSan support
 #
 # Every step's outcome lands in CHECKS.json ({"steps": [{name, status,
 # seconds, detail}...], "ok": bool}); the script exits nonzero if any step
-# fails. Skips are not failures. `--fast` runs only steps 1-4 (the bench
+# fails. Skips are not failures. `--fast` runs only steps 1-5 (the bench
 # gate wants an unloaded machine and the sanitizer suites are three extra
 # full builds).
 #
@@ -91,6 +96,97 @@ configure_and_build() {
     cmake --build "$build_dir" -j
 }
 
+# One raw HTTP GET over loopback with bash's /dev/tcp: no curl/netcat in
+# the gate image. The server always answers Connection: close, so reading
+# to EOF captures the whole response.
+http_get() {  # http_get PORT PATH OUTFILE
+  (exec 3<>"/dev/tcp/127.0.0.1/$1" &&
+     printf 'GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n' "$2" >&3 &&
+     cat <&3) > "$3"
+}
+
+# End-to-end observability scrape: launch a real fit with --metrics-port=0
+# (+ a linger window so the endpoints outlive the fit), scrape all three
+# endpoints, and validate the Prometheus text-exposition grammar.
+obs_scrape() {
+  local dir="$build_dir/obs-scrape"
+  rm -rf "$dir" && mkdir -p "$dir" || return 1
+
+  # Deterministic synthetic training CSV: 2 spatial columns, 4 attribute
+  # columns, every 11th attribute cell missing.
+  awk 'BEGIN {
+    print "lat,lon,a,b,c,d";
+    for (i = 0; i < 80; i++) {
+      lat = 40 + i * 0.01; lon = -70 - i * 0.01;
+      line = lat "," lon;
+      for (j = 0; j < 4; j++) {
+        if ((i * 4 + j) % 11 == 0) line = line ",";
+        else line = line "," ((i * 7 + j * 13) % 50 / 50 + j);
+      }
+      print line;
+    }
+  }' > "$dir/train.csv" || return 1
+
+  SMFL_METRICS_LINGER_MS=30000 "$build_dir/tools/smfl" fit \
+      --in="$dir/train.csv" --model="$dir/model.txt" --rank=4 \
+      --metrics-port=0 > "$dir/fit.log" 2>&1 &
+  local fit_pid=$!
+
+  local port="" i
+  for i in $(seq 1 100); do
+    port=$(sed -n 's|.*observability endpoints on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' \
+           "$dir/fit.log" 2>/dev/null | head -1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "obs-scrape: no 'observability endpoints' line in fit.log"
+    cat "$dir/fit.log"
+    kill "$fit_pid" 2>/dev/null
+    return 1
+  fi
+
+  # The model write is atomic (temp + rename): existence means the fit is
+  # done and the exporter is in its linger window — scrape race-free.
+  for i in $(seq 1 600); do
+    [[ -f "$dir/model.txt" ]] && break
+    sleep 0.05
+  done
+
+  local ok=0
+  http_get "$port" /metrics "$dir/metrics.http" &&
+    http_get "$port" /healthz "$dir/healthz.http" &&
+    http_get "$port" /statusz "$dir/statusz.http" || ok=1
+  kill -INT "$fit_pid" 2>/dev/null  # end the linger window early
+  wait "$fit_pid" || { echo "obs-scrape: fit exited nonzero"; cat "$dir/fit.log"; return 1; }
+  [[ $ok -eq 0 ]] || { echo "obs-scrape: scrape failed"; return 1; }
+
+  head -1 "$dir/metrics.http" | grep -q "HTTP/1.1 200" ||
+    { echo "obs-scrape: /metrics not 200"; head -1 "$dir/metrics.http"; return 1; }
+  grep -q "^ok" "$dir/healthz.http" ||
+    { echo "obs-scrape: /healthz body not ok"; return 1; }
+  grep -q '"iteration":' "$dir/statusz.http" ||
+    { echo "obs-scrape: /statusz missing fit progress"; return 1; }
+  # The page must carry the fit, resource, and server self-instruments.
+  local metric
+  for metric in smfl_fit_iter_count process_rss_bytes obs_http_requests_total; do
+    grep -q "^$metric " "$dir/metrics.http" ||
+      { echo "obs-scrape: /metrics missing $metric"; return 1; }
+  done
+  # Exposition line grammar over the body: comments are HELP/TYPE only,
+  # samples are <name>[{labels}] <value>.
+  awk '
+    BEGIN { body = 0; bad = 0 }
+    /^\r?$/ { body = 1; next }
+    body == 0 { next }
+    /^# (HELP|TYPE) / { next }
+    /^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? [^ ]+\r?$/ { next }
+    { bad++; print "obs-scrape: bad exposition line: " $0 }
+    END { exit bad > 0 }
+  ' "$dir/metrics.http" || return 1
+  echo "obs-scrape: all endpoints healthy on port $port"
+}
+
 run_step werror-build "warning-clean under -Wconversion -Wshadow -Werror" \
   configure_and_build
 
@@ -106,6 +202,8 @@ if [[ "${step_statuses[0]}" == pass ]]; then
   run_step crash-recovery "kill-mid-fit + resume bitwise-identical harness" \
     ctest --test-dir "$build_dir" --output-on-failure \
     -R '^crash_recovery_test$'
+  run_step obs-scrape "live /metrics + /healthz + /statusz scrape of a real fit" \
+    obs_scrape
 else
   echo "==> skipping tests and lint: the gate build failed"
 fi

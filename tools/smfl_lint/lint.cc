@@ -22,7 +22,7 @@ namespace fs = std::filesystem;
 const std::set<std::string> kKnownRules = {
     "thread",   "nondet",   "unordered-iter", "discard-status",
     "float-eq", "raw-log",  "raw-file-write", "raw-simd",
-    "const-ref", "mask-scan", "all",
+    "const-ref", "mask-scan", "raw-socket", "header-hygiene", "all",
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -87,6 +87,15 @@ bool RuleApplies(const std::string& rule, const std::string& rel,
     // single production home for raw row scans.
     return !test &&
            (StartsWith(rel, "src/core/") || StartsWith(rel, "src/mf/"));
+  }
+  if (rule == "raw-socket") {
+    // The obs HTTP server is the single production home for raw socket
+    // syscalls; tests scrape it over loopback sockets freely.
+    return !test && rel != "src/obs/http_server.cc";
+  }
+  if (rule == "header-hygiene") {
+    return !test && rel.size() >= 2 &&
+           rel.compare(rel.size() - 2, 2, ".h") == 0;
   }
   return true;
 }
@@ -175,6 +184,12 @@ void LintFile(const LexedFile& file, const StatusFnRegistry& registry,
   }
   if (RuleApplies("mask-scan", file.rel_path, options)) {
     CheckMaskScan(file, &raw);
+  }
+  if (RuleApplies("raw-socket", file.rel_path, options)) {
+    CheckRawSocket(file, &raw);
+  }
+  if (RuleApplies("header-hygiene", file.rel_path, options)) {
+    CheckHeaderHygiene(file, &raw);
   }
 
   for (Diagnostic& d : raw) {

@@ -36,6 +36,16 @@
 //                        call; take `const T&`. ALL_CAPS macro callees
 //                        (ASSIGN_OR_RETURN declares locals inside its
 //                        parens) are exempt.
+//   raw-socket     (R11) unqualified socket/bind/listen/accept/poll/epoll_*
+//                        calls outside src/obs/http_server.cc — network
+//                        I/O and event polling are centralized in the obs
+//                        HTTP layer so connection bounds, shutdown, and
+//                        instrumentation live in one place. std::bind and
+//                        member calls are exempt; tests may open sockets.
+//   header-hygiene (R12) every non-test header must open with its
+//                        path-derived include guard (src/obs/http_server.h
+//                        -> SMFL_OBS_HTTP_SERVER_H_) as the first two
+//                        preprocessor directives.
 //
 // Any finding can be suppressed inline with a justified comment on the same
 // line or the line above:

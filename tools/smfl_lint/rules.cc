@@ -617,4 +617,102 @@ void CheckMaskScan(const LexedFile& file, std::vector<Diagnostic>* out) {
   }
 }
 
+void CheckRawSocket(const LexedFile& file, std::vector<Diagnostic>* out) {
+  static const std::set<std::string> kSocketCalls = {
+      "socket",       "bind",          "listen",    "accept",
+      "accept4",      "poll",          "ppoll",     "epoll_create",
+      "epoll_create1", "epoll_ctl",    "epoll_wait",
+  };
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent || !kSocketCalls.count(t.text)) continue;
+    // Call position only: `bind` as a declarator or member name is not the
+    // libc symbol.
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    // Member accesses (obj.bind(), x->poll()) are someone else's symbol.
+    if (i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+      continue;
+    }
+    // ANY qualification exempts: std::bind / asio::socket are not the raw
+    // syscalls (the libc functions are always called unqualified).
+    if (i > 0 && IsPunct(toks[i - 1], "::")) continue;
+    Emit(file, "raw-socket", t.line,
+         "raw socket syscall '" + t.text +
+             "()' outside src/obs/http_server.cc — network I/O and event "
+             "polling are centralized in the obs HTTP layer so connection "
+             "bounds, shutdown, and instrumentation stay in one place; "
+             "route through obs::HttpServer or justify with smfl-lint: "
+             "allow(raw-socket)",
+         out);
+  }
+}
+
+void CheckHeaderHygiene(const LexedFile& file,
+                        std::vector<Diagnostic>* out) {
+  // Expected guard from the rel path: src/obs/http_server.h ->
+  // SMFL_OBS_HTTP_SERVER_H_ (the leading src/ is dropped; other roots,
+  // e.g. tools/, are kept — matching the repo-wide convention).
+  std::string stem = file.rel_path;
+  if (stem.rfind("src/", 0) == 0) stem = stem.substr(4);
+  std::string expected = "SMFL_";
+  for (char c : stem) {
+    if (c >= 'a' && c <= 'z') {
+      expected += static_cast<char>(c - 'a' + 'A');
+    } else if ((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+      expected += c;
+    } else {
+      expected += '_';
+    }
+  }
+  expected += '_';
+
+  // First two preprocessor directives must be `#ifndef GUARD` and
+  // `#define GUARD`.
+  std::string ifndef_name;
+  std::string define_name;
+  int first_line = 1;
+  int seen = 0;
+  for (const Token& t : file.tokens) {
+    if (t.kind != Kind::kPreproc) continue;
+    // Directive text keeps the leading '#'; split into words.
+    std::vector<std::string> words;
+    std::string word;
+    for (size_t i = 1; i < t.text.size(); ++i) {
+      const char c = t.text[i];
+      if (c == ' ' || c == '\t') {
+        if (!word.empty()) words.push_back(std::move(word));
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+    if (!word.empty()) words.push_back(std::move(word));
+    if (words.empty()) continue;
+    if (seen == 0) {
+      first_line = t.line;
+      if (words[0] == "ifndef" && words.size() >= 2) {
+        ifndef_name = words[1];
+      }
+    } else if (seen == 1) {
+      if (words[0] == "define" && words.size() >= 2) {
+        define_name = words[1];
+      }
+    }
+    if (++seen == 2) break;
+  }
+  if (ifndef_name == expected && define_name == expected) return;
+  if (ifndef_name.empty()) {
+    Emit(file, "header-hygiene", first_line,
+         "header has no include guard; open with '#ifndef " + expected +
+             "' / '#define " + expected + "'",
+         out);
+  } else {
+    Emit(file, "header-hygiene", first_line,
+         "include guard is '" + ifndef_name + "' (define '" + define_name +
+             "'); the path-derived convention requires '" + expected + "'",
+         out);
+  }
+}
+
 }  // namespace smfl::lint

@@ -61,6 +61,17 @@ void CheckConstRef(const LexedFile& file, std::vector<Diagnostic>* out);
 // production home for raw row scans.
 void CheckMaskScan(const LexedFile& file, std::vector<Diagnostic>* out);
 
+// R11 "raw-socket": unqualified call-position socket/bind/listen/accept/
+// accept4/poll/ppoll/epoll_* outside src/obs/http_server.cc — network I/O
+// and event polling are centralized in the obs HTTP layer. Qualified names
+// (std::bind) and member calls are exempt.
+void CheckRawSocket(const LexedFile& file, std::vector<Diagnostic>* out);
+
+// R12 "header-hygiene": every header opens with the path-derived include
+// guard (src/obs/http_server.h -> SMFL_OBS_HTTP_SERVER_H_): `#ifndef` and
+// `#define` of exactly that name as the first two directives.
+void CheckHeaderHygiene(const LexedFile& file, std::vector<Diagnostic>* out);
+
 }  // namespace smfl::lint
 
 #endif  // SMFL_TOOLS_SMFL_LINT_RULES_H_
