@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "src/common/rng.h"
-#include "src/data/normalize.h"
 
 namespace smfl::core {
 

@@ -2,6 +2,7 @@
 
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
+#include "src/data/inject.h"
 #include "src/exp/metrics.h"
 
 namespace smfl::exp {

@@ -11,7 +11,6 @@
 
 #include "src/common/status.h"
 #include "src/data/generators.h"
-#include "src/data/inject.h"
 #include "src/data/normalize.h"
 #include "src/impute/imputer.h"
 #include "src/repair/repairer.h"

@@ -5,8 +5,6 @@
 
 #include "src/data/normalize.h"
 #include "src/impute/neighbor_util.h"
-#include "src/la/cholesky.h"
-#include "src/la/ops.h"
 #include "src/la/qr.h"
 
 namespace smfl::impute {

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "src/la/ops.h"
 
 namespace smfl::la {
 

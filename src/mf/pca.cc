@@ -1,6 +1,7 @@
 #include "src/mf/pca.h"
 
 #include "src/la/ops.h"
+#include "src/la/svd.h"
 
 namespace smfl::mf {
 

@@ -6,7 +6,6 @@
 
 #include "src/common/status.h"
 #include "src/la/matrix.h"
-#include "src/la/svd.h"
 
 namespace smfl::mf {
 

@@ -1,15 +1,21 @@
 // Tests for tools/smfl_lint: one positive and one suppressed fixture per
-// rule (R1-R12), plus lexer and suppression-validation coverage. Fixtures
-// are written into a temp directory shaped like the repo (src/...), so the
-// per-path rule scoping is exercised exactly as in production runs.
+// rule (R1-R13), plus lexer, parsing-layer (parse.h), include-graph
+// (graph.h), baseline/SARIF/--fix plumbing, and suppression-validation
+// coverage. Fixtures are written into a temp directory shaped like the
+// repo (src/...), so include resolution and per-path rule scoping are
+// exercised exactly as in production runs.
 
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tools/smfl_lint/graph.h"
 #include "tools/smfl_lint/lint.h"
+#include "tools/smfl_lint/parse.h"
 
 namespace smfl::lint {
 namespace {
@@ -37,13 +43,23 @@ class LintTest : public ::testing::Test {
     out << content;
   }
 
-  LintResult Run() {
-    LintOptions options;
+  LintResult Run() { return Run(LintOptions{}); }
+
+  // The semantic passes are opt-in; tests for them pass options with
+  // graph_pass / race_pass / baseline_path set (repo_root is overridden).
+  LintResult Run(LintOptions options) {
     options.repo_root = root_.string();
     LintResult result;
     std::string error;
     EXPECT_TRUE(RunLint(options, &result, &error)) << error;
     return result;
+  }
+
+  std::string ReadFile(const std::string& rel) {
+    std::ifstream in(root_ / rel, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
   }
 
   static std::vector<std::string> Rules(const std::vector<Diagnostic>& ds) {
@@ -737,6 +753,619 @@ TEST_F(LintTest, JsonSummaryContainsFindings) {
 TEST_F(LintTest, FormatDiagnosticIsFileLineRule) {
   const Diagnostic d{"float-eq", "src/la/norm.cc", 7, "msg"};
   EXPECT_EQ(FormatDiagnostic(d), "src/la/norm.cc:7: [float-eq] msg");
+}
+
+// --------------------------------------------------------------------------
+// Parsing layer (parse.h)
+
+TEST(ParseTest, ParseIncludesSeparatesProjectAndSystem) {
+  const LexedFile f = Lex("src/core/x.cc",
+                          "#include \"src/la/vec.h\"\n"
+                          "#include <vector>\n"
+                          "#include \"local.h\"  // trailing comment\n");
+  const std::vector<IncludeDirective> incs = ParseIncludes(f);
+  ASSERT_EQ(incs.size(), 3u);
+  EXPECT_EQ(incs[0].path, "src/la/vec.h");
+  EXPECT_FALSE(incs[0].angled);
+  EXPECT_EQ(incs[0].line, 1);
+  EXPECT_EQ(incs[1].path, "vector");
+  EXPECT_TRUE(incs[1].angled);
+  EXPECT_EQ(incs[2].path, "local.h");
+}
+
+TEST(ParseTest, HarvestDeclaredSymbolsCoversTheHeaderApi) {
+  const LexedFile f = Lex(
+      "src/la/vec.h",
+      "#ifndef SMFL_LA_VEC_H_\n"
+      "#define SMFL_LA_VEC_H_\n"
+      "#define VEC_MAX_DIM 8\n"
+      "namespace smfl::la {\n"
+      "struct VecThing { int size_; void Member(); };\n"
+      "enum class VecMode { kDense, kSparse };\n"
+      "using VecScalar = double;\n"
+      "double VecNorm(const VecThing& v);\n"
+      "inline constexpr double kVecEps = 1e-12;\n"
+      "}  // namespace smfl::la\n"
+      "#endif  // SMFL_LA_VEC_H_\n");
+  const std::set<std::string> syms = HarvestDeclaredSymbols(f);
+  EXPECT_TRUE(syms.count("VecThing"));
+  EXPECT_TRUE(syms.count("VecMode"));
+  EXPECT_TRUE(syms.count("kDense"));
+  EXPECT_TRUE(syms.count("VecScalar"));
+  EXPECT_TRUE(syms.count("VecNorm"));
+  EXPECT_TRUE(syms.count("kVecEps"));
+  EXPECT_TRUE(syms.count("VEC_MAX_DIM"));
+  // Include-guard macros and class members are not part of the API.
+  EXPECT_FALSE(syms.count("SMFL_LA_VEC_H_"));
+  EXPECT_FALSE(syms.count("size_"));
+  EXPECT_FALSE(syms.count("Member"));
+}
+
+TEST(ParseTest, LambdaCapturesParamsAndBody) {
+  const LexedFile f =
+      Lex("src/core/x.cc",
+          "auto fn = [&, total](Index b, Index e) { return b + e; };\n");
+  size_t open = 0;
+  while (open < f.tokens.size() && !TokIsPunct(f.tokens[open], "[")) ++open;
+  ASSERT_LT(open, f.tokens.size());
+  LambdaInfo lam;
+  ASSERT_TRUE(ParseLambda(f.tokens, open, &lam));
+  EXPECT_TRUE(lam.default_by_ref);
+  EXPECT_FALSE(lam.default_by_value);
+  EXPECT_TRUE(lam.by_value_names.count("total"));
+  ASSERT_EQ(lam.params.size(), 2u);
+  EXPECT_EQ(lam.params[0], "b");
+  EXPECT_EQ(lam.params[1], "e");
+  EXPECT_LT(lam.body_begin, lam.body_end);
+}
+
+TEST(ParseTest, SubscriptAndAttributeAreNotLambdas) {
+  const LexedFile f = Lex("src/core/x.cc",
+                          "int y = arr[i];\n"
+                          "[[nodiscard]] int F();\n");
+  LambdaInfo lam;
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    if (TokIsPunct(f.tokens[i], "[")) {
+      EXPECT_FALSE(ParseLambda(f.tokens, i, &lam)) << "token index " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Include graph (graph.h): module mapping and graph construction
+
+TEST(GraphTest, ModuleOfAndRankFollowTheDeclaredDag) {
+  EXPECT_EQ(ModuleOf("src/core/smfl.h"), "core");
+  EXPECT_EQ(ModuleOf("src/la/matrix.h"), "la");
+  EXPECT_EQ(ModuleOf("tools/smfl_lint/lint.h"), "tools");
+  EXPECT_EQ(ModuleOf("src/orphan.h"), "");  // directly under src/
+  EXPECT_LT(ModuleRank("common"), ModuleRank("la"));
+  EXPECT_LT(ModuleRank("la"), ModuleRank("data"));
+  EXPECT_LT(ModuleRank("data"), ModuleRank("spatial"));
+  EXPECT_LT(ModuleRank("spatial"), ModuleRank("cluster"));
+  EXPECT_LT(ModuleRank("cluster"), ModuleRank("nn"));
+  EXPECT_LT(ModuleRank("nn"), ModuleRank("mf"));
+  EXPECT_LT(ModuleRank("mf"), ModuleRank("core"));
+  EXPECT_LT(ModuleRank("core"), ModuleRank("impute"));
+  EXPECT_EQ(ModuleRank("impute"), ModuleRank("repair"));
+  EXPECT_LT(ModuleRank("repair"), ModuleRank("obs"));
+  EXPECT_LT(ModuleRank("obs"), ModuleRank("cli"));
+  EXPECT_EQ(ModuleRank("no-such-module"), -1);
+}
+
+TEST_F(LintTest, BuildIncludeGraphResolvesRootAndSiblingIncludes) {
+  WriteFile("src/la/vec.h", "struct VecThing {};\n");
+  const LexedFile root_rel =
+      Lex("src/core/user.cc",
+          "#include \"src/la/vec.h\"\n"
+          "#include <vector>\n"
+          "#include \"src/core/not_on_disk.h\"\n");
+  const LexedFile sibling_rel = Lex("src/la/other.cc",
+                                    "#include \"vec.h\"\n");
+  const IncludeGraph g =
+      BuildIncludeGraph({root_rel, sibling_rel}, root_.string());
+  ASSERT_EQ(g.edges.at("src/core/user.cc").size(), 1u);
+  EXPECT_EQ(g.edges.at("src/core/user.cc")[0].to, "src/la/vec.h");
+  EXPECT_EQ(g.edges.at("src/core/user.cc")[0].line, 1);
+  ASSERT_EQ(g.edges.at("src/la/other.cc").size(), 1u);
+  EXPECT_EQ(g.edges.at("src/la/other.cc")[0].to, "src/la/vec.h");
+}
+
+// --------------------------------------------------------------------------
+// Graph pass: layering
+
+TEST_F(LintTest, LayeringBackEdgeIsViolation) {
+  // la (layer 1) must not include core (layer 7).
+  WriteFile("src/core/model.h",
+            "#ifndef SMFL_CORE_MODEL_H_\n"
+            "#define SMFL_CORE_MODEL_H_\n"
+            "namespace smfl::core { struct CoreModel { int trained; }; }\n"
+            "#endif  // SMFL_CORE_MODEL_H_\n");
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "#include \"src/core/model.h\"\n"
+            "namespace smfl::la { core::CoreModel MakeModel(); }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "layering");
+  EXPECT_EQ(r.violations[0].rel_path, "src/la/vec.h");
+  EXPECT_EQ(r.violations[0].line, 3);
+  EXPECT_NE(r.violations[0].message.find("back-edge"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, LayeringSanctionedSameLayerEdgeRepairToImpute) {
+  WriteFile("src/impute/mean.h",
+            "#ifndef SMFL_IMPUTE_MEAN_H_\n"
+            "#define SMFL_IMPUTE_MEAN_H_\n"
+            "namespace smfl::impute { struct MeanImputer { int k; }; }\n"
+            "#endif  // SMFL_IMPUTE_MEAN_H_\n");
+  WriteFile("src/repair/fix.h",
+            "#ifndef SMFL_REPAIR_FIX_H_\n"
+            "#define SMFL_REPAIR_FIX_H_\n"
+            "#include \"src/impute/mean.h\"\n"
+            "namespace smfl::repair { impute::MeanImputer MakeStage(); }\n"
+            "#endif  // SMFL_REPAIR_FIX_H_\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, LayeringUnsanctionedSameLayerEdgeImputeToRepair) {
+  WriteFile("src/repair/fix.h",
+            "#ifndef SMFL_REPAIR_FIX_H_\n"
+            "#define SMFL_REPAIR_FIX_H_\n"
+            "namespace smfl::repair { struct FixStage { int n; }; }\n"
+            "#endif  // SMFL_REPAIR_FIX_H_\n");
+  WriteFile("src/impute/mean.h",
+            "#ifndef SMFL_IMPUTE_MEAN_H_\n"
+            "#define SMFL_IMPUTE_MEAN_H_\n"
+            "#include \"src/repair/fix.h\"\n"
+            "namespace smfl::impute { repair::FixStage MakeStage(); }\n"
+            "#endif  // SMFL_IMPUTE_MEAN_H_\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "layering");
+  EXPECT_EQ(r.violations[0].rel_path, "src/impute/mean.h");
+  EXPECT_NE(r.violations[0].message.find("same-layer"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, LayeringSrcMustNotDependOutsideSrc) {
+  WriteFile("tools/helper.h", "struct ToolHelper { int x; };\n");
+  WriteFile("src/core/use.cc",
+            "#include \"tools/helper.h\"\n"
+            "namespace smfl::core { ToolHelper MakeHelper(); }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "layering");
+  EXPECT_NE(r.violations[0].message.find("must not depend"),
+            std::string::npos)
+      << r.violations[0].message;
+}
+
+// --------------------------------------------------------------------------
+// Graph pass: cycles and .cc includes
+
+TEST_F(LintTest, IncludeCycleIsViolation) {
+  // Same module (no layering noise), symbols mutually used (no
+  // unused-include noise): the cycle itself is the only finding.
+  WriteFile("src/la/a.h",
+            "#ifndef SMFL_LA_A_H_\n"
+            "#define SMFL_LA_A_H_\n"
+            "#include \"src/la/b.h\"\n"
+            "namespace smfl::la { struct AThing { BThing* peer; }; }\n"
+            "#endif  // SMFL_LA_A_H_\n");
+  WriteFile("src/la/b.h",
+            "#ifndef SMFL_LA_B_H_\n"
+            "#define SMFL_LA_B_H_\n"
+            "#include \"src/la/a.h\"\n"
+            "namespace smfl::la { struct BThing { AThing* peer; }; }\n"
+            "#endif  // SMFL_LA_B_H_\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "include-cycle");
+  EXPECT_NE(r.violations[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(r.violations[0].message.find("src/la/a.h"), std::string::npos);
+  EXPECT_NE(r.violations[0].message.find("src/la/b.h"), std::string::npos);
+}
+
+TEST_F(LintTest, CcIncludeIsViolation) {
+  WriteFile("src/core/impl.cc",
+            "namespace smfl::core { int ImplValue() { return 3; } }\n");
+  WriteFile("src/core/driver.cc",
+            "#include \"src/core/impl.cc\"\n"
+            "namespace smfl::core { int Driver() { return ImplValue(); } }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "cc-include");
+  EXPECT_EQ(r.violations[0].rel_path, "src/core/driver.cc");
+}
+
+// --------------------------------------------------------------------------
+// Graph pass: unused-include (IWYU-lite)
+
+TEST_F(LintTest, UnusedIncludePositive) {
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "namespace smfl::la { struct VecThing { int n; }; }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  WriteFile("src/core/user.cc",
+            "#include \"src/la/vec.h\"\n"
+            "namespace smfl::core { int Unrelated() { return 1; } }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "unused-include");
+  EXPECT_EQ(r.violations[0].rel_path, "src/core/user.cc");
+  EXPECT_EQ(r.violations[0].line, 1);
+}
+
+TEST_F(LintTest, UnusedIncludeSuppressedOnTheIncludeLine) {
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "namespace smfl::la { struct VecThing { int n; }; }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  WriteFile("src/core/user.cc",
+            "#include \"src/la/vec.h\"  "
+            "// smfl-lint: allow(unused-include) kept as an umbrella\n"
+            "namespace smfl::core { int Unrelated() { return 1; } }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "unused-include");
+}
+
+TEST_F(LintTest, UsedIncludeAndOwnHeaderAreNotFlagged) {
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "namespace smfl::la { struct VecThing { int n; }; }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  // engine.cc includes its own header without touching any symbol from it
+  // (common for registration-only TUs) — exempt by the own-header rule.
+  WriteFile("src/core/engine.h",
+            "#ifndef SMFL_CORE_ENGINE_H_\n"
+            "#define SMFL_CORE_ENGINE_H_\n"
+            "namespace smfl::core { struct Engine { int x; }; }\n"
+            "#endif  // SMFL_CORE_ENGINE_H_\n");
+  WriteFile("src/core/engine.cc",
+            "#include \"src/core/engine.h\"\n"
+            "namespace smfl::core { int RegisterOnly() { return 1; } }\n");
+  WriteFile("src/core/user.cc",
+            "#include \"src/la/vec.h\"\n"
+            "namespace smfl::core { la::VecThing MakeVec(); }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, GraphPassFillsModuleLevelDot) {
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "namespace smfl::la { struct VecThing { int n; }; }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  WriteFile("src/core/user.cc",
+            "#include \"src/la/vec.h\"\n"
+            "namespace smfl::core { la::VecThing MakeVec(); }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_NE(r.dot.find("digraph smfl_modules"), std::string::npos) << r.dot;
+  EXPECT_NE(r.dot.find("\"core\" -> \"la\";"), std::string::npos) << r.dot;
+  EXPECT_NE(r.dot.find("layer 1"), std::string::npos) << r.dot;   // la
+  EXPECT_NE(r.dot.find("layer 7"), std::string::npos) << r.dot;   // core
+}
+
+// --------------------------------------------------------------------------
+// R13: race (ParallelFor/ParallelReduce body analysis)
+
+TEST_F(LintTest, RaceSharedAccumulatorIsViolation) {
+  WriteFile("src/core/accum.cc",
+            "namespace smfl::core {\n"
+            "double SumAll(const la::Vector& v) {\n"
+            "  double sum = 0.0;\n"
+            "  parallel::ParallelFor(0, v.size(), 256,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    for (la::Index i = b; i < e; ++i) sum += v[i];\n"
+            "  });\n"
+            "  return sum;\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "race");
+  EXPECT_EQ(r.violations[0].line, 6);
+  EXPECT_NE(r.violations[0].message.find("'sum'"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, RaceInductionIndexedWriteIsSafe) {
+  WriteFile("src/core/map.cc",
+            "namespace smfl::core {\n"
+            "void Scale(const la::Vector& in, la::Vector& out) {\n"
+            "  parallel::ParallelFor(0, in.size(), 256,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    for (la::Index i = b; i < e; ++i) out[i] = in[i] * 2.0;\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, RaceParallelReduceLocalAccumulatorIsSafe) {
+  WriteFile("src/core/reduce.cc",
+            "namespace smfl::core {\n"
+            "double SumAll(const la::Vector& v) {\n"
+            "  return parallel::ParallelReduce(0, v.size(), 256,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    double acc = 0.0;\n"
+            "    for (la::Index i = b; i < e; ++i) acc += v[i];\n"
+            "    return acc;\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, RaceSuppressed) {
+  WriteFile("src/core/flag.cc",
+            "namespace smfl::core {\n"
+            "void Mark(la::Index n, la::Index& last) {\n"
+            "  parallel::ParallelFor(0, n, 1, [&](la::Index b, la::Index e) {\n"
+            "    // smfl-lint: allow(race) single chunk: grain covers n\n"
+            "    last = e;\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "race");
+}
+
+TEST_F(LintTest, RaceMutatingContainerCallIsViolation) {
+  WriteFile("src/core/collect.cc",
+            "namespace smfl::core {\n"
+            "void Collect(la::Index n, std::vector<la::Index>& results) {\n"
+            "  parallel::ParallelFor(0, n, 64,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    for (la::Index i = b; i < e; ++i) results.push_back(i);\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "race");
+  EXPECT_NE(r.violations[0].message.find("push_back"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, RaceRngAdvancementIsViolation) {
+  WriteFile("src/core/draw.cc",
+            "namespace smfl::core {\n"
+            "void Fill(la::Index n, Rng& rng, la::Vector& out) {\n"
+            "  parallel::ParallelFor(0, n, 64,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    for (la::Index i = b; i < e; ++i) out[i] = rng.Uniform();\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "race");
+  EXPECT_NE(r.violations[0].message.find("RNG"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, RaceTelemetryOutsideAllowlistIsViolation) {
+  WriteFile("src/core/instr.cc",
+            "namespace smfl::core {\n"
+            "void Count(la::Index n) {\n"
+            "  parallel::ParallelFor(0, n, 64,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    if (telemetry::Enabled()) {\n"
+            "      const int64_t t0 = telemetry::NowMicros(); (void)t0;\n"
+            "    }\n"
+            "    telemetry::CounterAdd(\"core.count\", e - b);\n"
+            "  });\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "race");
+  EXPECT_EQ(r.violations[0].line, 8);
+  EXPECT_NE(r.violations[0].message.find("CounterAdd"), std::string::npos)
+      << r.violations[0].message;
+}
+
+TEST_F(LintTest, RaceAtomicStateIsExempt) {
+  WriteFile("src/core/hits.cc",
+            "namespace smfl::core {\n"
+            "la::Index CountHits(const la::Vector& v) {\n"
+            "  std::atomic<la::Index> hits{0};\n"
+            "  parallel::ParallelFor(0, v.size(), 64,\n"
+            "      [&](la::Index b, la::Index e) {\n"
+            "    for (la::Index i = b; i < e; ++i) {\n"
+            "      if (v[i] > 0.5) hits += 1;\n"
+            "    }\n"
+            "  });\n"
+            "  return hits.load();\n"
+            "}\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+TEST_F(LintTest, RacePassIgnoresTestFilesAndParallelImpl) {
+  const std::string body =
+      "void F(la::Index n, double& sum) {\n"
+      "  parallel::ParallelFor(0, n, 1, [&](la::Index b, la::Index e) {\n"
+      "    sum += static_cast<double>(e - b);\n"
+      "  });\n"
+      "}\n";
+  WriteFile("src/common/parallel.cc", body);
+  WriteFile("src/core/f_test.cc", body);
+  LintOptions options;
+  options.race_pass = true;
+  const LintResult r = Run(options);
+  EXPECT_TRUE(r.violations.empty()) << ResultToJson(r);
+}
+
+// --------------------------------------------------------------------------
+// R4 regression: Status functions declared in included (unscanned) headers
+
+TEST_F(LintTest, DiscardStatusSeesFunctionsFromIncludedHeaders) {
+  // Only use.cc is scanned; the registry must still learn DoThing() from
+  // the included header via the include-closure harvest.
+  WriteFile("src/core/api.h",
+            "#ifndef SMFL_CORE_API_H_\n"
+            "#define SMFL_CORE_API_H_\n"
+            "namespace smfl::core {\n"
+            "Status DoThing();\n"
+            "}  // namespace smfl::core\n"
+            "#endif  // SMFL_CORE_API_H_\n");
+  WriteFile("src/core/use.cc",
+            "#include \"src/core/api.h\"\n"
+            "namespace smfl::core {\n"
+            "void Caller() { DoThing(); }\n"
+            "}  // namespace smfl::core\n");
+  LintOptions options;
+  options.roots = {"src/core/use.cc"};
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+  EXPECT_EQ(r.violations[0].rule, "discard-status");
+  EXPECT_EQ(r.violations[0].rel_path, "src/core/use.cc");
+  EXPECT_EQ(r.violations[0].line, 3);
+}
+
+// --------------------------------------------------------------------------
+// Baseline, SARIF, and --fix plumbing
+
+TEST_F(LintTest, BaselineMovesKnownFindingsOutOfViolations) {
+  WriteFile("src/la/norm.cc",
+            "bool IsZero(double x) { return x == 0.0; }\n");
+  const LintResult before = Run();
+  ASSERT_EQ(before.violations.size(), 1u);
+
+  WriteFile("lint-baseline.txt",
+            "# accepted findings\n" + BaselineKey(before.violations[0]) +
+                "\n");
+  LintOptions options;
+  options.baseline_path = (root_ / "lint-baseline.txt").string();
+  const LintResult after = Run(options);
+  EXPECT_TRUE(after.violations.empty()) << ResultToJson(after);
+  ASSERT_EQ(after.baselined.size(), 1u);
+  EXPECT_EQ(after.baselined[0].rule, "float-eq");
+  // Round-trip: the regenerated baseline keeps covering the finding.
+  EXPECT_NE(BaselineFromResult(after).find(BaselineKey(after.baselined[0])),
+            std::string::npos);
+}
+
+TEST_F(LintTest, SarifListsRulesAndResults) {
+  WriteFile("src/la/norm.cc",
+            "bool IsZero(double x) { return x == 0.0; }\n");
+  const LintResult r = Run();
+  const std::string sarif = ResultToSarif(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"smfl_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"float-eq\"}"), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"float-eq\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/la/norm.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST_F(LintTest, FixRemovesUnusedIncludeAndDryRunDoesNot) {
+  WriteFile("src/la/vec.h",
+            "#ifndef SMFL_LA_VEC_H_\n"
+            "#define SMFL_LA_VEC_H_\n"
+            "namespace smfl::la { struct VecThing { int n; }; }\n"
+            "#endif  // SMFL_LA_VEC_H_\n");
+  WriteFile("src/core/user.cc",
+            "#include \"src/la/vec.h\"\n"
+            "namespace smfl::core { int Unrelated() { return 1; } }\n");
+  LintOptions options;
+  options.graph_pass = true;
+  options.repo_root = root_.string();
+  const LintResult r = Run(options);
+  ASSERT_EQ(r.violations.size(), 1u) << ResultToJson(r);
+
+  std::string report;
+  std::string error;
+  int fixed = 0;
+  ASSERT_TRUE(ApplyUnusedIncludeFixes(options, r.violations, /*dry_run=*/true,
+                                      &report, &fixed, &error))
+      << error;
+  EXPECT_EQ(fixed, 1);
+  EXPECT_NE(report.find("--- src/core/user.cc:1"), std::string::npos)
+      << report;
+  EXPECT_NE(ReadFile("src/core/user.cc").find("#include"), std::string::npos)
+      << "dry run must not edit the file";
+
+  ASSERT_TRUE(ApplyUnusedIncludeFixes(options, r.violations,
+                                      /*dry_run=*/false, &report, &fixed,
+                                      &error))
+      << error;
+  EXPECT_EQ(fixed, 1);
+  EXPECT_EQ(ReadFile("src/core/user.cc").find("#include"), std::string::npos);
+  // The tree is clean after the fix.
+  const LintResult after = Run(options);
+  EXPECT_TRUE(after.violations.empty()) << ResultToJson(after);
+}
+
+TEST_F(LintTest, FixSkipsStaleFindingLines) {
+  WriteFile("src/core/user.cc",
+            "int not_an_include = 1;\n");
+  const std::vector<Diagnostic> stale = {
+      Diagnostic{"unused-include", "src/core/user.cc", 1, "stale"}};
+  LintOptions options;
+  options.repo_root = root_.string();
+  std::string report;
+  std::string error;
+  int fixed = 0;
+  ASSERT_TRUE(ApplyUnusedIncludeFixes(options, stale, /*dry_run=*/false,
+                                      &report, &fixed, &error))
+      << error;
+  EXPECT_EQ(fixed, 0);
+  EXPECT_EQ(ReadFile("src/core/user.cc"), "int not_an_include = 1;\n");
 }
 
 }  // namespace

@@ -5,28 +5,32 @@
 #                     (-Wall -Wextra -Wconversion -Wshadow promoted to errors)
 #   2. tier1-tests    the full ctest suite in that build tree
 #   3. smfl-lint      repo-contract static analysis (docs/static-analysis.md)
-#   4. crash-recovery the kill-mid-fit durability harness on its own line:
+#   4. lint-graph     the semantic passes: module-layering / include-graph
+#                     enforcement (--graph) and the R13 ParallelFor race
+#                     detector (--race), with SARIF written to the check
+#                     logs for CI upload (docs/static-analysis.md)
+#   5. crash-recovery the kill-mid-fit durability harness on its own line:
 #                     SIGKILLs real fits between checkpoint writes and
 #                     requires --resume to reach the bitwise-identical
 #                     model (docs/robustness.md)
-#   5. obs-scrape     end-to-end observability: runs a real `smfl fit
+#   6. obs-scrape     end-to-end observability: runs a real `smfl fit
 #                     --metrics-port=0`, scrapes /metrics, /healthz, and
 #                     /statusz over loopback with bash's /dev/tcp (no curl
 #                     dependency), and validates the Prometheus exposition
 #                     line grammar (docs/observability.md)
-#   6. bench          perf-regression gate (tools/run_bench.sh --gate):
+#   7. bench          perf-regression gate (tools/run_bench.sh --gate):
 #                     masked-reconstruct fusion and SIMD gemm speedups must
 #                     stay above the committed thresholds; a regression
 #                     fails the gate exactly like a lint finding would
-#   7. asan           tier-1 suite under AddressSanitizer (+ leak check)
-#   8. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
-#   9. tsan           threading-sensitive subset under ThreadSanitizer;
+#   8. asan           tier-1 suite under AddressSanitizer (+ leak check)
+#   9. ubsan          tier-1 suite under UndefinedBehaviorSanitizer
+#  10. tsan           threading-sensitive subset under ThreadSanitizer;
 #                     auto-skipped (and recorded as such) when the toolchain
 #                     lacks TSan support
 #
 # Every step's outcome lands in CHECKS.json ({"steps": [{name, status,
 # seconds, detail}...], "ok": bool}); the script exits nonzero if any step
-# fails. Skips are not failures. `--fast` runs only steps 1-5 (the bench
+# fails. Skips are not failures. `--fast` runs only steps 1-6 (the bench
 # gate wants an unloaded machine and the sanitizer suites are three extra
 # full builds).
 #
@@ -196,6 +200,10 @@ if [[ "${step_statuses[0]}" == pass ]]; then
   run_step smfl-lint "repo contracts clean (see $log_dir/smfl-lint.json)" \
     "$build_dir/tools/smfl_lint" --repo-root "$repo_root" \
     --json "$log_dir/smfl-lint.json" src
+  run_step lint-graph "module DAG + R13 race pass clean (SARIF: $log_dir/smfl-lint.sarif)" \
+    "$build_dir/tools/smfl_lint" --repo-root "$repo_root" --graph --race \
+    --sarif "$log_dir/smfl-lint.sarif" \
+    --json "$log_dir/smfl-lint-graph.json" src
   # Already part of tier1-tests, but durability regressions deserve their
   # own line in CHECKS.json: this is the harness that SIGKILLs real fits
   # and proves --resume is bitwise-identical.

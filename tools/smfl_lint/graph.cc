@@ -1,0 +1,335 @@
+#include "tools/smfl_lint/graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace smfl::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The declared module DAG. Lower rank = more fundamental; a module may
+// include only strictly lower ranks (or itself). impute and repair share
+// a layer; the one sanctioned same-layer edge is repair -> impute (the
+// repair degradation chains reuse the imputers).
+const std::map<std::string, int>& RankTable() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0}, {"la", 1},     {"data", 2}, {"spatial", 3},
+      {"cluster", 4}, {"nn", 5},    {"mf", 6},   {"core", 7},
+      {"impute", 8},  {"repair", 8}, {"obs", 9},  {"exp", 10},
+      {"apps", 10},   {"cli", 10},
+  };
+  return kRanks;
+}
+
+bool SameLayerEdgeSanctioned(const std::string& from_mod,
+                             const std::string& to_mod) {
+  return from_mod == "repair" && to_mod == "impute";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// "src/core/smfl.cc" -> "src/core/smfl." (dot kept so "smfl.h" matches
+// but "smfl_io.h" does not).
+std::string PathStem(const std::string& rel) {
+  const size_t dot = rel.find_last_of('.');
+  return dot == std::string::npos ? rel : rel.substr(0, dot + 1);
+}
+
+// Words (identifier-shaped runs) in a preprocessor directive body, so
+// macro usage inside #if/#define expansions counts as usage.
+void CollectWords(const std::string& text, std::set<std::string>* out) {
+  std::string word;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      word += c;
+    } else if (!word.empty()) {
+      out->insert(word);
+      word.clear();
+    }
+  }
+  if (!word.empty()) out->insert(word);
+}
+
+}  // namespace
+
+std::string ModuleOf(const std::string& rel_path) {
+  std::string rest = rel_path;
+  if (rest.rfind("src/", 0) == 0) {
+    rest = rest.substr(4);
+    const size_t slash = rest.find('/');
+    return slash == std::string::npos ? "" : rest.substr(0, slash);
+  }
+  const size_t slash = rest.find('/');
+  return slash == std::string::npos ? rest : rest.substr(0, slash);
+}
+
+int ModuleRank(const std::string& module) {
+  const auto it = RankTable().find(module);
+  return it == RankTable().end() ? -1 : it->second;
+}
+
+IncludeGraph BuildIncludeGraph(const std::vector<LexedFile>& files,
+                               const std::string& repo_root) {
+  IncludeGraph graph;
+  const fs::path root(repo_root);
+  for (const LexedFile& file : files) {
+    std::vector<IncludeEdge>& edges = graph.edges[file.rel_path];
+    for (const IncludeDirective& inc : ParseIncludes(file)) {
+      if (inc.angled) continue;  // system headers are external
+      std::error_code ec;
+      std::string resolved;
+      if (fs::is_regular_file(root / inc.path, ec)) {
+        resolved = fs::path(inc.path).lexically_normal().generic_string();
+      } else {
+        const fs::path sibling =
+            (fs::path(file.rel_path).parent_path() / inc.path)
+                .lexically_normal();
+        if (fs::is_regular_file(root / sibling, ec)) {
+          resolved = sibling.generic_string();
+        }
+      }
+      if (resolved.empty()) continue;  // external / not on disk
+      edges.push_back(IncludeEdge{file.rel_path, resolved, inc.line});
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// Depth-first cycle search over the file-level graph. Deterministic:
+// nodes are visited in sorted order and edges in directive order.
+void FindCycles(const IncludeGraph& graph,
+                std::map<std::string, std::vector<Diagnostic>>* raw) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, _] : graph.edges) color[node] = Color::kWhite;
+
+  // Explicit stack of (node, next edge index) plus the gray path.
+  std::vector<std::string> path;
+  std::set<std::string> reported;  // canonical cycle keys, dedup
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = Color::kGray;
+        path.push_back(node);
+        const auto it = graph.edges.find(node);
+        if (it != graph.edges.end()) {
+          for (const IncludeEdge& e : it->second) {
+            const auto cit = color.find(e.to);
+            if (cit == color.end()) continue;  // edge to an unscanned file
+            if (cit->second == Color::kGray) {
+              // Reconstruct the cycle from the gray path.
+              auto start = std::find(path.begin(), path.end(), e.to);
+              std::vector<std::string> cycle(start, path.end());
+              // Canonical key: rotate so the smallest element leads.
+              auto min_it = std::min_element(cycle.begin(), cycle.end());
+              std::vector<std::string> canon(min_it, cycle.end());
+              canon.insert(canon.end(), cycle.begin(), min_it);
+              std::string key;
+              for (const auto& n : canon) key += n + "|";
+              if (reported.insert(key).second) {
+                std::string msg = "include cycle: ";
+                for (const auto& n : cycle) msg += n + " -> ";
+                msg += e.to;
+                (*raw)[e.from].push_back(
+                    Diagnostic{"include-cycle", e.from, e.line, msg});
+              }
+            } else if (cit->second == Color::kWhite) {
+              visit(e.to);
+            }
+          }
+        }
+        path.pop_back();
+        color[node] = Color::kBlack;
+      };
+
+  for (const auto& [node, _] : graph.edges) {
+    if (color[node] == Color::kWhite) visit(node);
+  }
+}
+
+}  // namespace
+
+void CheckIncludeGraph(const IncludeGraph& graph,
+                       const std::map<std::string, const LexedFile*>&
+                           lexed_by_path,
+                       const std::string& repo_root,
+                       std::map<std::string, std::vector<Diagnostic>>* raw) {
+  // Symbol tables for included headers, lexed on demand when the header
+  // was not part of the scan roots.
+  std::map<std::string, std::set<std::string>> symbols;
+  std::map<std::string, LexedFile> extra_lexed;
+  auto symbols_of = [&](const std::string& rel) -> const std::set<std::string>& {
+    auto it = symbols.find(rel);
+    if (it != symbols.end()) return it->second;
+    const LexedFile* lexed = nullptr;
+    const auto lit = lexed_by_path.find(rel);
+    if (lit != lexed_by_path.end()) {
+      lexed = lit->second;
+    } else {
+      std::ifstream in(fs::path(repo_root) / rel, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      extra_lexed[rel] = Lex(rel, buf.str());
+      lexed = &extra_lexed[rel];
+    }
+    return symbols.emplace(rel, HarvestDeclaredSymbols(*lexed))
+        .first->second;
+  };
+
+  for (const auto& [from, edges] : graph.edges) {
+    const std::string from_mod = ModuleOf(from);
+    const int from_rank = ModuleRank(from_mod);
+    const bool from_in_src = from.rfind("src/", 0) == 0;
+
+    // The includer's used-identifier set (once per file).
+    std::set<std::string> used;
+    const auto lit = lexed_by_path.find(from);
+    if (lit != lexed_by_path.end()) {
+      for (const Token& t : lit->second->tokens) {
+        if (t.kind == Token::Kind::kIdent) {
+          used.insert(t.text);
+        } else if (t.kind == Token::Kind::kPreproc &&
+                   t.text.find("include") == std::string::npos) {
+          CollectWords(t.text, &used);
+        }
+      }
+    }
+    const std::string own_stem = PathStem(from);
+
+    for (const IncludeEdge& e : edges) {
+      // -- cc-include ------------------------------------------------------
+      if (EndsWith(e.to, ".cc") || EndsWith(e.to, ".cpp")) {
+        (*raw)[from].push_back(Diagnostic{
+            "cc-include", from, e.line,
+            "#include of implementation file '" + e.to +
+                "'; including a .cc compiles its definitions into every "
+                "includer (ODR violations, broken incremental builds) — "
+                "include the header and link the object instead"});
+        continue;
+      }
+
+      // -- layering --------------------------------------------------------
+      if (from_in_src) {
+        const std::string to_mod = ModuleOf(e.to);
+        const int to_rank = ModuleRank(to_mod);
+        if (e.to.rfind("src/", 0) != 0) {
+          (*raw)[from].push_back(Diagnostic{
+              "layering", from, e.line,
+              "src/ must not depend on '" + e.to +
+                  "': only src/ modules are part of the library layering "
+                  "(tools, tests, and bench depend on src, never the "
+                  "reverse)"});
+        } else if (from_rank < 0 || to_rank < 0) {
+          (*raw)[from].push_back(Diagnostic{
+              "layering", from, e.line,
+              "module '" + (from_rank < 0 ? from_mod : to_mod) +
+                  "' is not in the declared module DAG (common -> la -> "
+                  "data -> spatial -> cluster -> nn -> mf -> core -> "
+                  "impute/repair -> obs -> exp/apps/cli); add it to the "
+                  "rank table in tools/smfl_lint/graph.cc deliberately"});
+        } else if (from_mod != to_mod && to_rank >= from_rank &&
+                   !SameLayerEdgeSanctioned(from_mod, to_mod)) {
+          const bool back_edge = to_rank > from_rank;
+          (*raw)[from].push_back(Diagnostic{
+              "layering", from, e.line,
+              std::string(back_edge ? "layering back-edge: "
+                                    : "unsanctioned same-layer edge: ") +
+                  "src/" + from_mod + " (layer " +
+                  std::to_string(from_rank) + ") must not include '" +
+                  e.to + "' (src/" + to_mod + ", layer " +
+                  std::to_string(to_rank) +
+                  "); the declared DAG is common -> la -> data -> spatial "
+                  "-> cluster -> nn -> mf -> core -> impute/repair -> obs "
+                  "-> exp/apps/cli"});
+        }
+      }
+
+      // -- unused-include (IWYU-lite) --------------------------------------
+      if (PathStem(e.to) == own_stem) continue;  // a .cc's own header
+      const std::set<std::string>& provided = symbols_of(e.to);
+      if (provided.empty()) continue;  // umbrella header; cannot judge
+      bool is_used = false;
+      for (const std::string& sym : provided) {
+        if (used.count(sym)) {
+          is_used = true;
+          break;
+        }
+      }
+      if (!is_used) {
+        (*raw)[from].push_back(Diagnostic{
+            "unused-include", from, e.line,
+            "unused include: none of the " +
+                std::to_string(provided.size()) +
+                " symbols declared by '" + e.to +
+                "' appear in this file; drop the include (smfl_lint --fix "
+                "removes it) or justify with smfl-lint: "
+                "allow(unused-include)"});
+      }
+    }
+  }
+
+  FindCycles(graph, raw);
+}
+
+std::string GraphToDot(const IncludeGraph& graph) {
+  // Aggregate file edges to module edges, excluding self-edges and
+  // non-src endpoints.
+  std::set<std::pair<std::string, std::string>> mod_edges;
+  std::set<std::string> mods;
+  for (const auto& [from, edges] : graph.edges) {
+    if (from.rfind("src/", 0) != 0) continue;
+    const std::string fm = ModuleOf(from);
+    if (fm.empty()) continue;
+    mods.insert(fm);
+    for (const IncludeEdge& e : edges) {
+      if (e.to.rfind("src/", 0) != 0) continue;
+      const std::string tm = ModuleOf(e.to);
+      if (tm.empty() || tm == fm) continue;
+      mods.insert(tm);
+      mod_edges.insert({fm, tm});
+    }
+  }
+
+  std::ostringstream os;
+  os << "// Module include graph, generated by `smfl_lint --graph --dot`.\n"
+     << "// Arrows point at the dependency (includer -> included). Layer\n"
+     << "// ranks follow the declared DAG in tools/smfl_lint/graph.cc.\n"
+     << "digraph smfl_modules {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const std::string& m : mods) {
+    os << "  \"" << m << "\" [label=\"" << m << "\\nlayer "
+       << ModuleRank(m) << "\"];\n";
+  }
+  // Same-rank modules on the same row.
+  std::map<int, std::vector<std::string>> by_rank;
+  for (const std::string& m : mods) by_rank[ModuleRank(m)].push_back(m);
+  for (const auto& [rank, group] : by_rank) {
+    if (group.size() < 2) continue;
+    os << "  { rank=same;";
+    for (const std::string& m : group) os << " \"" << m << "\";";
+    os << " }\n";
+  }
+  for (const auto& [fm, tm] : mod_edges) {
+    os << "  \"" << fm << "\" -> \"" << tm << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace smfl::lint

@@ -1,0 +1,80 @@
+// Include-graph / module-layering pass for smfl_lint (enabled by
+// --graph). Builds the full project include graph of the scanned files
+// and enforces the declared module DAG
+//
+//   common -> la -> data -> spatial -> cluster -> nn -> mf -> core
+//          -> impute/repair -> obs -> exp/apps/cli
+//
+// (an arrow means "may be included by everything to its right"; impute
+// and repair share a layer, with the single sanctioned same-layer edge
+// repair -> impute for the degradation chains). Findings:
+//
+//   layering        an include edge against the DAG (a back-edge such as
+//                   src/la including src/core, or a same-layer edge that
+//                   is not sanctioned)
+//   include-cycle   a cycle in the file-level include graph
+//   cc-include      a #include of a .cc/.cpp file
+//   unused-include  IWYU-lite: a direct project include none of whose
+//                   harvested declared symbols (parse.h) appear in the
+//                   includer's token stream
+//
+// The graph can be exported as Graphviz DOT (module-level, one edge per
+// module pair) for docs/module-graph.dot.
+
+#ifndef SMFL_TOOLS_SMFL_LINT_GRAPH_H_
+#define SMFL_TOOLS_SMFL_LINT_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/smfl_lint/lint.h"
+#include "tools/smfl_lint/parse.h"
+
+namespace smfl::lint {
+
+struct IncludeEdge {
+  std::string from;  // includer rel path
+  std::string to;    // resolved included rel path (project files only)
+  int line;          // line of the #include in `from`
+};
+
+struct IncludeGraph {
+  // Direct project-include edges per scanned file, in directive order.
+  // External (<...> or unresolvable) includes are not represented.
+  std::map<std::string, std::vector<IncludeEdge>> edges;
+};
+
+// The module of a rel path: the path component after src/ ("src/core/x.h"
+// -> "core"). Paths outside src/ map to their first component ("tools").
+std::string ModuleOf(const std::string& rel_path);
+
+// The declared layer rank of a module, or -1 for unknown modules (which
+// the layering check reports). Lower ranks are more fundamental.
+int ModuleRank(const std::string& module);
+
+// Builds the graph from already-lexed files. A quoted include is resolved
+// against repo_root first, then against the includer's directory; files
+// that do not exist on disk are treated as external and skipped.
+IncludeGraph BuildIncludeGraph(const std::vector<LexedFile>& files,
+                               const std::string& repo_root);
+
+// Runs the layering, cycle, cc-include, and unused-include checks over
+// the graph, appending raw findings per file to `raw` (keyed by the
+// includer's rel path so the driver can apply that file's suppressions).
+// `lexed_by_path` must contain every scanned file; headers outside it are
+// lexed on demand from repo_root for symbol harvesting.
+void CheckIncludeGraph(const IncludeGraph& graph,
+                       const std::map<std::string, const LexedFile*>&
+                           lexed_by_path,
+                       const std::string& repo_root,
+                       std::map<std::string, std::vector<Diagnostic>>* raw);
+
+// Module-level DOT rendering of the graph, deterministic (sorted nodes
+// and edges), one edge per (from-module, to-module) pair, annotated with
+// the layer rank. Self-edges are omitted.
+std::string GraphToDot(const IncludeGraph& graph);
+
+}  // namespace smfl::lint
+
+#endif  // SMFL_TOOLS_SMFL_LINT_GRAPH_H_

@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "tools/smfl_lint/graph.h"
+#include "tools/smfl_lint/parse.h"
+#include "tools/smfl_lint/race.h"
 #include "tools/smfl_lint/rules.h"
 
 namespace smfl::lint {
@@ -22,7 +25,9 @@ namespace fs = std::filesystem;
 const std::set<std::string> kKnownRules = {
     "thread",   "nondet",   "unordered-iter", "discard-status",
     "float-eq", "raw-log",  "raw-file-write", "raw-simd",
-    "const-ref", "mask-scan", "raw-socket", "header-hygiene", "all",
+    "const-ref", "mask-scan", "raw-socket", "header-hygiene",
+    "layering", "include-cycle", "cc-include", "unused-include",
+    "race", "all",
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -97,6 +102,12 @@ bool RuleApplies(const std::string& rule, const std::string& rel,
     return !test && rel.size() >= 2 &&
            rel.compare(rel.size() - 2, 2, ".h") == 0;
   }
+  if (rule == "race") {
+    // The parallel layer's own implementation legitimately touches shared
+    // scheduler state; tests stress the contract deliberately.
+    return !test && StartsWith(rel, "src/") &&
+           !StartsWith(rel, "src/common/parallel.");
+  }
   return true;
 }
 
@@ -148,6 +159,50 @@ void AppendDiagJson(const Diagnostic& d, std::ostringstream* os) {
 bool IsCppSource(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+// Resolves a quoted include against the repo root, then the includer's
+// directory. Returns "" for externals (not on disk).
+std::string ResolveInclude(const std::string& repo_root,
+                           const std::string& includer_rel,
+                           const std::string& path) {
+  std::error_code ec;
+  const fs::path root(repo_root);
+  if (fs::is_regular_file(root / path, ec)) {
+    return fs::path(path).lexically_normal().generic_string();
+  }
+  const fs::path sibling =
+      (fs::path(includer_rel).parent_path() / path).lexically_normal();
+  if (fs::is_regular_file(root / sibling, ec)) {
+    return sibling.generic_string();
+  }
+  return "";
+}
+
+// Loads a baseline file: one `rule|path|message` key per line, blank lines
+// and '#' comments skipped. A missing file is an empty baseline.
+std::set<std::string> LoadBaseline(const std::string& path) {
+  std::set<std::string> keys;
+  if (path.empty()) return keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+// Routes one raw finding through suppression matching into *result.
+void EmitDiagnostic(const LexedFile& file, Diagnostic d, LintResult* result) {
+  if (FindSuppression(file, d.rule, d.line) != nullptr) {
+    result->suppressed.push_back(std::move(d));
+  } else {
+    result->violations.push_back(std::move(d));
+  }
 }
 
 }  // namespace
@@ -272,9 +327,84 @@ bool RunLint(const LintOptions& options, LintResult* result,
     HarvestStatusFunctions(lexed.back(), &registry);
   }
 
+  // Cross-file Status registry (R4): also harvest declarations from the
+  // transitive closure of included project headers, so a single-file scan
+  // still knows that a function declared in an included header returns
+  // Status/Result and catches its discarded calls.
+  std::set<std::string> visited;
+  std::vector<std::string> worklist;
+  for (const LexedFile& f : lexed) visited.insert(f.rel_path);
+  for (const LexedFile& f : lexed) {
+    for (const IncludeDirective& inc : ParseIncludes(f)) {
+      if (inc.angled) continue;
+      const std::string rel =
+          ResolveInclude(options.repo_root, f.rel_path, inc.path);
+      if (!rel.empty() && !visited.count(rel)) worklist.push_back(rel);
+    }
+  }
+  while (!worklist.empty()) {
+    const std::string rel = worklist.back();
+    worklist.pop_back();
+    if (!visited.insert(rel).second) continue;
+    std::ifstream in(fs::path(options.repo_root) / rel, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const LexedFile header = Lex(rel, buf.str());
+    HarvestStatusFunctions(header, &registry);
+    for (const IncludeDirective& inc : ParseIncludes(header)) {
+      if (inc.angled) continue;
+      const std::string next =
+          ResolveInclude(options.repo_root, rel, inc.path);
+      if (!next.empty() && !visited.count(next)) worklist.push_back(next);
+    }
+  }
+
   result->files_scanned = static_cast<int>(lexed.size());
   for (const LexedFile& file : lexed) {
     LintFile(file, registry, options, result);
+  }
+
+  if (options.graph_pass) {
+    std::map<std::string, const LexedFile*> by_path;
+    for (const LexedFile& f : lexed) by_path[f.rel_path] = &f;
+    const IncludeGraph graph = BuildIncludeGraph(lexed, options.repo_root);
+    std::map<std::string, std::vector<Diagnostic>> raw;
+    CheckIncludeGraph(graph, by_path, options.repo_root, &raw);
+    for (auto& [rel, diags] : raw) {
+      const auto it = by_path.find(rel);
+      for (Diagnostic& d : diags) {
+        if (it != by_path.end()) {
+          EmitDiagnostic(*it->second, std::move(d), result);
+        } else {
+          result->violations.push_back(std::move(d));
+        }
+      }
+    }
+    result->dot = GraphToDot(graph);
+  }
+
+  if (options.race_pass) {
+    for (const LexedFile& f : lexed) {
+      if (!RuleApplies("race", f.rel_path, options)) continue;
+      std::vector<Diagnostic> raw;
+      CheckParallelRaces(f, &raw);
+      for (Diagnostic& d : raw) EmitDiagnostic(f, std::move(d), result);
+    }
+  }
+
+  const std::set<std::string> baseline = LoadBaseline(options.baseline_path);
+  if (!baseline.empty()) {
+    std::vector<Diagnostic> keep;
+    keep.reserve(result->violations.size());
+    for (Diagnostic& d : result->violations) {
+      if (baseline.count(BaselineKey(d))) {
+        result->baselined.push_back(std::move(d));
+      } else {
+        keep.push_back(std::move(d));
+      }
+    }
+    result->violations = std::move(keep);
   }
   return true;
 }
@@ -290,6 +420,7 @@ std::string ResultToJson(const LintResult& result) {
   os << "{\n  \"files_scanned\": " << result.files_scanned
      << ",\n  \"violation_count\": " << result.violations.size()
      << ",\n  \"suppressed_count\": " << result.suppressed.size()
+     << ",\n  \"baselined_count\": " << result.baselined.size()
      << ",\n  \"violations\": [\n";
   for (size_t i = 0; i < result.violations.size(); ++i) {
     AppendDiagJson(result.violations[i], &os);
@@ -302,8 +433,125 @@ std::string ResultToJson(const LintResult& result) {
     if (i + 1 < result.suppressed.size()) os << ",";
     os << "\n";
   }
+  os << "  ],\n  \"baselined\": [\n";
+  for (size_t i = 0; i < result.baselined.size(); ++i) {
+    AppendDiagJson(result.baselined[i], &os);
+    if (i + 1 < result.baselined.size()) os << ",";
+    os << "\n";
+  }
   os << "  ]\n}\n";
   return os.str();
+}
+
+std::string ResultToSarif(const LintResult& result) {
+  // Rule metadata: one reportingDescriptor per distinct rule id seen.
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : result.violations) rule_ids.insert(d.rule);
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"smfl_lint\",\n"
+     << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+     << "          \"rules\": [\n";
+  size_t ri = 0;
+  for (const std::string& id : rule_ids) {
+    os << "            {\"id\": \"" << JsonEscape(id) << "\"}";
+    if (++ri < rule_ids.size()) os << ",";
+    os << "\n";
+  }
+  os << "          ]\n        }\n      },\n      \"results\": [\n";
+  for (size_t i = 0; i < result.violations.size(); ++i) {
+    const Diagnostic& d = result.violations[i];
+    os << "        {\"ruleId\": \"" << JsonEscape(d.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << JsonEscape(d.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": \""
+       << JsonEscape(d.rel_path) << "\"}, \"region\": {\"startLine\": "
+       << (d.line > 0 ? d.line : 1) << "}}}]}";
+    if (i + 1 < result.violations.size()) os << ",";
+    os << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+std::string BaselineKey(const Diagnostic& d) {
+  return d.rule + "|" + d.rel_path + "|" + d.message;
+}
+
+std::string BaselineFromResult(const LintResult& result) {
+  std::set<std::string> keys;
+  for (const Diagnostic& d : result.violations) keys.insert(BaselineKey(d));
+  for (const Diagnostic& d : result.baselined) keys.insert(BaselineKey(d));
+  std::ostringstream os;
+  os << "# smfl_lint baseline: accepted findings, one `rule|path|message`\n"
+     << "# key per line. Regenerate with `smfl_lint ... --write-baseline`.\n";
+  for (const std::string& k : keys) os << k << "\n";
+  return os.str();
+}
+
+bool ApplyUnusedIncludeFixes(const LintOptions& options,
+                             const std::vector<Diagnostic>& diags,
+                             bool dry_run, std::string* report,
+                             int* fixed_count, std::string* error) {
+  *fixed_count = 0;
+  report->clear();
+  // Line numbers to drop, per file, descending so removal indices stay
+  // valid while erasing.
+  std::map<std::string, std::set<int>> by_file;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "unused-include" && d.line > 0) {
+      by_file[d.rel_path].insert(d.line);
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& [rel, lines] : by_file) {
+    const fs::path abs = fs::path(options.repo_root) / rel;
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + abs.string();
+      return false;
+    }
+    std::vector<std::string> content;
+    std::string line;
+    while (std::getline(in, line)) content.push_back(line);
+    in.close();
+
+    std::vector<int> removed;
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+      const int ln = *it;
+      if (ln < 1 || static_cast<size_t>(ln) > content.size()) continue;
+      // Stale-finding guard: only ever delete an #include line.
+      if (content[static_cast<size_t>(ln - 1)].find("#include") ==
+          std::string::npos) {
+        continue;
+      }
+      out << "--- " << rel << ":" << ln << "\n-"
+          << content[static_cast<size_t>(ln - 1)] << "\n";
+      content.erase(content.begin() + (ln - 1));
+      removed.push_back(ln);
+    }
+    if (removed.empty()) continue;
+    *fixed_count += static_cast<int>(removed.size());
+
+    if (!dry_run) {
+      // smfl-lint: allow(raw-file-write) the fixer edits source in place
+      std::ofstream w(abs, std::ios::binary | std::ios::trunc);
+      if (!w) {
+        *error = "cannot write " + abs.string();
+        return false;
+      }
+      for (const std::string& l : content) w << l << "\n";
+    }
+  }
+  *report = out.str();
+  return true;
 }
 
 }  // namespace smfl::lint

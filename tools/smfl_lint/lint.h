@@ -47,6 +47,21 @@
 //                        -> SMFL_OBS_HTTP_SERVER_H_) as the first two
 //                        preprocessor directives.
 //
+// Two semantic passes ride on a lightweight parsing layer (parse.h):
+//
+//   --graph  module-layering pass (graph.h): rules `layering`,
+//            `include-cycle`, `cc-include`, `unused-include` over the
+//            project include graph; DOT export via LintResult::dot.
+//   --race   ParallelFor/ParallelReduce race & determinism detector
+//            (race.h): rule `race` (R13) — shared-state writes, container
+//            mutation, RNG advancement, and unallowlisted telemetry calls
+//            inside parallel bodies.
+//
+// Findings can be baselined (accepted-but-tracked) via a baseline file of
+// `rule|path|message` keys; baselined findings do not fail the run but are
+// reported separately. `unused-include` findings are mechanically fixable
+// (ApplyUnusedIncludeFixes / smfl_lint --fix).
+//
 // Any finding can be suppressed inline with a justified comment on the same
 // line or the line above:
 //
@@ -116,7 +131,11 @@ struct Diagnostic {
 struct LintResult {
   std::vector<Diagnostic> violations;  // unsuppressed findings
   std::vector<Diagnostic> suppressed;  // findings silenced by a suppression
+  std::vector<Diagnostic> baselined;   // findings accepted by the baseline
   int files_scanned = 0;
+  // Module-level Graphviz rendering of the include graph; filled only when
+  // LintOptions::graph_pass is set.
+  std::string dot;
 };
 
 // ---------------------------------------------------------------------------
@@ -129,6 +148,13 @@ struct LintOptions {
   std::vector<std::string> roots = {"src"};
   // Extra rel-path prefixes exempt from float-eq, beyond test files.
   std::vector<std::string> float_eq_allowlist;
+  // Semantic passes (see the header comment).
+  bool graph_pass = false;  // layering / cycles / cc-include / unused-include
+  bool race_pass = false;   // R13 parallel-body race detector
+  // Baseline file of accepted `rule|path|message` keys; findings matching
+  // an entry land in LintResult::baselined instead of violations. Empty or
+  // missing file = empty baseline.
+  std::string baseline_path;
 };
 
 // Names of functions returning Status/Result<T>, harvested from the scanned
@@ -153,8 +179,38 @@ bool RunLint(const LintOptions& options, LintResult* result,
 // Formats one diagnostic as "path:line: [rule] message".
 std::string FormatDiagnostic(const Diagnostic& d);
 
-// Machine-readable summary of a run (violations, suppressed, files_scanned).
+// Machine-readable summary of a run (violations, suppressed, baselined,
+// files_scanned).
 std::string ResultToJson(const LintResult& result);
+
+// SARIF 2.1.0 rendering of the run's violations (baselined and suppressed
+// findings are excluded), suitable for CI upload / PR annotation.
+std::string ResultToSarif(const LintResult& result);
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+// The line-stable identity of a finding: "rule|path|message" (no line
+// number, so baselines survive unrelated edits above a finding).
+std::string BaselineKey(const Diagnostic& d);
+
+// One key per line, sorted and deduplicated, covering the run's current
+// violations and already-baselined findings. '#' comments allowed on read.
+std::string BaselineFromResult(const LintResult& result);
+
+// ---------------------------------------------------------------------------
+// Fixes
+
+// Mechanically removes the #include lines of `unused-include` findings in
+// `diags` from the files under options.repo_root. In dry-run mode no file
+// is touched; *report receives a diff-style preview either way and
+// *fixed_count the number of removed lines. A target line that no longer
+// holds an #include (stale finding) is skipped, not mangled. Returns false
+// and fills *error on I/O failure.
+bool ApplyUnusedIncludeFixes(const LintOptions& options,
+                             const std::vector<Diagnostic>& diags,
+                             bool dry_run, std::string* report,
+                             int* fixed_count, std::string* error);
 
 }  // namespace smfl::lint
 

@@ -1,12 +1,25 @@
 // smfl_lint CLI. Scans the repo source tree for contract violations and
 // exits nonzero when any are found. See docs/static-analysis.md.
 //
-//   smfl_lint [--repo-root DIR] [--json FILE] [PATH...]
+//   smfl_lint [--repo-root DIR] [--json FILE] [--graph] [--race]
+//             [--dot FILE] [--sarif FILE] [--baseline FILE]
+//             [--write-baseline] [--fix] [--dry-run] [PATH...]
 //
-//   --repo-root DIR  repo root used for rule scoping (default: cwd)
-//   --json FILE      also write a machine-readable summary to FILE
-//   PATH...          directories/files to scan, relative to the repo root
-//                    (default: src)
+//   --repo-root DIR   repo root used for rule scoping (default: cwd)
+//   --json FILE       also write a machine-readable summary to FILE
+//   --graph           run the module-layering / include-graph pass
+//                     (layering, include-cycle, cc-include, unused-include)
+//   --race            run the R13 ParallelFor race/determinism detector
+//   --dot FILE        write the module include graph as Graphviz DOT
+//                     (requires --graph)
+//   --sarif FILE      write violations as SARIF 2.1.0 for CI annotation
+//   --baseline FILE   accepted findings (rule|path|message keys); matches
+//                     are reported but do not fail the run
+//   --write-baseline  rewrite the --baseline file from this run's findings
+//   --fix             remove the #include lines of unused-include findings
+//   --dry-run         with --fix: print the would-be removals, touch nothing
+//   PATH...           directories/files to scan, relative to the repo root
+//                     (default: src)
 
 #include <fstream>
 #include <iostream>
@@ -18,17 +31,39 @@
 namespace {
 
 int Usage() {
-  std::cout << "usage: smfl_lint [--repo-root DIR] [--json FILE] [PATH...]\n"
-               "Checks repo contracts (see docs/static-analysis.md):\n"
-               "  thread          parallelism only via src/common/parallel.*\n"
-               "  nondet          no rand()/random_device/time()/system_clock\n"
-               "  unordered-iter  no hash-order iteration in la/core/mf\n"
-               "  discard-status  Status/Result results must be consumed\n"
-               "  float-eq        no ==/!= against float literals\n"
-               "  raw-log         no std::cerr outside logging.cc\n"
-               "  raw-file-write  file writes only via WriteFileDurable\n"
-               "Suppress inline: // smfl-lint: allow(<rule>) <reason>\n";
+  std::cout
+      << "usage: smfl_lint [--repo-root DIR] [--json FILE] [--graph] "
+         "[--race]\n"
+         "                 [--dot FILE] [--sarif FILE] [--baseline FILE]\n"
+         "                 [--write-baseline] [--fix] [--dry-run] "
+         "[PATH...]\n"
+         "Checks repo contracts (see docs/static-analysis.md):\n"
+         "  thread          parallelism only via src/common/parallel.*\n"
+         "  nondet          no rand()/random_device/time()/system_clock\n"
+         "  unordered-iter  no hash-order iteration in la/core/mf\n"
+         "  discard-status  Status/Result results must be consumed\n"
+         "  float-eq        no ==/!= against float literals\n"
+         "  raw-log         no std::cerr outside logging.cc\n"
+         "  raw-file-write  file writes only via WriteFileDurable\n"
+         "With --graph: layering, include-cycle, cc-include, "
+         "unused-include\n"
+         "With --race:  race (R13) — shared writes / RNG / telemetry "
+         "inside\n"
+         "              ParallelFor-ParallelReduce bodies\n"
+         "Suppress inline: // smfl-lint: allow(<rule>) <reason>\n";
   return 2;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   const char* what) {
+  // smfl-lint: allow(raw-file-write) lint cannot depend on what it checks
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cout << "smfl_lint: cannot write " << what << " " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace
@@ -37,6 +72,11 @@ int main(int argc, char** argv) {
   smfl::lint::LintOptions options;
   options.roots.clear();
   std::string json_path;
+  std::string dot_path;
+  std::string sarif_path;
+  bool write_baseline = false;
+  bool fix = false;
+  bool dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,6 +84,22 @@ int main(int argc, char** argv) {
       options.repo_root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--graph") {
+      options.graph_pass = true;
+    } else if (arg == "--race") {
+      options.race_pass = true;
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      options.baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -55,6 +111,18 @@ int main(int argc, char** argv) {
     }
   }
   if (options.roots.empty()) options.roots = {"src"};
+  if (!dot_path.empty() && !options.graph_pass) {
+    std::cout << "smfl_lint: --dot requires --graph\n";
+    return 2;
+  }
+  if (write_baseline && options.baseline_path.empty()) {
+    std::cout << "smfl_lint: --write-baseline requires --baseline FILE\n";
+    return 2;
+  }
+  if (dry_run && !fix) {
+    std::cout << "smfl_lint: --dry-run requires --fix\n";
+    return 2;
+  }
 
   smfl::lint::LintResult result;
   std::string error;
@@ -68,16 +136,56 @@ int main(int argc, char** argv) {
   }
   std::cout << "smfl_lint: " << result.files_scanned << " files, "
             << result.violations.size() << " violation(s), "
-            << result.suppressed.size() << " suppressed\n";
+            << result.suppressed.size() << " suppressed, "
+            << result.baselined.size() << " baselined\n";
 
-  if (!json_path.empty()) {
-    // smfl-lint: allow(raw-file-write) lint cannot depend on what it checks
-    std::ofstream out(json_path);
-    if (!out) {
-      std::cout << "smfl_lint: cannot write " << json_path << "\n";
+  if (!json_path.empty() &&
+      !WriteTextFile(json_path, smfl::lint::ResultToJson(result), "json")) {
+    return 2;
+  }
+  if (!sarif_path.empty() &&
+      !WriteTextFile(sarif_path, smfl::lint::ResultToSarif(result),
+                     "sarif")) {
+    return 2;
+  }
+  if (!dot_path.empty() &&
+      !WriteTextFile(dot_path, result.dot, "dot")) {
+    return 2;
+  }
+  if (write_baseline) {
+    if (!WriteTextFile(options.baseline_path,
+                       smfl::lint::BaselineFromResult(result), "baseline")) {
       return 2;
     }
-    out << smfl::lint::ResultToJson(result);
+    std::cout << "smfl_lint: baseline written to " << options.baseline_path
+              << " (" << result.violations.size() + result.baselined.size()
+              << " finding(s))\n";
+    return 0;
   }
+
+  if (fix) {
+    std::vector<smfl::lint::Diagnostic> fixable = result.violations;
+    fixable.insert(fixable.end(), result.baselined.begin(),
+                   result.baselined.end());
+    std::string report;
+    int fixed = 0;
+    if (!smfl::lint::ApplyUnusedIncludeFixes(options, fixable, dry_run,
+                                             &report, &fixed, &error)) {
+      std::cout << "smfl_lint: " << error << "\n";
+      return 2;
+    }
+    if (!report.empty()) std::cout << report;
+    std::cout << "smfl_lint: " << (dry_run ? "would remove " : "removed ")
+              << fixed << " unused include(s)\n";
+    if (!dry_run) {
+      // Exit status reflects what remains after the mechanical fixes.
+      int remaining = 0;
+      for (const auto& d : result.violations) {
+        if (d.rule != "unused-include") ++remaining;
+      }
+      return remaining == 0 ? 0 : 1;
+    }
+  }
+
   return result.violations.empty() ? 0 : 1;
 }

@@ -1,0 +1,502 @@
+#include "tools/smfl_lint/parse.h"
+
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace smfl::lint {
+
+namespace {
+
+using Kind = Token::Kind;
+
+// Keywords that can never be declared names or type heads we harvest.
+bool IsCppKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",      "bool",      "break",
+      "case",      "catch",    "char",      "class",     "const",
+      "constexpr", "consteval","constinit", "continue",  "decltype",
+      "default",   "delete",   "do",        "double",    "else",
+      "enum",      "explicit", "export",    "extern",    "false",
+      "final",     "float",    "for",       "friend",    "goto",
+      "if",        "inline",   "int",       "long",      "mutable",
+      "namespace", "new",      "noexcept",  "nullptr",   "operator",
+      "override",  "private",  "protected", "public",    "register",
+      "requires",  "return",   "short",     "signed",    "sizeof",
+      "static",    "struct",   "switch",    "template",  "this",
+      "throw",     "true",     "try",       "typedef",   "typeid",
+      "typename",  "union",    "unsigned",  "using",     "virtual",
+      "void",      "volatile", "while",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+// First word of a preprocessor directive ("include", "define", ...).
+// The directive token text keeps the leading '#'.
+std::string DirectiveKeyword(const std::string& text, size_t* after) {
+  size_t p = 1;  // skip '#'
+  while (p < text.size() &&
+         (text[p] == ' ' || text[p] == '\t')) {
+    ++p;
+  }
+  size_t start = p;
+  while (p < text.size() && text[p] != ' ' && text[p] != '\t' &&
+         text[p] != '<' && text[p] != '"') {
+    ++p;
+  }
+  if (after != nullptr) *after = p;
+  return text.substr(start, p - start);
+}
+
+}  // namespace
+
+bool TokIs(const Token& t, Kind kind, const char* text) {
+  return t.kind == kind && t.text == text;
+}
+bool TokIsIdent(const Token& t, const char* text) {
+  return TokIs(t, Kind::kIdent, text);
+}
+bool TokIsPunct(const Token& t, const char* text) {
+  return TokIs(t, Kind::kPunct, text);
+}
+
+size_t SkipTemplateArgList(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (TokIsPunct(toks[i], "<")) {
+      ++depth;
+    } else if (TokIsPunct(toks[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (TokIsPunct(toks[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (TokIsPunct(toks[i], ";")) {
+      return toks.size();
+    }
+  }
+  return toks.size();
+}
+
+namespace {
+
+size_t MatchingDelim(const std::vector<Token>& toks, size_t i,
+                     const char* open, const char* close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (TokIsPunct(toks[i], open)) {
+      ++depth;
+    } else if (TokIsPunct(toks[i], close)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+size_t MatchingParen(const std::vector<Token>& toks, size_t i) {
+  return MatchingDelim(toks, i, "(", ")");
+}
+size_t MatchingBrace(const std::vector<Token>& toks, size_t i) {
+  return MatchingDelim(toks, i, "{", "}");
+}
+size_t MatchingBracket(const std::vector<Token>& toks, size_t i) {
+  return MatchingDelim(toks, i, "[", "]");
+}
+
+// ---------------------------------------------------------------------------
+// Includes
+
+std::vector<IncludeDirective> ParseIncludes(const LexedFile& file) {
+  std::vector<IncludeDirective> out;
+  for (const Token& t : file.tokens) {
+    if (t.kind != Kind::kPreproc) continue;
+    size_t after = 0;
+    if (DirectiveKeyword(t.text, &after) != "include") continue;
+    size_t p = after;
+    while (p < t.text.size() && (t.text[p] == ' ' || t.text[p] == '\t')) ++p;
+    if (p >= t.text.size()) continue;
+    const char open = t.text[p];
+    if (open != '"' && open != '<') continue;  // computed include; skip
+    const char close = open == '<' ? '>' : '"';
+    const size_t end = t.text.find(close, p + 1);
+    if (end == std::string::npos) continue;
+    out.push_back(IncludeDirective{t.text.substr(p + 1, end - p - 1),
+                                   open == '<', t.line});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Declared-symbol harvesting
+
+namespace {
+
+// Scope kinds for the brace tracker. "Transparent" scopes (namespaces,
+// extern "C" blocks) keep us at harvesting depth; type scopes harvest
+// nested type names and enumerators; everything else (function bodies,
+// initializer lists) is opaque.
+enum class ScopeKind { kNamespace, kType, kEnum, kOpaque };
+
+}  // namespace
+
+std::set<std::string> HarvestDeclaredSymbols(const LexedFile& file) {
+  std::set<std::string> out;
+  const auto& toks = file.tokens;
+  std::vector<ScopeKind> scopes;
+
+  auto at_harvest_depth = [&]() {
+    for (ScopeKind k : scopes) {
+      if (k == ScopeKind::kOpaque) return false;
+    }
+    return true;
+  };
+  auto in_enum = [&]() {
+    return !scopes.empty() && scopes.back() == ScopeKind::kEnum;
+  };
+  auto add = [&](const std::string& name) {
+    if (name.empty() || IsCppKeyword(name)) return;
+    // Include-guard macros are structural, not part of the header's API.
+    if (name.size() >= 3 &&
+        name.compare(name.size() - 3, 3, "_H_") == 0) {
+      return;
+    }
+    out.insert(name);
+  };
+
+  // Kind of the next '{': decided by the tokens since the last statement
+  // boundary. Updated as we walk.
+  size_t stmt_start = 0;  // token index where the current "statement" began
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    if (t.kind == Kind::kPreproc) {
+      size_t after = 0;
+      if (DirectiveKeyword(t.text, &after) == "define") {
+        size_t p = after;
+        while (p < t.text.size() && (t.text[p] == ' ' || t.text[p] == '\t')) {
+          ++p;
+        }
+        size_t start = p;
+        while (p < t.text.size() &&
+               (std::isalnum(static_cast<unsigned char>(t.text[p])) ||
+                t.text[p] == '_')) {
+          ++p;
+        }
+        add(t.text.substr(start, p - start));
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+
+    if (TokIsPunct(t, "{")) {
+      // Classify this scope from the statement tokens before it.
+      ScopeKind kind = ScopeKind::kOpaque;
+      bool saw_paren = false;
+      bool saw_assign = false;
+      for (size_t j = stmt_start; j < i; ++j) {
+        if (TokIsPunct(toks[j], "(")) saw_paren = true;
+        if (TokIsPunct(toks[j], "=")) saw_assign = true;
+      }
+      for (size_t j = stmt_start; j < i; ++j) {
+        if (toks[j].kind != Kind::kIdent) continue;
+        if (toks[j].text == "namespace") {
+          kind = ScopeKind::kNamespace;
+          break;
+        }
+        if (toks[j].text == "enum") {
+          kind = ScopeKind::kEnum;
+          break;
+        }
+        if ((toks[j].text == "class" || toks[j].text == "struct" ||
+             toks[j].text == "union") &&
+            !saw_paren && !saw_assign) {
+          kind = ScopeKind::kType;
+          break;
+        }
+        if (toks[j].text == "extern") {
+          kind = ScopeKind::kNamespace;  // extern "C" { ... }
+          break;
+        }
+      }
+      scopes.push_back(kind);
+      stmt_start = i + 1;
+      continue;
+    }
+    if (TokIsPunct(t, "}")) {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_start = i + 1;
+      continue;
+    }
+    if (TokIsPunct(t, ";")) {
+      stmt_start = i + 1;
+      continue;
+    }
+
+    if (t.kind != Kind::kIdent) continue;
+
+    // Type names: `class X` / `struct X` / `union X` / `enum [class] X`,
+    // at any depth (nested types are part of the API via Outer::Inner).
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      size_t j = i + 1;
+      if (j < toks.size() && t.text == "enum" &&
+          (TokIsIdent(toks[j], "class") || TokIsIdent(toks[j], "struct"))) {
+        ++j;
+      }
+      // Skip attributes: [[nodiscard]] etc.
+      while (j + 1 < toks.size() && TokIsPunct(toks[j], "[") &&
+             TokIsPunct(toks[j + 1], "[")) {
+        j = MatchingBracket(toks, j);
+        if (j >= toks.size()) break;
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == Kind::kIdent &&
+          !IsCppKeyword(toks[j].text)) {
+        add(toks[j].text);
+      }
+      continue;
+    }
+
+    // `using X = ...` and `typedef ... X;`
+    if (t.text == "using" && i + 2 < toks.size() &&
+        toks[i + 1].kind == Kind::kIdent && TokIsPunct(toks[i + 2], "=")) {
+      add(toks[i + 1].text);
+      continue;
+    }
+    if (t.text == "typedef") {
+      // The declared name is the identifier right before the ';'.
+      size_t j = i + 1;
+      size_t last_ident = 0;
+      bool found = false;
+      for (; j < toks.size() && !TokIsPunct(toks[j], ";"); ++j) {
+        if (toks[j].kind == Kind::kIdent && !IsCppKeyword(toks[j].text)) {
+          last_ident = j;
+          found = true;
+        }
+      }
+      if (found) add(toks[last_ident].text);
+      i = j;
+      stmt_start = j + 1;
+      continue;
+    }
+
+    if (!at_harvest_depth()) continue;
+
+    // Enumerators: inside an enum scope, any identifier followed by ','
+    // '}' or '=' is a value name.
+    if (in_enum()) {
+      if (i + 1 < toks.size() &&
+          (TokIsPunct(toks[i + 1], ",") || TokIsPunct(toks[i + 1], "}") ||
+           TokIsPunct(toks[i + 1], "="))) {
+        add(t.text);
+      }
+      continue;
+    }
+
+    // Only harvest free functions/variables at namespace depth, not
+    // class-member names (see header comment).
+    bool only_transparent = true;
+    for (ScopeKind k : scopes) {
+      if (k != ScopeKind::kNamespace) {
+        only_transparent = false;
+        break;
+      }
+    }
+    if (!only_transparent) continue;
+
+    if (IsCppKeyword(t.text)) continue;
+    if (i + 1 >= toks.size()) continue;
+
+    // Function (or function-style macro invocation that declares, e.g.
+    // factory wrappers): `Name(` where the previous token is type-ish.
+    if (TokIsPunct(toks[i + 1], "(")) {
+      if (i == 0) continue;
+      const Token& prev = toks[i - 1];
+      // ">>" closes two template levels in one token
+      // (Result<std::unique_ptr<T>> Name).
+      const bool typeish_before =
+          prev.kind == Kind::kIdent || TokIsPunct(prev, "&") ||
+          TokIsPunct(prev, "*") || TokIsPunct(prev, ">") ||
+          TokIsPunct(prev, ">>");
+      if (typeish_before && !TokIsIdent(prev, "return") &&
+          !TokIsIdent(prev, "new")) {
+        add(t.text);
+      }
+      continue;
+    }
+
+    // Namespace-scope variable/constant: `... Name = ...;` or
+    // `... Name;` or `... Name[...]` where the previous token closes a
+    // type (identifier, '>', '&', '*').
+    if (TokIsPunct(toks[i + 1], "=") || TokIsPunct(toks[i + 1], ";") ||
+        TokIsPunct(toks[i + 1], "[")) {
+      if (i == 0) continue;
+      const Token& prev = toks[i - 1];
+      // Builtin type keywords legitimately precede a variable name
+      // (`inline constexpr double kDivEps = ...`); other keywords
+      // (`return x;`, `case x:`) do not.
+      static const std::set<std::string> kTypeKeywords = {
+          "auto", "bool",  "char",  "char8_t",  "char16_t", "char32_t",
+          "double", "float", "int", "long", "short", "signed", "unsigned",
+          "wchar_t"};
+      const bool typeish_before =
+          (prev.kind == Kind::kIdent &&
+           (!IsCppKeyword(prev.text) || kTypeKeywords.count(prev.text))) ||
+          TokIsPunct(prev, "&") || TokIsPunct(prev, "*") ||
+          TokIsPunct(prev, ">") || TokIsPunct(prev, ">>");
+      if (typeish_before && !TokIsIdent(prev, "return")) {
+        add(t.text);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lambda parsing
+
+bool ParseLambda(const std::vector<Token>& toks, size_t open_bracket,
+                 LambdaInfo* out) {
+  if (open_bracket >= toks.size() ||
+      !TokIsPunct(toks[open_bracket], "[")) {
+    return false;
+  }
+  // A subscript has a postfix expression before it: ident, ')', ']', or a
+  // string/number. `[[` is an attribute.
+  if (open_bracket > 0) {
+    const Token& prev = toks[open_bracket - 1];
+    if (prev.kind == Kind::kIdent && !IsCppKeyword(prev.text)) return false;
+    if (prev.kind == Kind::kNumber || prev.kind == Kind::kString) {
+      return false;
+    }
+    if (TokIsPunct(prev, ")") || TokIsPunct(prev, "]")) return false;
+  }
+  if (open_bracket + 1 < toks.size() &&
+      TokIsPunct(toks[open_bracket + 1], "[")) {
+    return false;  // [[attribute]]
+  }
+
+  const size_t close = MatchingBracket(toks, open_bracket);
+  if (close >= toks.size()) return false;
+
+  *out = LambdaInfo{};
+  out->line = toks[open_bracket].line;
+
+  // Split the capture list on top-level commas.
+  size_t entry_start = open_bracket + 1;
+  int depth = 0;
+  for (size_t i = open_bracket + 1; i <= close; ++i) {
+    const bool at_end = i == close;
+    if (!at_end) {
+      if (TokIsPunct(toks[i], "(") || TokIsPunct(toks[i], "[") ||
+          TokIsPunct(toks[i], "{") || TokIsPunct(toks[i], "<")) {
+        ++depth;
+        continue;
+      }
+      if (TokIsPunct(toks[i], ")") || TokIsPunct(toks[i], "]") ||
+          TokIsPunct(toks[i], "}") || TokIsPunct(toks[i], ">")) {
+        --depth;
+        continue;
+      }
+    }
+    if (!at_end && !(depth == 0 && TokIsPunct(toks[i], ","))) continue;
+
+    // Entry tokens: [entry_start, i).
+    if (i > entry_start) {
+      LambdaCapture cap{};
+      size_t j = entry_start;
+      if (TokIsPunct(toks[j], "&")) {
+        cap.by_ref = true;
+        ++j;
+      } else if (TokIsPunct(toks[j], "=")) {
+        cap.is_default = true;
+        out->default_by_value = true;
+        out->captures.push_back(cap);
+        entry_start = i + 1;
+        continue;
+      } else if (TokIsPunct(toks[j], "*") && j + 1 < toks.size() &&
+                 TokIsIdent(toks[j + 1], "this")) {
+        cap.is_this = true;
+        cap.name = "this";
+        out->captures.push_back(cap);
+        entry_start = i + 1;
+        continue;
+      }
+      if (j >= i) {
+        // Bare '&' default capture.
+        if (cap.by_ref) {
+          cap.is_default = true;
+          out->default_by_ref = true;
+          out->captures.push_back(cap);
+        }
+      } else if (TokIsIdent(toks[j], "this")) {
+        cap.is_this = true;
+        cap.name = "this";
+        out->captures.push_back(cap);
+      } else if (toks[j].kind == Kind::kIdent) {
+        cap.name = toks[j].text;
+        out->captures.push_back(cap);
+        // Init-captures (`x = expr`) and plain names both bind the NAME
+        // inside the body; by_ref tracks how the outer state is reached.
+        if (cap.by_ref) {
+          out->by_ref_names.insert(cap.name);
+        } else {
+          out->by_value_names.insert(cap.name);
+        }
+      }
+    }
+    entry_start = i + 1;
+  }
+
+  // Optional parameter list.
+  size_t i = close + 1;
+  if (i < toks.size() && TokIsPunct(toks[i], "(")) {
+    const size_t params_close = MatchingParen(toks, i);
+    if (params_close >= toks.size()) return false;
+    // Each parameter's name is the last identifier before a top-level ','
+    // or the ')' (skipping over nested template/paren groups).
+    int d = 0;
+    std::string last_ident;
+    for (size_t j = i + 1; j <= params_close; ++j) {
+      if (j < params_close) {
+        if (TokIsPunct(toks[j], "(") || TokIsPunct(toks[j], "<") ||
+            TokIsPunct(toks[j], "[")) {
+          ++d;
+          continue;
+        }
+        if (TokIsPunct(toks[j], ")") || TokIsPunct(toks[j], ">") ||
+            TokIsPunct(toks[j], "]")) {
+          --d;
+          continue;
+        }
+      }
+      if (d == 0 && toks[j].kind == Kind::kIdent &&
+          !IsCppKeyword(toks[j].text)) {
+        last_ident = toks[j].text;
+      }
+      if (j == params_close || (d == 0 && TokIsPunct(toks[j], ","))) {
+        if (!last_ident.empty()) out->params.push_back(last_ident);
+        last_ident.clear();
+      }
+    }
+    i = params_close + 1;
+  }
+
+  // Skip mutable / noexcept / -> return-type up to the body brace.
+  while (i < toks.size() && !TokIsPunct(toks[i], "{")) {
+    if (TokIsPunct(toks[i], ";") || TokIsPunct(toks[i], ")")) return false;
+    ++i;
+  }
+  if (i >= toks.size()) return false;
+  const size_t body_close = MatchingBrace(toks, i);
+  if (body_close >= toks.size()) return false;
+  out->body_begin = i + 1;
+  out->body_end = body_close;
+  return true;
+}
+
+}  // namespace smfl::lint

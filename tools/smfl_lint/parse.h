@@ -1,0 +1,101 @@
+// Lightweight semantic parsing layer for smfl_lint, shared by the
+// include-graph pass (graph.h) and the ParallelFor race detector (race.h).
+// Still zero third-party deps and no real C++ frontend: everything here
+// works on the token stream produced by lexer.cc, plus just enough
+// structure — include-directive extraction, brace/scope tracking, and
+// lambda-capture parsing — for the passes to reason about layering and
+// parallel-body writes. The blind spots this buys are documented in
+// docs/static-analysis.md ("What the checker is (and is not)").
+
+#ifndef SMFL_TOOLS_SMFL_LINT_PARSE_H_
+#define SMFL_TOOLS_SMFL_LINT_PARSE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/smfl_lint/lint.h"
+
+namespace smfl::lint {
+
+// ---------------------------------------------------------------------------
+// Token-walking helpers (shared with rules.cc).
+
+bool TokIs(const Token& t, Token::Kind kind, const char* text);
+bool TokIsIdent(const Token& t, const char* text);
+bool TokIsPunct(const Token& t, const char* text);
+
+// Advances past a balanced template argument list; tokens[i] must be "<".
+// Returns the index one past the matching ">", or tokens.size() when
+// unbalanced. ">>" closes two levels; a ";" aborts.
+size_t SkipTemplateArgList(const std::vector<Token>& toks, size_t i);
+
+// Returns the index of the ")" matching the "(" at i, or tokens.size().
+size_t MatchingParen(const std::vector<Token>& toks, size_t i);
+
+// Returns the index of the "}" matching the "{" at i, or tokens.size().
+size_t MatchingBrace(const std::vector<Token>& toks, size_t i);
+
+// Returns the index of the "]" matching the "[" at i, or tokens.size().
+size_t MatchingBracket(const std::vector<Token>& toks, size_t i);
+
+// ---------------------------------------------------------------------------
+// Include directives.
+
+struct IncludeDirective {
+  std::string path;  // as written between the delimiters
+  bool angled;       // <...> (system) vs "..." (project/local)
+  int line;          // line of the #include
+};
+
+// Extracts every #include from the file's preprocessor tokens, regardless
+// of surrounding #if conditions (the lexer keeps all branches).
+std::vector<IncludeDirective> ParseIncludes(const LexedFile& file);
+
+// ---------------------------------------------------------------------------
+// Declared-symbol harvesting (IWYU-lite).
+//
+// Collects the names a header offers to its includers: namespace-scope
+// function and variable names, type names (class/struct/union/enum at any
+// depth), enumerators, `using` aliases, typedefs, and object-like /
+// function-like macro names. Member function names are deliberately NOT
+// harvested (too generic — size(), data() — they would mark every include
+// "used"); an includer that touches a class only through members still
+// names the type somewhere in practice. Include-guard macros (*_H_) are
+// skipped.
+std::set<std::string> HarvestDeclaredSymbols(const LexedFile& file);
+
+// ---------------------------------------------------------------------------
+// Lambda parsing (for the race detector).
+
+struct LambdaCapture {
+  std::string name;  // empty for the "&" / "=" defaults and for "this"
+  bool by_ref;
+  bool is_this;
+  bool is_default;  // the bare "&" or "=" entry
+};
+
+struct LambdaInfo {
+  bool default_by_ref = false;    // [&...]
+  bool default_by_value = false;  // [=...]
+  std::vector<LambdaCapture> captures;
+  std::set<std::string> by_ref_names;    // explicitly &name
+  std::set<std::string> by_value_names;  // explicitly name / name = expr
+  std::vector<std::string> params;       // parameter names, in order
+  // Token index range of the body, EXCLUDING the braces: [body_begin,
+  // body_end). Zero-length when the lambda has no body (parse failure).
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;  // line of the "["
+};
+
+// Parses a lambda whose "[" is at toks[open_bracket]. Returns false when
+// the brackets do not introduce a lambda (subscript, attribute) or the
+// shape cannot be parsed.
+bool ParseLambda(const std::vector<Token>& toks, size_t open_bracket,
+                 LambdaInfo* out);
+
+}  // namespace smfl::lint
+
+#endif  // SMFL_TOOLS_SMFL_LINT_PARSE_H_

@@ -1,0 +1,53 @@
+// Static ParallelFor/ParallelReduce race & determinism detector for
+// smfl_lint (rule "race", a.k.a. R13; enabled by --race).
+//
+// The deterministic-parallelism contract (src/common/parallel.h) demands
+// chunk-local writes and ordered combines. This pass parses every
+// ParallelFor / ParallelReduce call site, extracts the lambda's capture
+// list and body (parse.h), and flags:
+//
+//   1. A write (assignment, compound assignment, ++/--) through
+//      by-reference-captured non-atomic state whose access path is not
+//      indexed by an induction-derived variable (the lambda's chunk
+//      begin/end parameters or any local transitively initialized from
+//      them). A shared scalar accumulator mutated from worker threads is
+//      both a data race and a thread-count-dependent float sum.
+//   2. A mutating container member call (push_back, insert, resize, ...)
+//      on by-reference-captured state.
+//   3. An RNG-advancing call (.Uniform / .UniformInt / .Normal /
+//      .NextU64 / .Seed / .SetState) on a non-body-local object inside
+//      the parallel body — the draw order would depend on scheduling.
+//   4. A telemetry::* call inside the parallel body other than the
+//      allowlisted read-only points (Enabled, NowMicros, SmallThreadId).
+//      The SMFL_COUNTER_* / SMFL_GAUGE_* / SMFL_HISTOGRAM_* /
+//      SMFL_TRACE_* macros are the sanctioned instrumentation points
+//      (they funnel through relaxed atomics) and are not flagged.
+//
+// Writes whose subscript/argument groups mention an induction-derived
+// variable are considered chunk-partitioned and safe; body-local
+// declarations (including locals bound to `container[i]`) are safe;
+// variables declared `std::atomic<...>` anywhere in the file are exempt
+// from #1. Known blind spots (writes through callee pointer parameters,
+// by-value-captured raw pointers, references obtained from range-for over
+// a shared container) are documented in docs/static-analysis.md.
+//
+// Scope: src/** except src/common/parallel.* (the implementation itself)
+// and test files.
+
+#ifndef SMFL_TOOLS_SMFL_LINT_RACE_H_
+#define SMFL_TOOLS_SMFL_LINT_RACE_H_
+
+#include <vector>
+
+#include "tools/smfl_lint/lint.h"
+#include "tools/smfl_lint/parse.h"
+
+namespace smfl::lint {
+
+// Appends raw (unsuppressed) "race" findings for every parallel call site
+// in `file`. The caller applies suppression matching and path scoping.
+void CheckParallelRaces(const LexedFile& file, std::vector<Diagnostic>* raw);
+
+}  // namespace smfl::lint
+
+#endif  // SMFL_TOOLS_SMFL_LINT_RACE_H_
